@@ -1,0 +1,352 @@
+// Command hrmsim is the CLI for the heterogeneous-reliability memory
+// reproduction: run error-injection characterization campaigns, profile
+// application memory access behaviour, evaluate the HRM design space, and
+// regenerate every table and figure of the paper.
+//
+// Usage:
+//
+//	hrmsim characterize -app websearch -error hard-1bit -region stack -trials 400
+//	hrmsim profile -app websearch -watchpoints 600
+//	hrmsim designspace
+//	hrmsim plan -target 0.999
+//	hrmsim tolerable
+//	hrmsim lifetime -protection secded+scrub -errors 200000 -hours 24
+//	hrmsim tables [-t fig3] [-trials 400]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hrmsim"
+	"hrmsim/internal/textplot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hrmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("a subcommand is required")
+	}
+	switch args[0] {
+	case "characterize":
+		return cmdCharacterize(args[1:])
+	case "profile":
+		return cmdProfile(args[1:])
+	case "designspace":
+		return cmdDesignSpace(args[1:])
+	case "plan":
+		return cmdPlan(args[1:])
+	case "tolerable":
+		return cmdTolerable(args[1:])
+	case "lifetime":
+		return cmdLifetime(args[1:])
+	case "tables":
+		return cmdTables(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `hrmsim — application memory error vulnerability & heterogeneous-reliability memory (DSN'14 reproduction)
+
+Subcommands:
+  characterize  run an error-injection campaign against an application
+  profile       measure safe ratios and data recoverability
+  designspace   evaluate the paper's five design points (Table 6)
+  plan          search for the cheapest design meeting an availability target
+  tolerable     tolerable error rates per availability target (Fig. 8)
+  lifetime      simulate continuous operation under an error arrival process
+  tables        regenerate the paper's tables and figures
+
+Run 'hrmsim <subcommand> -h' for flags.`)
+}
+
+// sizeFlag parses a workload size.
+func sizeFlag(s string) (hrmsim.WorkloadSize, error) {
+	switch s {
+	case "small":
+		return hrmsim.SizeSmall, nil
+	case "medium":
+		return hrmsim.SizeMedium, nil
+	case "large":
+		return hrmsim.SizeLarge, nil
+	default:
+		return 0, fmt.Errorf("unknown size %q (small|medium|large)", s)
+	}
+}
+
+func cmdCharacterize(args []string) error {
+	fs := flag.NewFlagSet("characterize", flag.ContinueOnError)
+	app := fs.String("app", "websearch", "application: websearch|kvstore|graphmine")
+	errType := fs.String("error", "soft-1bit", "error type: soft-1bit|hard-1bit|hard-2bit")
+	region := fs.String("region", "", "region: private|heap|stack (empty = all)")
+	trials := fs.Int("trials", 400, "injection trials")
+	seed := fs.Int64("seed", 1, "random seed")
+	size := fs.String("size", "medium", "workload size: small|medium|large")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sz, err := sizeFlag(*size)
+	if err != nil {
+		return err
+	}
+	c, err := hrmsim.Characterize(hrmsim.CharacterizeConfig{
+		App:    hrmsim.App(*app),
+		Error:  hrmsim.ErrorType(*errType),
+		Region: hrmsim.Region(*region),
+		Trials: *trials,
+		Seed:   *seed,
+		Size:   sz,
+	})
+	if err != nil {
+		return err
+	}
+	regionLabel := string(c.Region)
+	if regionLabel == "" {
+		regionLabel = "all regions"
+	}
+	fmt.Printf("Characterization: %s, %s errors, %s, %d trials\n\n",
+		c.App, c.Error, regionLabel, c.Trials)
+	fmt.Printf("  crash probability:     %.2f%%  (90%% CI [%.2f%%, %.2f%%])\n",
+		c.CrashProbability*100, c.CrashCILow*100, c.CrashCIHigh*100)
+	fmt.Printf("  tolerated (masked):    %.2f%%\n", c.ToleratedProbability*100)
+	fmt.Printf("  incorrect per billion: %.3g  (worst trial %.3g)\n\n",
+		c.IncorrectPerBillion, c.MaxIncorrectPerBillion)
+
+	var keys []string
+	for k := range c.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var bars []textplot.Bar
+	for _, k := range keys {
+		bars = append(bars, textplot.Bar{Label: k, Value: float64(c.Outcomes[k])})
+	}
+	fmt.Println(textplot.BarChart("Outcome taxonomy (trials)", bars, 40, false))
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	app := fs.String("app", "websearch", "application: websearch|kvstore|graphmine")
+	watch := fs.Int("watchpoints", 600, "sampled addresses")
+	seed := fs.Int64("seed", 1, "random seed")
+	size := fs.String("size", "medium", "workload size: small|medium|large")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sz, err := sizeFlag(*size)
+	if err != nil {
+		return err
+	}
+	rep, err := hrmsim.AccessProfile(hrmsim.AccessProfileConfig{
+		App:         hrmsim.App(*app),
+		Watchpoints: *watch,
+		Seed:        *seed,
+		Size:        sz,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Access profile: %s (%.1f virtual minutes observed)\n\n", rep.App, rep.WindowMinutes)
+	t := &textplot.Table{
+		Headers: []string{"Region", "Used", "Watchpoints", "Mean safe ratio", "Implicit rec.", "Explicit rec."},
+	}
+	for _, r := range rep.Regions {
+		t.AddRow(r.Region,
+			fmt.Sprintf("%d B", r.UsedBytes),
+			fmt.Sprintf("%d", r.Watchpoints),
+			fmt.Sprintf("%.2f", r.MeanSafeRatio),
+			fmt.Sprintf("%.0f%%", r.ImplicitRecoverable*100),
+			fmt.Sprintf("%.0f%%", r.ExplicitRecoverable*100))
+	}
+	fmt.Println(t.Render())
+	return nil
+}
+
+func cmdDesignSpace(args []string) error {
+	fs := flag.NewFlagSet("designspace", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := hrmsim.EvaluateTable6(hrmsim.PaperWebSearchVulnerability())
+	if err != nil {
+		return err
+	}
+	fmt.Println(renderDesignRows("Table 6 design points (paper WebSearch inputs)", rows))
+	return nil
+}
+
+// renderDesignRows renders design evaluations as a table.
+func renderDesignRows(title string, rows []hrmsim.DesignRow) string {
+	t := &textplot.Table{
+		Title: title,
+		Headers: []string{"Configuration", "Mem save %", "Server save %",
+			"Crashes/mo", "Availability", "Incorrect/M", "Meets 99.90%"},
+	}
+	for _, r := range rows {
+		meets := "no"
+		if r.MeetsTarget {
+			meets = "yes"
+		}
+		mem := fmt.Sprintf("%.1f", r.MemorySavings*100)
+		srv := fmt.Sprintf("%.1f", r.ServerSavings*100)
+		if r.MemorySavingsHi-r.MemorySavingsLo > 1e-9 {
+			mem = fmt.Sprintf("%.1f (%.1f-%.1f)", r.MemorySavings*100, r.MemorySavingsLo*100, r.MemorySavingsHi*100)
+			srv = fmt.Sprintf("%.1f (%.1f-%.1f)", r.ServerSavings*100, r.ServerSavingsLo*100, r.ServerSavingsHi*100)
+		}
+		t.AddRow(r.Name, mem, srv,
+			fmt.Sprintf("%.1f", r.CrashesPerMonth),
+			fmt.Sprintf("%.2f%%", r.Availability*100),
+			fmt.Sprintf("%.1f", r.IncorrectPerMillion),
+			meets)
+	}
+	return t.Render()
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	target := fs.Float64("target", 0.999, "single server availability target")
+	errors := fs.Float64("errors", 2000, "memory errors per server per month")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := hrmsim.Plan(hrmsim.PlanConfig{
+		Vulnerabilities:    hrmsim.PaperWebSearchVulnerability(),
+		TargetAvailability: *target,
+		ErrorsPerMonth:     *errors,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Design-space search: %d points considered, %d feasible at %.3f%% availability\n\n",
+		res.Considered, res.Feasible, *target*100)
+	fmt.Printf("Cheapest feasible design (server cost saving %.1f%%, availability %.3f%%, %.1f incorrect/M):\n",
+		res.Best.ServerSavings*100, res.Best.Availability*100, res.Best.IncorrectPerMillion)
+	var regions []string
+	for r := range res.BestMapping {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	for _, r := range regions {
+		fmt.Printf("  %-8s -> %s\n", r, res.BestMapping[r])
+	}
+	return nil
+}
+
+func cmdTolerable(args []string) error {
+	fs := flag.NewFlagSet("tolerable", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	probs := hrmsim.PaperCrashProbabilities()
+	t := &textplot.Table{
+		Title:   "Tolerable memory errors/month per availability target (Fig. 8)",
+		Headers: []string{"Application", "Crash prob/error", "99.99%", "99.90%", "99.00%"},
+	}
+	for _, app := range []string{"WebSearch", "Memcached", "GraphLab"} {
+		row := []string{app, fmt.Sprintf("%.2f%%", probs[app]*100)}
+		for _, target := range []float64{0.9999, 0.999, 0.99} {
+			tol, err := hrmsim.Tolerable(probs[app], target)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.0f", tol))
+		}
+		t.AddRow(row...)
+	}
+	fmt.Println(t.Render())
+	return nil
+}
+
+func cmdTables(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	id := fs.String("t", "", "experiment ID (empty = all): "+
+		fmt.Sprint(hrmsim.ExperimentIDs())+" and extensions "+fmt.Sprint(hrmsim.ExtensionIDs()))
+	trials := fs.Int("trials", 400, "injection trials per campaign cell")
+	seed := fs.Int64("seed", 1, "random seed")
+	ext := fs.Bool("ext", false, "also run the extension experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lab, err := hrmsim.NewLab(hrmsim.LabConfig{Trials: *trials, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	ids := hrmsim.ExperimentIDs()
+	if *ext {
+		ids = append(ids, hrmsim.ExtensionIDs()...)
+	}
+	if *id != "" {
+		ids = []string{*id}
+	}
+	for _, x := range ids {
+		rep, err := lab.Run(x)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("==== %s: %s ====\n\n%s\n", rep.ID, rep.Title, rep.Text)
+		if len(rep.Comparisons) > 0 {
+			fmt.Println("Paper vs measured:")
+			for _, c := range rep.Comparisons {
+				fmt.Printf("  - %s\n      paper:    %s\n      measured: %s\n", c.Metric, c.Paper, c.Measured)
+				if c.Note != "" {
+					fmt.Printf("      note:     %s\n", c.Note)
+				}
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func cmdLifetime(args []string) error {
+	fs := flag.NewFlagSet("lifetime", flag.ContinueOnError)
+	protection := fs.String("protection", "none", "protection preset: none|parity+r|secded|secded+scrub")
+	errors := fs.Float64("errors", 150000, "memory errors per month (amplified for the scaled memory)")
+	soft := fs.Float64("soft", 1.0, "fraction of errors that are transient")
+	hours := fs.Int("hours", 24, "simulated hours of operation")
+	recovery := fs.Int("recovery", 10, "minutes of downtime per crash")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := hrmsim.SimulateLifetime(hrmsim.LifetimeConfig{
+		Protection:      hrmsim.Protection(*protection),
+		ErrorsPerMonth:  *errors,
+		SoftFraction:    *soft,
+		Hours:           *hours,
+		RecoveryMinutes: *recovery,
+		Seed:            *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Lifetime simulation: websearch, %s protection, %.0f errors/month, %dh\n\n",
+		*protection, *errors, *hours)
+	fmt.Printf("  errors injected:       %d\n", res.ErrorsInjected)
+	fmt.Printf("  crashes (reboots):     %d\n", res.Crashes)
+	fmt.Printf("  downtime:              %.0f min\n", res.DowntimeMinutes)
+	fmt.Printf("  availability:          %.3f%%\n", res.Availability*100)
+	fmt.Printf("  requests served:       %d\n", res.Requests)
+	fmt.Printf("  incorrect responses:   %d (%.1f per million)\n", res.Incorrect, res.IncorrectPerMillion)
+	if res.ScrubPasses > 0 {
+		fmt.Printf("  scrub passes:          %d (%d errors corrected by patrol scrub)\n",
+			res.ScrubPasses, res.ScrubCorrected)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunDispatch(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}
+
+func TestCmdCharacterizeSmall(t *testing.T) {
+	err := run([]string{"characterize", "-app", "kvstore", "-size", "small", "-trials", "20"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdCharacterizeBadFlags(t *testing.T) {
+	if err := run([]string{"characterize", "-size", "jumbo"}); err == nil {
+		t.Error("bad size accepted")
+	}
+	if err := run([]string{"characterize", "-app", "nope", "-trials", "1"}); err == nil {
+		t.Error("bad app accepted")
+	}
+}
+
+func TestCmdProfileSmall(t *testing.T) {
+	err := run([]string{"profile", "-app", "kvstore", "-size", "small", "-watchpoints", "60"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdDesignSpaceAndPlanAndTolerable(t *testing.T) {
+	if err := run([]string{"designspace"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"plan", "-target", "0.999"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"tolerable"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdTablesSingle(t *testing.T) {
+	if err := run([]string{"tables", "-t", "table1", "-trials", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"tables", "-t", "fig99", "-trials", "10"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestCmdLifetimeShort(t *testing.T) {
+	if err := run([]string{"lifetime", "-hours", "1", "-errors", "50000"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"lifetime", "-protection", "asbestos"}); err == nil {
+		t.Error("bad protection accepted")
+	}
+}

@@ -1,0 +1,193 @@
+// Command kvserve runs the simulated in-memory key–value store behind a
+// tiny memcached-like TCP text protocol, with memory errors arriving on a
+// virtual clock — a live demonstration of what a given error rate does to
+// an unprotected (or protected) cache node.
+//
+// Protocol (one command per line):
+//
+//	get <key>            -> VALUE <version> <hex bytes> | MISS | SERVER_ERROR ...
+//	set <key> <version>  -> STORED | SERVER_ERROR ...
+//	inject <soft|hard>   -> INJECTED <region> (one random error now)
+//	stats                -> counters (ops, errors injected, faults)
+//	quit                 -> closes the connection
+//
+// Flags select the protection technique, so the same session can be run
+// with -ecc secded to watch the errors disappear.
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"hrmsim/internal/apps/kvstore"
+	"hrmsim/internal/ecc"
+	"hrmsim/internal/faults"
+	"hrmsim/internal/inject"
+	"hrmsim/internal/simmem"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11222", "listen address")
+	keys := flag.Int("keys", 1024, "pre-populated key count")
+	eccName := flag.String("ecc", "none", "heap protection: none|parity|secded|chipkill")
+	seed := flag.Int64("seed", 1, "random seed")
+	once := flag.Bool("once", false, "serve a single connection then exit (for scripted demos)")
+	flag.Parse()
+
+	srv, err := newServer(*keys, *eccName, *seed)
+	if err != nil {
+		log.Fatalf("kvserve: %v", err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("kvserve: %v", err)
+	}
+	defer func() { _ = ln.Close() }()
+	log.Printf("kvserve: listening on %s (heap protection: %s, %d keys)", ln.Addr(), *eccName, *keys)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("kvserve: accept: %v", err)
+			return
+		}
+		srv.handle(conn) // single-threaded: one simulated memory, one server loop
+		if *once {
+			return
+		}
+	}
+}
+
+// server wraps one kvstore instance.
+type server struct {
+	app      *kvstore.App
+	rng      *rand.Rand
+	ops      uint64
+	injected uint64
+	faults   uint64
+}
+
+func newServer(keys int, eccName string, seed int64) (*server, error) {
+	var codec simmem.Codec
+	switch eccName {
+	case "none":
+	case "parity":
+		codec = ecc.NewParity()
+	case "secded":
+		codec = ecc.NewSECDED()
+	case "chipkill":
+		codec = ecc.NewChipkill()
+	default:
+		return nil, fmt.Errorf("unknown ecc %q", eccName)
+	}
+	cfg := kvstore.DefaultConfig(seed)
+	cfg.Keys = keys
+	cfg.Ops = 1 // the recorded workload is unused; the network drives requests
+	cfg.HeapCodec = codec
+	cfg.RequestCost = time.Millisecond
+	b, err := kvstore.NewBuilder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	app, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &server{app: app.(*kvstore.App), rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// handle serves one connection.
+func (s *server) handle(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	defer func() { _ = w.Flush() }()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" {
+			return
+		}
+		resp := s.dispatch(line)
+		fmt.Fprintln(w, resp)
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one protocol command.
+func (s *server) dispatch(line string) string {
+	parts := strings.Fields(line)
+	s.app.Space().Clock().Advance(time.Millisecond)
+	switch parts[0] {
+	case "get":
+		if len(parts) != 2 {
+			return "CLIENT_ERROR usage: get <key>"
+		}
+		key, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return "CLIENT_ERROR bad key"
+		}
+		s.ops++
+		version, val, err := s.app.Get(key)
+		if err != nil {
+			if simmem.IsFault(err) {
+				s.faults++
+				return "SERVER_ERROR memory fault: " + err.Error()
+			}
+			return "MISS"
+		}
+		return fmt.Sprintf("VALUE %d %s", version, hex.EncodeToString(val))
+	case "set":
+		if len(parts) != 3 {
+			return "CLIENT_ERROR usage: set <key> <version>"
+		}
+		key, err1 := strconv.ParseUint(parts[1], 10, 64)
+		version, err2 := strconv.ParseUint(parts[2], 10, 32)
+		if err1 != nil || err2 != nil {
+			return "CLIENT_ERROR bad arguments"
+		}
+		s.ops++
+		if err := s.app.Set(key, uint32(version)); err != nil {
+			if simmem.IsFault(err) {
+				s.faults++
+			}
+			return "SERVER_ERROR " + err.Error()
+		}
+		return "STORED"
+	case "inject":
+		if len(parts) != 2 {
+			return "CLIENT_ERROR usage: inject <soft|hard>"
+		}
+		spec := faults.SingleBitSoft
+		if parts[1] == "hard" {
+			spec = faults.SingleBitHard
+		} else if parts[1] != "soft" {
+			return "CLIENT_ERROR unknown error class"
+		}
+		inj, err := inject.Random(s.app.Space(), s.rng, spec, nil)
+		if err != nil {
+			return "SERVER_ERROR " + err.Error()
+		}
+		s.injected++
+		return fmt.Sprintf("INJECTED %s @%#x bit %d",
+			inj.Region.Name(), uint64(inj.Targets[0].Addr), inj.Targets[0].Bits[0])
+	case "stats":
+		c := s.app.Space().Counters()
+		return fmt.Sprintf("STATS ops=%d injected=%d faults=%d corrected=%d uncorrectable=%d",
+			s.ops, s.injected, s.faults, c.Corrected, c.Uncorrectable)
+	default:
+		return "CLIENT_ERROR unknown command"
+	}
+}

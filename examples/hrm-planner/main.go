@@ -1,0 +1,57 @@
+// hrm-planner evaluates the paper's five Table 6 design points and then
+// searches the full heterogeneous-reliability design space for the
+// cheapest configuration meeting an availability target — the Fig. 7
+// methodology as a program.
+//
+//	go run ./examples/hrm-planner
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"hrmsim"
+)
+
+func main() {
+	vulns := hrmsim.PaperWebSearchVulnerability()
+
+	fmt.Println("== The paper's five design points (Table 6) ==")
+	rows, err := hrmsim.EvaluateTable6(vulns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-18s %12s %11s %13s %12s  %s\n",
+		"configuration", "server save", "crashes/mo", "availability", "incorrect/M", "meets 99.90%")
+	for _, r := range rows {
+		meets := "no"
+		if r.MeetsTarget {
+			meets = "yes"
+		}
+		fmt.Printf("%-18s %11.1f%% %11.1f %12.2f%% %12.1f  %s\n",
+			r.Name, r.ServerSavings*100, r.CrashesPerMonth, r.Availability*100,
+			r.IncorrectPerMillion, meets)
+	}
+
+	for _, target := range []float64{0.999, 0.9999} {
+		fmt.Printf("\n== Cheapest design meeting %.2f%% availability ==\n", target*100)
+		res, err := hrmsim.Plan(hrmsim.PlanConfig{
+			Vulnerabilities:    vulns,
+			TargetAvailability: target,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("searched %d designs, %d feasible; best saves %.1f%% of server cost at %.3f%% availability\n",
+			res.Considered, res.Feasible, res.Best.ServerSavings*100, res.Best.Availability*100)
+		var regions []string
+		for r := range res.BestMapping {
+			regions = append(regions, r)
+		}
+		sort.Strings(regions)
+		for _, r := range regions {
+			fmt.Printf("  %-8s -> %s\n", r, res.BestMapping[r])
+		}
+	}
+}

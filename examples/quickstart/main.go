@@ -1,0 +1,36 @@
+// Quickstart: inject 200 single-bit soft errors into the in-memory
+// key–value store and classify every outcome with the paper's taxonomy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hrmsim"
+)
+
+func main() {
+	c, err := hrmsim.Characterize(hrmsim.CharacterizeConfig{
+		App:    hrmsim.AppKVStore,
+		Error:  hrmsim.SoftSingleBit,
+		Trials: 200,
+		Size:   hrmsim.SizeSmall,
+		Seed:   42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Injected %d %s errors into %s:\n\n", c.Trials, c.Error, c.App)
+	fmt.Printf("  crash probability:     %5.2f%%  (90%% CI [%.2f%%, %.2f%%])\n",
+		c.CrashProbability*100, c.CrashCILow*100, c.CrashCIHigh*100)
+	fmt.Printf("  tolerated (masked):    %5.2f%%\n", c.ToleratedProbability*100)
+	fmt.Printf("  incorrect per billion: %.3g\n\n", c.IncorrectPerBillion)
+	fmt.Println("  Outcome taxonomy (Fig. 1 of the paper):")
+	for _, k := range []string{"masked-by-overwrite", "masked-by-logic", "masked-latent",
+		"incorrect-response", "crash"} {
+		fmt.Printf("    %-20s %d\n", k, c.Outcomes[k])
+	}
+}

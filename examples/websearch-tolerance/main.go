@@ -1,0 +1,53 @@
+// websearch-tolerance reproduces the paper's in-depth WebSearch analysis
+// in miniature: per-region vulnerability to soft and hard errors
+// (Figs. 4/6), safe ratios (Fig. 5b), and data recoverability (Table 5).
+//
+//	go run ./examples/websearch-tolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hrmsim"
+)
+
+func main() {
+	fmt.Println("== Per-region vulnerability of WebSearch (Figs. 4/6) ==")
+	fmt.Printf("%-8s  %-10s  %10s  %14s\n", "region", "error", "crash prob", "incorrect/B")
+	for _, region := range []hrmsim.Region{hrmsim.RegionPrivate, hrmsim.RegionHeap, hrmsim.RegionStack} {
+		for _, et := range []hrmsim.ErrorType{hrmsim.SoftSingleBit, hrmsim.HardSingleBit, hrmsim.HardDoubleBit} {
+			c, err := hrmsim.Characterize(hrmsim.CharacterizeConfig{
+				App:    hrmsim.AppWebSearch,
+				Error:  et,
+				Region: region,
+				Trials: 150,
+				Size:   hrmsim.SizeSmall,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s  %-10s  %9.1f%%  %14.3g\n",
+				region, et, c.CrashProbability*100, c.IncorrectPerBillion)
+		}
+	}
+
+	fmt.Println("\n== Access behaviour (Fig. 5b safe ratios, Table 5 recoverability) ==")
+	prof, err := hrmsim.AccessProfile(hrmsim.AccessProfileConfig{
+		App:         hrmsim.AppWebSearch,
+		Size:        hrmsim.SizeSmall,
+		Watchpoints: 400,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s  %14s  %12s  %12s\n", "region", "mean safe ratio", "implicit rec", "explicit rec")
+	for _, r := range prof.Regions {
+		fmt.Printf("%-8s  %14.2f  %11.0f%%  %11.0f%%\n",
+			r.Region, r.MeanSafeRatio, r.ImplicitRecoverable*100, r.ExplicitRecoverable*100)
+	}
+	fmt.Println("\nReading the output: the read-only index (private) never masks by")
+	fmt.Println("overwrite but is fully recoverable from disk; the stack masks soft")
+	fmt.Println("errors by overwrite yet crashes quickly on hard (stuck-at) faults —")
+	fmt.Println("exactly the asymmetry the paper's HRM designs exploit.")
+}

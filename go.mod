@@ -1,0 +1,3 @@
+module hrmsim
+
+go 1.24

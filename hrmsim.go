@@ -1,0 +1,401 @@
+package hrmsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hrmsim/internal/apps"
+	"hrmsim/internal/apps/graphmine"
+	"hrmsim/internal/apps/kvstore"
+	"hrmsim/internal/apps/websearch"
+	"hrmsim/internal/core"
+	"hrmsim/internal/faults"
+	"hrmsim/internal/monitor"
+	"hrmsim/internal/simmem"
+)
+
+// App names a case-study application.
+type App string
+
+// The three data-intensive applications of the paper's case study.
+const (
+	// AppWebSearch is the interactive web search index server
+	// (read-only in-memory index cache, the paper's WebSearch).
+	AppWebSearch App = "websearch"
+	// AppKVStore is the in-memory key–value store (the paper's
+	// Memcached workload).
+	AppKVStore App = "kvstore"
+	// AppGraphMine is the graph-mining framework running TunkRank (the
+	// paper's GraphLab workload).
+	AppGraphMine App = "graphmine"
+)
+
+// Apps lists the applications in paper order.
+func Apps() []App { return []App{AppWebSearch, AppKVStore, AppGraphMine} }
+
+// ErrorType names an injected memory error type.
+type ErrorType string
+
+// Error types studied by the paper (Fig. 6).
+const (
+	// SoftSingleBit is a transient single-bit flip, cleared by any
+	// overwrite.
+	SoftSingleBit ErrorType = "soft-1bit"
+	// HardSingleBit is a recurring single-bit fault (stuck-at cell).
+	HardSingleBit ErrorType = "hard-1bit"
+	// HardDoubleBit is a recurring two-bit fault in one byte.
+	HardDoubleBit ErrorType = "hard-2bit"
+)
+
+// ErrorTypes lists the error types in paper order.
+func ErrorTypes() []ErrorType {
+	return []ErrorType{SoftSingleBit, HardSingleBit, HardDoubleBit}
+}
+
+// Region names an application memory region, or AnyRegion for the whole
+// address space.
+type Region string
+
+// Regions (Table 2).
+const (
+	AnyRegion     Region = ""
+	RegionPrivate Region = "private"
+	RegionHeap    Region = "heap"
+	RegionStack   Region = "stack"
+)
+
+// WorkloadSize selects how large the synthetic application builds are.
+type WorkloadSize int
+
+// Workload sizes.
+const (
+	// SizeSmall builds tiny instances for fast iteration and tests.
+	SizeSmall WorkloadSize = iota
+	// SizeMedium matches the scale used by the paper-reproduction
+	// experiments (the default).
+	SizeMedium
+	// SizeLarge builds bigger instances for longer campaigns.
+	SizeLarge
+)
+
+// specFor converts the public error type.
+func specFor(e ErrorType) (faults.Spec, error) {
+	switch e {
+	case SoftSingleBit:
+		return faults.SingleBitSoft, nil
+	case HardSingleBit:
+		return faults.SingleBitHard, nil
+	case HardDoubleBit:
+		return faults.DoubleBitHard, nil
+	default:
+		return faults.Spec{}, fmt.Errorf("hrmsim: unknown error type %q", e)
+	}
+}
+
+// kindFor converts the public region name.
+func kindFor(r Region) (simmem.RegionKind, error) {
+	switch r {
+	case AnyRegion:
+		return 0, nil
+	case RegionPrivate:
+		return simmem.RegionPrivate, nil
+	case RegionHeap:
+		return simmem.RegionHeap, nil
+	case RegionStack:
+		return simmem.RegionStack, nil
+	default:
+		return 0, fmt.Errorf("hrmsim: unknown region %q", r)
+	}
+}
+
+// NewBuilder constructs an application builder at a given size and seed.
+// The returned builder creates fresh, identical instances — one per
+// injection trial.
+func NewBuilder(app App, size WorkloadSize, seed int64) (apps.Builder, error) {
+	switch app {
+	case AppWebSearch:
+		cfg := websearch.DefaultConfig(seed)
+		cfg.RequestCost = 10 * time.Second
+		switch size {
+		case SizeSmall:
+			cfg.Docs, cfg.Vocab, cfg.MinTerms, cfg.MaxTerms = 256, 128, 4, 12
+			cfg.Queries, cfg.CacheSlots = 60, 32
+		case SizeMedium:
+			cfg.Docs, cfg.Vocab, cfg.MinTerms, cfg.MaxTerms = 1024, 512, 6, 24
+			cfg.Queries, cfg.CacheSlots = 120, 256
+		case SizeLarge:
+			cfg.Docs, cfg.Vocab, cfg.MinTerms, cfg.MaxTerms = 4096, 2048, 8, 56
+			cfg.Queries, cfg.CacheSlots = 400, 1024
+		default:
+			return nil, fmt.Errorf("hrmsim: unknown workload size %d", size)
+		}
+		return websearch.NewBuilder(cfg)
+	case AppKVStore:
+		cfg := kvstore.DefaultConfig(seed)
+		cfg.RequestCost = 2 * time.Second
+		switch size {
+		case SizeSmall:
+			cfg.Keys, cfg.Ops = 128, 200
+		case SizeMedium:
+			cfg.Keys, cfg.Ops = 512, 600
+		case SizeLarge:
+			cfg.Keys, cfg.Ops = 2048, 2000
+		default:
+			return nil, fmt.Errorf("hrmsim: unknown workload size %d", size)
+		}
+		return kvstore.NewBuilder(cfg)
+	case AppGraphMine:
+		cfg := graphmine.DefaultConfig(seed)
+		cfg.RequestCost = 90 * time.Second
+		switch size {
+		case SizeSmall:
+			cfg.Nodes, cfg.AvgDeg, cfg.Iterations, cfg.ChunkNodes, cfg.TopK = 256, 4, 2, 64, 20
+		case SizeMedium:
+			cfg.Nodes, cfg.AvgDeg, cfg.Iterations, cfg.ChunkNodes, cfg.TopK = 512, 6, 3, 128, 50
+		case SizeLarge:
+			cfg.Nodes, cfg.AvgDeg, cfg.Iterations, cfg.ChunkNodes, cfg.TopK = 2048, 8, 4, 512, 100
+		default:
+			return nil, fmt.Errorf("hrmsim: unknown workload size %d", size)
+		}
+		return graphmine.NewBuilder(cfg)
+	default:
+		return nil, fmt.Errorf("hrmsim: unknown application %q", app)
+	}
+}
+
+// CharacterizeConfig configures an injection campaign.
+type CharacterizeConfig struct {
+	// App is the application to characterize.
+	App App
+	// Error is the error type to inject (default SoftSingleBit).
+	Error ErrorType
+	// Region restricts injection (default AnyRegion: whole address
+	// space, weighted by region size).
+	Region Region
+	// Trials is the number of injection experiments (default 200).
+	Trials int
+	// Seed makes the campaign deterministic (default 1).
+	Seed int64
+	// Size selects the workload scale (default SizeMedium).
+	Size WorkloadSize
+	// Parallelism bounds concurrent trials (default GOMAXPROCS).
+	Parallelism int
+}
+
+// Characterization is the result of one campaign: the application's
+// measured tolerance to the injected error type.
+type Characterization struct {
+	App    App
+	Error  ErrorType
+	Region Region
+	Trials int
+	// CrashProbability is P(crash | one injected error), with a 90%
+	// Wilson confidence interval.
+	CrashProbability        float64
+	CrashCILow, CrashCIHigh float64
+	// ToleratedProbability is P(error masked with no external effect).
+	ToleratedProbability float64
+	// IncorrectPerBillion is the mean rate of incorrect responses per
+	// billion queries; MaxIncorrectPerBillion is the worst single trial
+	// (the paper's error bars).
+	IncorrectPerBillion    float64
+	MaxIncorrectPerBillion float64
+	// Outcomes counts trials by taxonomy leaf (Fig. 1), keyed by
+	// outcome name.
+	Outcomes map[string]int
+	// CrashMinutes and IncorrectMinutes are injection-to-first-effect
+	// latencies in virtual minutes.
+	CrashMinutes, IncorrectMinutes []float64
+	// AllIncorrectMinutes holds the time of every recorded incorrect
+	// response (not just the first per trial) — corrupted data keeps
+	// producing wrong answers as it is re-consumed, the paper's
+	// "periodically incorrect" behaviour (Fig. 5a).
+	AllIncorrectMinutes []float64
+}
+
+// Characterize runs an error-injection campaign (the paper's Fig. 2 loop)
+// and reports the application's measured tolerance.
+func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
+	if cfg.App == "" {
+		return nil, fmt.Errorf("hrmsim: CharacterizeConfig.App is required")
+	}
+	if cfg.Error == "" {
+		cfg.Error = SoftSingleBit
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 200
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	spec, err := specFor(cfg.Error)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := kindFor(cfg.Region)
+	if err != nil {
+		return nil, err
+	}
+	builder, err := NewBuilder(cfg.App, cfg.Size, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := core.CampaignConfig{
+		Builder:     builder,
+		Spec:        spec,
+		Trials:      cfg.Trials,
+		Seed:        cfg.Seed,
+		Parallelism: cfg.Parallelism,
+	}
+	if kind != 0 {
+		ccfg.Filter = func(r *simmem.Region) bool { return r.Kind() == kind }
+	}
+	res, err := core.Run(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	crash, err := res.CrashProbability(0.90)
+	if err != nil {
+		return nil, err
+	}
+	tol, err := res.ToleratedProbability(0.90)
+	if err != nil {
+		return nil, err
+	}
+	mean, max := res.IncorrectPerBillion()
+	out := &Characterization{
+		App:                    cfg.App,
+		Error:                  cfg.Error,
+		Region:                 cfg.Region,
+		Trials:                 cfg.Trials,
+		CrashProbability:       crash.P,
+		CrashCILow:             crash.Lo,
+		CrashCIHigh:            crash.Hi,
+		ToleratedProbability:   tol.P,
+		IncorrectPerBillion:    mean,
+		MaxIncorrectPerBillion: max,
+		Outcomes:               make(map[string]int),
+		CrashMinutes:           res.TimesToEffect(core.OutcomeCrash),
+		IncorrectMinutes:       res.TimesToEffect(core.OutcomeIncorrect),
+		AllIncorrectMinutes:    res.AllIncorrectTimes(),
+	}
+	for _, o := range []core.Outcome{
+		core.OutcomeMaskedOverwrite, core.OutcomeMaskedLogic,
+		core.OutcomeMaskedLatent, core.OutcomeIncorrect, core.OutcomeCrash,
+	} {
+		out.Outcomes[o.String()] = res.Count(o)
+	}
+	return out, nil
+}
+
+// AccessProfileConfig configures a safe-ratio / recoverability analysis.
+type AccessProfileConfig struct {
+	// App is the application to profile.
+	App App
+	// Watchpoints is the number of sampled addresses (default 300),
+	// split across regions proportionally with a per-region floor.
+	Watchpoints int
+	// Seed makes sampling deterministic (default 1).
+	Seed int64
+	// Size selects the workload scale (default SizeMedium).
+	Size WorkloadSize
+}
+
+// RegionProfile summarizes one region's access behaviour.
+type RegionProfile struct {
+	Region string
+	// UsedBytes is the region's occupied size.
+	UsedBytes int
+	// Watchpoints is the number of sampled addresses with at least one
+	// attributed interval.
+	Watchpoints int
+	// MeanSafeRatio averages the safe ratios (Section III-B): near 1
+	// means writes dominate (errors masked by overwrite), near 0 means
+	// reads dominate.
+	MeanSafeRatio float64
+	// SafeRatios are the per-address ratios (the Fig. 5b samples).
+	SafeRatios []float64
+	// ImplicitRecoverable and ExplicitRecoverable are the Table 5
+	// fractions of used pages.
+	ImplicitRecoverable, ExplicitRecoverable float64
+}
+
+// AccessProfileReport is the access-monitoring analysis of one application.
+type AccessProfileReport struct {
+	App App
+	// WindowMinutes is the observation window in virtual minutes.
+	WindowMinutes float64
+	// Regions holds one profile per mapped region.
+	Regions []RegionProfile
+}
+
+// AccessProfile runs the application's full workload under the
+// access-monitoring framework and reports safe ratios and recoverability
+// per region (the paper's Sections III-B/III-C measurements).
+func AccessProfile(cfg AccessProfileConfig) (*AccessProfileReport, error) {
+	if cfg.App == "" {
+		return nil, fmt.Errorf("hrmsim: AccessProfileConfig.App is required")
+	}
+	if cfg.Watchpoints == 0 {
+		cfg.Watchpoints = 300
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	builder, err := NewBuilder(cfg.App, cfg.Size, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := builder.Build()
+	if err != nil {
+		return nil, err
+	}
+	as := inst.Space()
+	mon := monitor.New(as)
+	as.AddAccessObserver(mon)
+	total := 0
+	for _, r := range as.Regions() {
+		mon.TrackPages(r)
+		total += r.Used()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, r := range as.Regions() {
+		k := r.Kind()
+		n := cfg.Watchpoints * r.Used() / total
+		if floor := cfg.Watchpoints / 8; n < floor {
+			n = floor
+		}
+		mon.WatchSample(as, rng, n, func(rr *simmem.Region) bool { return rr.Kind() == k })
+	}
+	for i := 0; i < inst.NumRequests(); i++ {
+		if _, err := inst.Serve(i); err != nil {
+			return nil, fmt.Errorf("hrmsim: profiling workload request %d: %w", i, err)
+		}
+	}
+	rep := &AccessProfileReport{App: cfg.App, WindowMinutes: mon.Window().Minutes()}
+	for _, r := range as.Regions() {
+		ratios := mon.SafeRatios(r.Kind())
+		p := RegionProfile{
+			Region:      r.Kind().String(),
+			UsedBytes:   r.Used(),
+			Watchpoints: len(ratios),
+			SafeRatios:  ratios,
+		}
+		var sum float64
+		for _, x := range ratios {
+			sum += x
+		}
+		if len(ratios) > 0 {
+			p.MeanSafeRatio = sum / float64(len(ratios))
+		}
+		rec, err := mon.RecoverabilityOf(r)
+		if err != nil {
+			return nil, err
+		}
+		p.ImplicitRecoverable = rec.Implicit
+		p.ExplicitRecoverable = rec.Explicit
+		rep.Regions = append(rep.Regions, p)
+	}
+	return rep, nil
+}

@@ -1,0 +1,92 @@
+package apps
+
+import (
+	"errors"
+	"testing"
+
+	"hrmsim/internal/simmem"
+)
+
+func TestBudget(t *testing.T) {
+	b := NewBudget(10)
+	if err := b.Spend(5); err != nil {
+		t.Fatal(err)
+	}
+	if b.Remaining() != 5 {
+		t.Errorf("Remaining = %d, want 5", b.Remaining())
+	}
+	if err := b.Spend(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Spend(1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestDigest(t *testing.T) {
+	d1 := NewDigest()
+	d1.AddU64(42)
+	d1.AddBytes([]byte("hello"))
+	d1.AddU32(7)
+
+	d2 := NewDigest()
+	d2.AddU64(42)
+	d2.AddBytes([]byte("hello"))
+	d2.AddU32(7)
+	if d1.Sum() != d2.Sum() {
+		t.Error("digest not deterministic")
+	}
+
+	d3 := NewDigest()
+	d3.AddU64(43)
+	if d3.Sum() == d1.Sum() {
+		t.Error("different inputs collide")
+	}
+	if d1.Response().Digest != d1.Sum() {
+		t.Error("Response digest mismatch")
+	}
+	if NewDigest().Sum() != uint64(fnvOffset) {
+		t.Error("empty digest should be the FNV offset basis")
+	}
+}
+
+func TestDigestOrderSensitive(t *testing.T) {
+	a := NewDigest()
+	a.AddU32(1)
+	a.AddU32(2)
+	b := NewDigest()
+	b.AddU32(2)
+	b.AddU32(1)
+	if a.Sum() == b.Sum() {
+		t.Error("digest should be order sensitive")
+	}
+}
+
+func TestIsCrash(t *testing.T) {
+	tests := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"budget", ErrBudgetExceeded, true},
+		{"wrapped budget", Assertf("x"), true},
+		{"fault", &simmem.Fault{Kind: simmem.FaultUnmapped}, true},
+		{"plain", errors.New("nope"), false},
+	}
+	for _, tt := range tests {
+		if got := IsCrash(tt.err); got != tt.want {
+			t.Errorf("%s: IsCrash = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestAssertf(t *testing.T) {
+	err := Assertf("bad value %d", 42)
+	if !errors.Is(err, ErrAssert) {
+		t.Error("Assertf result does not wrap ErrAssert")
+	}
+	if err.Error() == "" {
+		t.Error("empty message")
+	}
+}

@@ -1,0 +1,126 @@
+package graphmine
+
+import (
+	"math"
+	"testing"
+
+	"hrmsim/internal/apps"
+	"hrmsim/internal/simmem"
+)
+
+func TestInfluenceMatchesHostReference(t *testing.T) {
+	// Recompute TunkRank on the host from the same generated graph and
+	// compare against the simulated-memory run.
+	cfg := smallConfig(40)
+	b, err := NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := inst.(*App)
+	golden(t, app)
+
+	// Host reference.
+	n := cfg.Nodes
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		for u := 0; u < n; u++ {
+			var acc float64
+			for _, v := range b.followers[u] {
+				deg := float64(b.outdeg[v])
+				if deg != 0 {
+					acc += (1 + cfg.Damping*cur[v]) / deg
+				}
+			}
+			next[u] = acc
+		}
+		cur, next = next, cur
+	}
+
+	srcOff := app.scoreAOff
+	if cfg.Iterations%2 == 1 {
+		srcOff = app.scoreBOff
+	}
+	as := app.Space()
+	for u := 0; u < n; u++ {
+		got, err := as.LoadF64(app.heap.Base() + simmem.Addr(srcOff+u*8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-cur[u]) > 1e-9 {
+			t.Fatalf("node %d influence = %g, host reference %g", u, got, cur[u])
+		}
+	}
+}
+
+func TestCorruptedEdgeTargetWrongOrFault(t *testing.T) {
+	cfg := smallConfig(41)
+	ref := golden(t, build(t, cfg))
+	app := build(t, cfg)
+	as := app.Space()
+	// Blast high bits of many follower IDs: indexes into the score
+	// array go far out of range (fault) or to wrong nodes (incorrect).
+	for off := app.followersOff; off < app.outdegOff; off += 64 {
+		if err := as.FlipBit(app.heap.Base()+simmem.Addr(off+3), 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashed, wrong := false, false
+	var last uint64
+	for i := 0; i < app.NumRequests(); i++ {
+		resp, err := app.Serve(i)
+		if err != nil {
+			if !apps.IsCrash(err) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			crashed = true
+			break
+		}
+		last = resp.Digest
+	}
+	if !crashed {
+		wrong = last != ref[len(ref)-1]
+	}
+	if !crashed && !wrong {
+		t.Error("massive edge corruption had no effect")
+	}
+}
+
+func TestZeroOutdegreeGuard(t *testing.T) {
+	// Force a follower's out-degree to zero in memory: the update must
+	// skip the contribution (no Inf/NaN), mirroring a defensive
+	// division guard.
+	cfg := smallConfig(42)
+	app := build(t, cfg)
+	as := app.Space()
+	for u := 0; u < cfg.Nodes; u++ {
+		if err := as.StoreU32(app.heap.Base()+simmem.Addr(app.outdegOff+u*4), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < app.NumRequests(); i++ {
+		if _, err := app.Serve(i); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	srcOff := app.scoreAOff
+	if cfg.Iterations%2 == 1 {
+		srcOff = app.scoreBOff
+	}
+	for u := 0; u < cfg.Nodes; u++ {
+		s, err := as.LoadF64(app.heap.Base() + simmem.Addr(srcOff+u*8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != 0 {
+			t.Fatalf("node %d score %g, want 0 with all degrees zeroed", u, s)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package graphmine
+
+import (
+	"testing"
+
+	"hrmsim/internal/apps"
+	"hrmsim/internal/ecc"
+	"hrmsim/internal/simmem"
+)
+
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Nodes = 512
+	cfg.AvgDeg = 6
+	cfg.Iterations = 3
+	cfg.ChunkNodes = 128
+	cfg.TopK = 20
+	return cfg
+}
+
+func build(t *testing.T, cfg Config) *App {
+	t.Helper()
+	b, err := NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app.(*App)
+}
+
+func golden(t *testing.T, app apps.App) []uint64 {
+	t.Helper()
+	out := make([]uint64, app.NumRequests())
+	for i := range out {
+		resp, err := app.Serve(i)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		out[i] = resp.Digest
+	}
+	return out
+}
+
+func TestGoldenDeterministic(t *testing.T) {
+	cfg := smallConfig(1)
+	g1 := golden(t, build(t, cfg))
+	g2 := golden(t, build(t, cfg))
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+	// Only the final request carries output.
+	final := g1[len(g1)-1]
+	if final == 0 {
+		t.Error("final digest is zero")
+	}
+	for i := 0; i < len(g1)-1; i++ {
+		if g1[i] != 0 {
+			t.Errorf("intermediate request %d has nonzero digest", i)
+		}
+	}
+}
+
+func TestNumRequests(t *testing.T) {
+	cfg := smallConfig(2)
+	app := build(t, cfg)
+	chunks := (cfg.Nodes + cfg.ChunkNodes - 1) / cfg.ChunkNodes
+	want := cfg.Iterations*chunks + 1
+	if app.NumRequests() != want {
+		t.Errorf("NumRequests = %d, want %d", app.NumRequests(), want)
+	}
+}
+
+func TestInfluenceScoresAreSane(t *testing.T) {
+	cfg := smallConfig(3)
+	app := build(t, cfg)
+	golden(t, app)
+	// After the run, read final scores directly: all finite, positive
+	// where a node has followers.
+	srcOff := app.scoreAOff
+	if cfg.Iterations%2 == 1 {
+		srcOff = app.scoreBOff
+	}
+	as := app.Space()
+	positives := 0
+	for u := 0; u < cfg.Nodes; u++ {
+		s, err := as.LoadF64(app.heap.Base() + simmem.Addr(srcOff+u*8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != s { // NaN
+			t.Fatalf("node %d score is NaN", u)
+		}
+		if s < 0 {
+			t.Fatalf("node %d score negative: %g", u, s)
+		}
+		if s > 0 {
+			positives++
+		}
+	}
+	if positives < cfg.Nodes/4 {
+		t.Errorf("only %d nodes have positive influence", positives)
+	}
+}
+
+func TestCorruptedOffsetsCauseCrash(t *testing.T) {
+	cfg := smallConfig(4)
+	app := build(t, cfg)
+	as := app.Space()
+	// High-order bit flips in the CSR offsets: rows walk far outside
+	// the followers array.
+	for u := 0; u < cfg.Nodes; u += 2 {
+		if err := as.FlipBit(app.heap.Base()+simmem.Addr(app.offsetsOff+u*4+3), 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashed := false
+	for i := 0; i < app.NumRequests(); i++ {
+		if _, err := app.Serve(i); err != nil {
+			if !apps.IsCrash(err) {
+				t.Fatalf("non-crash error: %v", err)
+			}
+			crashed = true
+			break
+		}
+	}
+	if !crashed {
+		t.Error("corrupted CSR offsets never crashed")
+	}
+}
+
+func TestCorruptedScoreGivesIncorrectFinalOutput(t *testing.T) {
+	cfg := smallConfig(5)
+	ref := golden(t, build(t, cfg))
+
+	app := build(t, cfg)
+	as := app.Space()
+	// Flip a high exponent bit of one node's initial score. The wrong
+	// influence propagates through iterations and changes the ranking.
+	if err := as.FlipBit(app.heap.Base()+simmem.Addr(app.scoreAOff+7*8+7), 5); err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < app.NumRequests(); i++ {
+		resp, err := app.Serve(i)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		last = resp.Digest
+	}
+	if last == ref[len(ref)-1] {
+		t.Error("exponent-bit score corruption did not change the top-K output")
+	}
+}
+
+func TestScoreCorruptionAfterLastReadIsMasked(t *testing.T) {
+	cfg := smallConfig(6)
+	ref := golden(t, build(t, cfg))
+
+	app := build(t, cfg)
+	// Run everything but the final ranking, then corrupt the *stale*
+	// score buffer (the one the final request does not read): masked.
+	for i := 0; i < app.NumRequests()-1; i++ {
+		if _, err := app.Serve(i); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	staleOff := app.scoreBOff
+	if cfg.Iterations%2 == 1 {
+		staleOff = app.scoreAOff
+	}
+	as := app.Space()
+	for u := 0; u < cfg.Nodes; u++ {
+		if err := as.FlipBit(app.heap.Base()+simmem.Addr(staleOff+u*8+6), 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := app.Serve(app.NumRequests() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Digest != ref[len(ref)-1] {
+		t.Error("corruption of the unread buffer changed the output")
+	}
+}
+
+func TestProtectedHeapMasksFlips(t *testing.T) {
+	cfg := smallConfig(7)
+	ref := golden(t, build(t, cfg))
+
+	cfg.HeapCodec = ecc.NewDECTED()
+	app := build(t, cfg)
+	as := app.Space()
+	heap := as.RegionByKind(simmem.RegionHeap)
+	for off := 0; off < heap.Used(); off += 256 {
+		if err := as.FlipBit(heap.Base()+simmem.Addr(off), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var last uint64
+	for i := 0; i < app.NumRequests(); i++ {
+		resp, err := app.Serve(i)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		last = resp.Digest
+	}
+	if last != ref[len(ref)-1] {
+		t.Error("output wrong despite DEC-TED protection")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 1, AvgDeg: 4, Iterations: 1, ChunkNodes: 1, TopK: 1},
+		{Nodes: 10, AvgDeg: 0, Iterations: 1, ChunkNodes: 1, TopK: 1},
+		{Nodes: 10, AvgDeg: 2, Iterations: 0, ChunkNodes: 1, TopK: 1},
+		{Nodes: 10, AvgDeg: 2, Iterations: 1, ChunkNodes: 0, TopK: 1},
+		{Nodes: 10, AvgDeg: 2, Iterations: 1, ChunkNodes: 1, TopK: 11},
+	}
+	for i, cfg := range bad {
+		if _, err := NewBuilder(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestMetadataAndBounds(t *testing.T) {
+	cfg := smallConfig(8)
+	b, err := NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AppName() != "graphmine" || b.Config().Nodes != cfg.Nodes {
+		t.Error("builder metadata wrong")
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name() != "graphmine" || app.Space() == nil {
+		t.Error("app metadata wrong")
+	}
+	if _, err := app.Serve(-1); err == nil {
+		t.Error("negative request accepted")
+	}
+	if _, err := app.Serve(app.NumRequests()); err == nil {
+		t.Error("out-of-range request accepted")
+	}
+}
+
+func TestPageRankMatchesHostReference(t *testing.T) {
+	cfg := smallConfig(50)
+	cfg.Algorithm = PageRank
+	cfg.Damping = 0.85
+	b, err := NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := inst.(*App)
+	golden(t, app)
+
+	n := cfg.Nodes
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		for u := 0; u < n; u++ {
+			var acc float64
+			for _, v := range b.followers[u] {
+				deg := float64(b.outdeg[v])
+				if deg != 0 {
+					acc += cur[v] / deg
+				}
+			}
+			next[u] = (1-cfg.Damping)/float64(n) + cfg.Damping*acc
+		}
+		cur, next = next, cur
+	}
+
+	srcOff := app.scoreAOff
+	if cfg.Iterations%2 == 1 {
+		srcOff = app.scoreBOff
+	}
+	as := app.Space()
+	var sum float64
+	for u := 0; u < n; u++ {
+		got, err := as.LoadF64(app.heap.Base() + simmem.Addr(srcOff+u*8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := got - cur[u]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("node %d rank = %g, host reference %g", u, got, cur[u])
+		}
+		sum += got
+	}
+	// PageRank mass stays near 1 (dangling nodes leak a little).
+	if sum <= 0.3 || sum > 1.0001 {
+		t.Errorf("total rank mass = %g", sum)
+	}
+}
+
+func TestAlgorithmsProduceDifferentRankings(t *testing.T) {
+	tr := smallConfig(51)
+	pr := smallConfig(51)
+	pr.Algorithm = PageRank
+	bt, err := NewBuilder(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := NewBuilder(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := bt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := bp.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dt, dp uint64
+	for i := 0; i < at.NumRequests(); i++ {
+		r1, err := at.Serve(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := ap.Serve(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt, dp = r1.Digest, r2.Digest
+	}
+	if dt == dp {
+		t.Error("TunkRank and PageRank produced identical outputs")
+	}
+	if TunkRank.String() != "tunkrank" || PageRank.String() != "pagerank" {
+		t.Error("algorithm names wrong")
+	}
+}

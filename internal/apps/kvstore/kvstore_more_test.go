@@ -1,0 +1,101 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+
+	"hrmsim/internal/simmem"
+	"hrmsim/internal/trace"
+)
+
+func TestSetUpdatesAndInserts(t *testing.T) {
+	app := build(t, smallConfig(20))
+	// Update an existing key.
+	if err := app.Set(3, 9); err != nil {
+		t.Fatal(err)
+	}
+	version, val, err := app.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 9 {
+		t.Errorf("version = %d, want 9", version)
+	}
+	if !bytes.Equal(val, trace.ValueFor(3, 9, app.cfg.ValueSize)) {
+		t.Error("value mismatch after Set")
+	}
+	// Insert a brand-new key beyond the pre-populated range.
+	newKey := uint64(app.cfg.Keys + 5)
+	if err := app.Set(newKey, 1); err != nil {
+		t.Fatal(err)
+	}
+	version, val, err = app.Get(newKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 || !bytes.Equal(val, trace.ValueFor(newKey, 1, app.cfg.ValueSize)) {
+		t.Error("inserted key wrong")
+	}
+}
+
+func TestCorruptedKeyFieldMakesLookupMiss(t *testing.T) {
+	app := build(t, smallConfig(21))
+	as := app.Space()
+	// Find key 1's entry and corrupt its key field: the GET for key 1
+	// walks past it and reports a miss (incorrect response, no crash).
+	slot := app.buckets + simmem.Addr(hashKey(1, app.cfg.Buckets)*8)
+	cur, err := as.LoadU64(slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cur != 0 {
+		k, err := as.LoadU64(simmem.Addr(cur))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 1 {
+			if err := as.FlipBit(simmem.Addr(cur)+5, 6); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		cur, err = as.LoadU64(simmem.Addr(cur) + 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := app.Get(1); err == nil {
+		t.Error("lookup hit despite corrupted key field")
+	}
+}
+
+func TestCorruptedValueLengthTripsBudget(t *testing.T) {
+	app := build(t, smallConfig(22))
+	as := app.Space()
+	slot := app.buckets + simmem.Addr(hashKey(2, app.cfg.Buckets)*8)
+	cur, err := as.LoadU64(slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cur != 0 {
+		k, err := as.LoadU64(simmem.Addr(cur))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 2 {
+			// Blow up the vlen field's high bits.
+			if err := as.FlipBit(simmem.Addr(cur)+15, 7); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		cur, err = as.LoadU64(simmem.Addr(cur) + 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err = app.Get(2)
+	if err == nil {
+		t.Error("absurd value length served")
+	}
+}

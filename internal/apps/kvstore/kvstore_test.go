@@ -1,0 +1,274 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+
+	"hrmsim/internal/apps"
+	"hrmsim/internal/ecc"
+	"hrmsim/internal/simmem"
+	"hrmsim/internal/trace"
+)
+
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Keys = 256
+	cfg.Ops = 500
+	return cfg
+}
+
+func build(t *testing.T, cfg Config) *App {
+	t.Helper()
+	b, err := NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app.(*App)
+}
+
+func golden(t *testing.T, app apps.App) []uint64 {
+	t.Helper()
+	out := make([]uint64, app.NumRequests())
+	for i := range out {
+		resp, err := app.Serve(i)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		out[i] = resp.Digest
+	}
+	return out
+}
+
+func TestGoldenDeterministic(t *testing.T) {
+	cfg := smallConfig(1)
+	g1 := golden(t, build(t, cfg))
+	g2 := golden(t, build(t, cfg))
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestGetReturnsStoredValues(t *testing.T) {
+	app := build(t, smallConfig(2))
+	// Pre-populated at version 0.
+	version, val, err := app.Get(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 0 {
+		t.Errorf("version = %d, want 0", version)
+	}
+	if !bytes.Equal(val, trace.ValueFor(5, 0, app.cfg.ValueSize)) {
+		t.Error("pre-populated value wrong")
+	}
+	if _, _, err := app.Get(uint64(app.cfg.Keys + 100)); err == nil {
+		t.Error("missing key returned a value")
+	}
+}
+
+func TestWorkloadUpdatesVersions(t *testing.T) {
+	app := build(t, smallConfig(3))
+	golden(t, app)
+	// After the workload, every key's stored value must match its final
+	// version's derived bytes.
+	finals := map[uint64]uint32{}
+	for _, op := range app.Ops() {
+		if !op.Read {
+			finals[op.Key] = op.Version
+		}
+	}
+	for key, v := range finals {
+		version, val, err := app.Get(key)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", key, err)
+		}
+		if version != v {
+			t.Fatalf("key %d version = %d, want %d", key, version, v)
+		}
+		if !bytes.Equal(val, trace.ValueFor(key, v, app.cfg.ValueSize)) {
+			t.Fatalf("key %d value mismatch", key)
+		}
+	}
+}
+
+func TestRegionShape(t *testing.T) {
+	app := build(t, smallConfig(4))
+	as := app.Space()
+	heap := as.RegionByKind(simmem.RegionHeap)
+	stack := as.RegionByKind(simmem.RegionStack)
+	if heap == nil || stack == nil {
+		t.Fatal("missing region")
+	}
+	if as.RegionByKind(simmem.RegionPrivate) != nil {
+		t.Error("kvstore should have no private region (Table 3)")
+	}
+	if heap.Used() == 0 {
+		t.Error("heap used not set by arena")
+	}
+}
+
+func TestCorruptedNextPointerCrashes(t *testing.T) {
+	app := build(t, smallConfig(5))
+	as := app.Space()
+	// Find the entry for key 0 via the bucket array and corrupt its
+	// next pointer's high bits so the chain walk leaves the region.
+	slot := app.buckets + simmem.Addr(hashKey(0, app.cfg.Buckets)*8)
+	head, err := as.LoadU64(slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head == 0 {
+		t.Fatal("bucket empty after pre-population")
+	}
+	// Give the head entry a wild next pointer.
+	if err := as.StoreU64(simmem.Addr(head)+16, 0x3333333333); err != nil {
+		t.Fatal(err)
+	}
+	// A GET for a key hashing to this bucket but not the head entry
+	// must walk into the wild pointer and fault.
+	var crashed bool
+	for k := uint64(0); k < uint64(app.cfg.Keys); k++ {
+		if hashKey(k, app.cfg.Buckets) != hashKey(0, app.cfg.Buckets) || k == 0 {
+			continue
+		}
+		_, _, err := app.Get(k)
+		if err != nil {
+			if !apps.IsCrash(err) && !simmem.IsFault(err) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			crashed = true
+		}
+		break
+	}
+	if !crashed {
+		// All other keys hash elsewhere; corrupt the head key instead
+		// so key 0's lookup walks past it into the wild pointer.
+		if err := as.StoreU64(simmem.Addr(head), ^uint64(0)); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = app.Get(0)
+		if err == nil {
+			t.Fatal("lookup through wild pointer succeeded")
+		}
+	}
+}
+
+func TestCorruptedValueIncorrectResponse(t *testing.T) {
+	cfg := smallConfig(6)
+	ref := golden(t, build(t, cfg))
+
+	app := build(t, cfg)
+	as := app.Space()
+	// Flip a value bit in every pre-populated entry.
+	for k := 0; k < cfg.Keys; k++ {
+		slot := app.buckets + simmem.Addr(hashKey(uint64(k), app.cfg.Buckets)*8)
+		cur, err := as.LoadU64(slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cur != 0 {
+			ekey, err := as.LoadU64(simmem.Addr(cur))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ekey == uint64(k) {
+				if err := as.FlipBit(simmem.Addr(cur)+entryHeaderBytes+1, 3); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+			cur, err = as.LoadU64(simmem.Addr(cur) + 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wrong, crashes := 0, 0
+	for i := 0; i < app.NumRequests(); i++ {
+		resp, err := app.Serve(i)
+		if err != nil {
+			crashes++
+			continue
+		}
+		if resp.Digest != ref[i] {
+			wrong++
+		}
+	}
+	if crashes != 0 {
+		t.Errorf("value-bit corruption caused %d crashes", crashes)
+	}
+	if wrong == 0 {
+		t.Error("value-bit corruption never produced an incorrect response")
+	}
+	// SETs overwrite values, so late GETs of hot keys are often masked.
+	if wrong == app.NumRequests() {
+		t.Error("every request incorrect: overwrite masking absent")
+	}
+}
+
+func TestProtectedHeapMasksFlips(t *testing.T) {
+	cfg := smallConfig(7)
+	ref := golden(t, build(t, cfg))
+
+	cfg.HeapCodec = ecc.NewSECDED()
+	app := build(t, cfg)
+	as := app.Space()
+	heap := as.RegionByKind(simmem.RegionHeap)
+	for off := 0; off < heap.Used(); off += 512 {
+		if err := as.FlipBit(heap.Base()+simmem.Addr(off), 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < app.NumRequests(); i++ {
+		resp, err := app.Serve(i)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.Digest != ref[i] {
+			t.Fatalf("request %d incorrect despite SEC-DED", i)
+		}
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	cfg := smallConfig(8)
+	cfg.ValueSize = 0
+	if _, err := NewBuilder(cfg); err == nil {
+		t.Error("zero value size accepted")
+	}
+	cfg = smallConfig(9)
+	cfg.Keys = 1
+	if _, err := NewBuilder(cfg); err == nil {
+		t.Error("single key accepted")
+	}
+}
+
+func TestServeOutOfRangeAndMetadata(t *testing.T) {
+	cfg := smallConfig(10)
+	b, err := NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AppName() != "kvstore" || b.Config().Keys != cfg.Keys {
+		t.Error("builder metadata wrong")
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name() != "kvstore" {
+		t.Error("app name wrong")
+	}
+	if _, err := app.Serve(-1); err == nil {
+		t.Error("negative request accepted")
+	}
+	if _, err := app.Serve(app.NumRequests()); err == nil {
+		t.Error("out-of-range request accepted")
+	}
+}

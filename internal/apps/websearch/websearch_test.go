@@ -1,0 +1,305 @@
+package websearch
+
+import (
+	"testing"
+
+	"hrmsim/internal/apps"
+	"hrmsim/internal/ecc"
+	"hrmsim/internal/simmem"
+)
+
+// smallConfig keeps tests fast.
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Docs = 512
+	cfg.Vocab = 256
+	cfg.MinTerms = 4
+	cfg.MaxTerms = 16
+	cfg.Queries = 60
+	cfg.CacheSlots = 64
+	return cfg
+}
+
+func build(t *testing.T, cfg Config) apps.App {
+	t.Helper()
+	b, err := NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+// golden runs the full workload and returns the digests.
+func golden(t *testing.T, app apps.App) []uint64 {
+	t.Helper()
+	out := make([]uint64, app.NumRequests())
+	for i := range out {
+		resp, err := app.Serve(i)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		out[i] = resp.Digest
+	}
+	return out
+}
+
+func TestGoldenRunDeterministic(t *testing.T) {
+	cfg := smallConfig(11)
+	g1 := golden(t, build(t, cfg))
+	g2 := golden(t, build(t, cfg))
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("request %d digests differ across identical builds", i)
+		}
+	}
+	// A different seed must give different outputs somewhere.
+	g3 := golden(t, build(t, smallConfig(12)))
+	same := true
+	for i := range g1 {
+		if g1[i] != g3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workload outputs")
+	}
+}
+
+func TestRegionShape(t *testing.T) {
+	app := build(t, smallConfig(1))
+	as := app.Space()
+	priv := as.RegionByKind(simmem.RegionPrivate)
+	heap := as.RegionByKind(simmem.RegionHeap)
+	stack := as.RegionByKind(simmem.RegionStack)
+	if priv == nil || heap == nil || stack == nil {
+		t.Fatal("missing region")
+	}
+	if !priv.ReadOnly() || !priv.Backed() {
+		t.Error("private region must be a read-only backed mapping")
+	}
+	if priv.Used() == 0 || heap.Used() == 0 {
+		t.Error("used sizes not set")
+	}
+	// Table 3 shape: private dominates heap; stack is small.
+	if priv.Used() <= heap.Used() {
+		t.Errorf("private (%d) should exceed heap (%d)", priv.Used(), heap.Used())
+	}
+}
+
+func TestStackUsedGrowsWithServing(t *testing.T) {
+	app := build(t, smallConfig(2))
+	if _, err := app.Serve(0); err != nil {
+		t.Fatal(err)
+	}
+	stack := app.Space().RegionByKind(simmem.RegionStack)
+	if stack.Used() == 0 {
+		t.Error("stack used is zero after serving")
+	}
+}
+
+func TestCacheHitPathExercised(t *testing.T) {
+	// Zipf-skewed queries repeat; serving the full workload twice (the
+	// second pass entirely from cache for repeated queries) must agree
+	// with itself.
+	app := build(t, smallConfig(3))
+	first := make([]uint64, app.NumRequests())
+	for i := range first {
+		r, err := app.Serve(i)
+		if err != nil {
+			t.Fatalf("pass 1 request %d: %v", i, err)
+		}
+		first[i] = r.Digest
+	}
+	for i := range first {
+		r, err := app.Serve(i)
+		if err != nil {
+			t.Fatalf("pass 2 request %d: %v", i, err)
+		}
+		if r.Digest != first[i] {
+			t.Fatalf("request %d changed digest on cached pass", i)
+		}
+	}
+}
+
+func TestCorruptedTermEntryCausesCrashOrWrongOutput(t *testing.T) {
+	cfg := smallConfig(4)
+	ref := golden(t, build(t, cfg))
+
+	app := build(t, cfg)
+	as := app.Space()
+	priv := as.RegionByKind(simmem.RegionPrivate)
+	// Blast the posting-count field of many term entries with a
+	// high-order bit flip: counts become enormous, so queries touching
+	// those terms either fault walking off the region or trip the
+	// budget.
+	for term := 0; term < 256; term++ {
+		if err := as.FlipBit(priv.Base()+simmem.Addr(term*8+7), 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashes, wrong := 0, 0
+	for i := 0; i < app.NumRequests(); i++ {
+		resp, err := app.Serve(i)
+		if err != nil {
+			if !apps.IsCrash(err) {
+				t.Fatalf("request %d: non-crash error %v", i, err)
+			}
+			crashes++
+			continue
+		}
+		if resp.Digest != ref[i] {
+			wrong++
+		}
+	}
+	if crashes == 0 {
+		t.Error("massive term-table corruption caused no crashes")
+	}
+	_ = wrong
+}
+
+func TestCorruptedSnippetCausesIncorrectOnly(t *testing.T) {
+	cfg := smallConfig(5)
+	ref := golden(t, build(t, cfg))
+
+	app := build(t, cfg)
+	as := app.Space()
+	heap := as.RegionByKind(simmem.RegionHeap)
+	// Flip one bit in every snippet: pure payload corruption.
+	for d := 0; d < cfg.Docs; d++ {
+		if err := as.FlipBit(heap.Base()+simmem.Addr(d*cfg.SnippetLen+3), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wrong := 0
+	for i := 0; i < app.NumRequests(); i++ {
+		resp, err := app.Serve(i)
+		if err != nil {
+			t.Fatalf("request %d crashed on snippet corruption: %v", i, err)
+		}
+		if resp.Digest != ref[i] {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Error("snippet corruption never surfaced in responses")
+	}
+	if wrong != app.NumRequests() {
+		t.Logf("%d/%d responses incorrect (rest masked by logic)", wrong, app.NumRequests())
+	}
+}
+
+func TestPopularityCorruptionIsOftenMasked(t *testing.T) {
+	// A low-order mantissa bit of one popularity score: most queries
+	// never read that document, so outputs are mostly unchanged —
+	// outcome (1)/(2.1) of the taxonomy.
+	cfg := smallConfig(6)
+	ref := golden(t, build(t, cfg))
+	app := build(t, cfg)
+	as := app.Space()
+	priv := as.RegionByKind(simmem.RegionPrivate)
+	b, err := NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsApp := app.(*App)
+	docAddr := priv.Base() + simmem.Addr(wsApp.docTableOff)
+	if err := as.FlipBit(docAddr, 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = b
+	matched := 0
+	for i := 0; i < app.NumRequests(); i++ {
+		resp, err := app.Serve(i)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.Digest == ref[i] {
+			matched++
+		}
+	}
+	if matched < app.NumRequests()/2 {
+		t.Errorf("only %d/%d requests unaffected by a single mantissa bit", matched, app.NumRequests())
+	}
+}
+
+func TestProtectedBuildMasksFlips(t *testing.T) {
+	cfg := smallConfig(7)
+	ref := golden(t, build(t, cfg))
+
+	cfg.PrivateCodec = ecc.NewSECDED()
+	app := build(t, cfg)
+	as := app.Space()
+	priv := as.RegionByKind(simmem.RegionPrivate)
+	// Single-bit flips everywhere in the term table: SEC-DED corrects
+	// them all transparently.
+	for term := 0; term < 128; term++ {
+		if err := as.FlipBit(priv.Base()+simmem.Addr(term*8), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < app.NumRequests(); i++ {
+		resp, err := app.Serve(i)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.Digest != ref[i] {
+			t.Fatalf("request %d incorrect despite SEC-DED", i)
+		}
+	}
+	if as.Counters().Corrected == 0 {
+		t.Error("no corrections recorded")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	cfg := smallConfig(8)
+	cfg.Queries = 0
+	if _, err := NewBuilder(cfg); err == nil {
+		t.Error("zero queries accepted")
+	}
+}
+
+func TestServeOutOfRange(t *testing.T) {
+	app := build(t, smallConfig(9))
+	if _, err := app.Serve(-1); err == nil {
+		t.Error("negative request accepted")
+	}
+	if _, err := app.Serve(app.NumRequests()); err == nil {
+		t.Error("out-of-range request accepted")
+	}
+}
+
+func TestAppMetadata(t *testing.T) {
+	cfg := smallConfig(10)
+	b, err := NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AppName() != "websearch" {
+		t.Error("wrong builder name")
+	}
+	if b.Config().Docs != cfg.Docs {
+		t.Error("config not retained")
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name() != "websearch" {
+		t.Error("wrong app name")
+	}
+	if app.NumRequests() != cfg.Queries {
+		t.Errorf("NumRequests = %d, want %d", app.NumRequests(), cfg.Queries)
+	}
+	if app.Space() == nil {
+		t.Error("nil address space")
+	}
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"hrmsim/internal/apps"
+	"hrmsim/internal/faults"
+	"hrmsim/internal/inject"
+	"hrmsim/internal/simmem"
+	"hrmsim/internal/stats"
+)
+
+// CampaignConfig describes one error-injection campaign: N independent
+// trials of the Fig. 2 loop (restart app → inject → run client workload →
+// compare against expected output).
+type CampaignConfig struct {
+	// Builder constructs one fresh application instance per trial.
+	Builder apps.Builder
+	// Spec is the error type to inject.
+	Spec faults.Spec
+	// Trials is the number of injection experiments.
+	Trials int
+	// Seed makes the campaign deterministic; trial i derives its own
+	// generator from it, so results are independent of Parallelism.
+	Seed int64
+	// Filter restricts injection to matching regions (nil = any used
+	// byte, weighted by region size).
+	Filter func(*simmem.Region) bool
+	// Warmup is the number of requests served before injection
+	// (injected errors then land in a warmed-up application).
+	Warmup int
+	// Parallelism bounds concurrent trials (default: GOMAXPROCS).
+	Parallelism int
+	// Golden optionally supplies the expected digests, skipping the
+	// golden run (reuse across campaigns of the same builder).
+	Golden []uint64
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	// App is the application name.
+	App string
+	// Spec is the injected error type.
+	Spec faults.Spec
+	// Trials holds every trial in order.
+	Trials []TrialResult
+	// Golden holds the expected digests (reusable for further
+	// campaigns over the same builder).
+	Golden []uint64
+
+	counts map[Outcome]int
+}
+
+// GoldenRun executes the full workload on a fresh instance and returns the
+// expected response digests. It fails if the application crashes or is
+// nondeterministic under no injection.
+func GoldenRun(b apps.Builder) ([]uint64, error) {
+	app, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: building golden instance: %w", err)
+	}
+	out := make([]uint64, app.NumRequests())
+	for i := range out {
+		resp, err := app.Serve(i)
+		if err != nil {
+			return nil, fmt.Errorf("core: golden run crashed at request %d: %w", i, err)
+		}
+		out[i] = resp.Digest
+	}
+	return out, nil
+}
+
+// Run executes the campaign.
+func Run(cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.Builder == nil {
+		return nil, fmt.Errorf("core: campaign needs a builder")
+	}
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("core: trials must be positive, got %d", cfg.Trials)
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	golden := cfg.Golden
+	if golden == nil {
+		var err error
+		golden, err = GoldenRun(cfg.Builder)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Warmup < 0 || cfg.Warmup >= len(golden) {
+		return nil, fmt.Errorf("core: warmup %d outside [0,%d)", cfg.Warmup, len(golden))
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > cfg.Trials {
+		par = cfg.Trials
+	}
+
+	results := make([]TrialResult, cfg.Trials)
+	errs := make([]error, cfg.Trials)
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i], errs[i] = runTrial(cfg, golden, i)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Trials; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: trial %d: %w", i, err)
+		}
+	}
+
+	res := &CampaignResult{
+		App:    cfg.Builder.AppName(),
+		Spec:   cfg.Spec,
+		Trials: results,
+		Golden: golden,
+		counts: make(map[Outcome]int),
+	}
+	for _, tr := range results {
+		res.counts[tr.Outcome]++
+	}
+	return res, nil
+}
+
+// trialSeed derives a decorrelated per-trial seed (splitmix-style).
+func trialSeed(seed int64, i int) int64 {
+	x := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
+// runTrial performs one pass of the Fig. 2 loop.
+func runTrial(cfg CampaignConfig, golden []uint64, i int) (TrialResult, error) {
+	rng := rand.New(rand.NewSource(trialSeed(cfg.Seed, i)))
+	app, err := cfg.Builder.Build()
+	if err != nil {
+		return TrialResult{}, fmt.Errorf("building app: %w", err)
+	}
+	as := app.Space()
+
+	// Warm up (pre-injection requests must match golden exactly).
+	for q := 0; q < cfg.Warmup; q++ {
+		resp, err := app.Serve(q)
+		if err != nil {
+			return TrialResult{}, fmt.Errorf("warmup request %d crashed: %w", q, err)
+		}
+		if resp.Digest != golden[q] {
+			return TrialResult{}, fmt.Errorf("warmup request %d mismatched golden output", q)
+		}
+	}
+
+	// Inject (Algorithm 1(a)).
+	inj, err := inject.Random(as, rng, cfg.Spec, cfg.Filter)
+	if err != nil {
+		return TrialResult{}, fmt.Errorf("injecting: %w", err)
+	}
+	addrs := make([]simmem.Addr, len(inj.Targets))
+	for k, t := range inj.Targets {
+		addrs[k] = t.Addr
+	}
+	tracker := newAccessTracker(addrs)
+	as.AddAccessObserver(tracker)
+
+	tr := TrialResult{
+		Region:     inj.Region.Name(),
+		Kind:       inj.Region.Kind(),
+		InjectedAt: as.Clock().Now(),
+	}
+
+	// Run the client workload (Fig. 2 steps 3–5).
+	crashed := false
+	for q := cfg.Warmup; q < len(golden); q++ {
+		resp, serveErr := serveGuarded(app, q)
+		if serveErr != nil {
+			if !apps.IsCrash(serveErr) {
+				return TrialResult{}, fmt.Errorf("request %d: unexpected error: %w", q, serveErr)
+			}
+			crashed = true
+			tr.CrashReason = serveErr.Error()
+			if tr.EffectAt == 0 {
+				tr.EffectAt = as.Clock().Now()
+			}
+			break
+		}
+		tr.Requests++
+		if resp.Digest != golden[q] {
+			tr.Incorrect++
+			if tr.EffectAt == 0 {
+				tr.EffectAt = as.Clock().Now()
+			}
+			if len(tr.IncorrectAt) < maxIncorrectTimes {
+				tr.IncorrectAt = append(tr.IncorrectAt, as.Clock().Now())
+			}
+		}
+	}
+	tr.Outcome = classify(crashed, tr.Incorrect, tracker.first)
+	return tr, nil
+}
+
+// serveGuarded converts panics in application code (parsing corrupted
+// bytes) into crash-worthy errors, like a segfault handler would.
+func serveGuarded(app apps.App, q int) (resp apps.Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = apps.Assertf("panic serving request %d: %v", q, r)
+		}
+	}()
+	return app.Serve(q)
+}
+
+// Count returns the number of trials with the given outcome.
+func (r *CampaignResult) Count(o Outcome) int { return r.counts[o] }
+
+// CrashProbability estimates P(crash | one injected error) with a Wilson
+// interval at the given confidence level (the paper uses 0.90).
+func (r *CampaignResult) CrashProbability(level float64) (stats.Proportion, error) {
+	return stats.WilsonInterval(r.counts[OutcomeCrash], len(r.Trials), level)
+}
+
+// ToleratedProbability estimates the probability that an error is masked
+// (outcomes 1 and 2.1, plus latent).
+func (r *CampaignResult) ToleratedProbability(level float64) (stats.Proportion, error) {
+	n := r.counts[OutcomeMaskedOverwrite] + r.counts[OutcomeMaskedLogic] + r.counts[OutcomeMaskedLatent]
+	return stats.WilsonInterval(n, len(r.Trials), level)
+}
+
+// IncorrectPerBillion returns the mean rate of incorrect responses per
+// billion requests across all trials, and the maximum single-trial rate
+// (the paper's Fig. 3b/4b error bars).
+func (r *CampaignResult) IncorrectPerBillion() (mean, max float64) {
+	var totalIncorrect, totalRequests float64
+	for _, tr := range r.Trials {
+		if tr.Requests == 0 {
+			continue
+		}
+		totalIncorrect += float64(tr.Incorrect)
+		totalRequests += float64(tr.Requests)
+		rate := float64(tr.Incorrect) / float64(tr.Requests) * 1e9
+		if rate > max {
+			max = rate
+		}
+	}
+	if totalRequests > 0 {
+		mean = totalIncorrect / totalRequests * 1e9
+	}
+	return mean, max
+}
+
+// maxIncorrectTimes caps the per-trial incorrect-time samples.
+const maxIncorrectTimes = 256
+
+// AllIncorrectTimes returns the injection-to-occurrence latencies (in
+// minutes of virtual time) of every recorded incorrect response across
+// all trials — the paper's Fig. 5a measures when outcomes *occur*, and
+// incorrect results recur throughout the run as corrupted data is
+// re-consumed ("periodically incorrect").
+func (r *CampaignResult) AllIncorrectTimes() []float64 {
+	var out []float64
+	for _, tr := range r.Trials {
+		for _, at := range tr.IncorrectAt {
+			out = append(out, (at - tr.InjectedAt).Minutes())
+		}
+	}
+	return out
+}
+
+// TimesToEffect returns the injection-to-effect latencies (in minutes of
+// virtual time) of trials with the given outcome — the Fig. 5a samples.
+func (r *CampaignResult) TimesToEffect(o Outcome) []float64 {
+	var out []float64
+	for _, tr := range r.Trials {
+		if tr.Outcome != o {
+			continue
+		}
+		if d, ok := tr.TimeToEffect(); ok {
+			out = append(out, d.Minutes())
+		}
+	}
+	return out
+}
+
+// OutcomeFractions returns each outcome's share of trials.
+func (r *CampaignResult) OutcomeFractions() map[Outcome]float64 {
+	out := make(map[Outcome]float64, len(r.counts))
+	for o, n := range r.counts {
+		out[o] = float64(n) / float64(len(r.Trials))
+	}
+	return out
+}
+
+// MeanHorizon returns the average virtual run length after injection, used
+// as the Fig. 5a observation horizon.
+func (r *CampaignResult) MeanHorizon() time.Duration {
+	if len(r.Trials) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, tr := range r.Trials {
+		// Approximate: requests served × per-request cost is already
+		// baked into EffectAt/InjectedAt via the virtual clock; for
+		// completed trials use the span of the whole run.
+		if d, ok := tr.TimeToEffect(); ok {
+			sum += d
+		}
+	}
+	n := r.counts[OutcomeCrash] + r.counts[OutcomeIncorrect]
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}

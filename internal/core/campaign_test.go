@@ -1,0 +1,370 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hrmsim/internal/apps"
+	"hrmsim/internal/apps/kvstore"
+	"hrmsim/internal/apps/websearch"
+	"hrmsim/internal/faults"
+	"hrmsim/internal/simmem"
+)
+
+func wsBuilder(t *testing.T, seed int64) apps.Builder {
+	t.Helper()
+	cfg := websearch.DefaultConfig(seed)
+	cfg.Docs = 256
+	cfg.Vocab = 128
+	cfg.MinTerms = 4
+	cfg.MaxTerms = 12
+	cfg.Queries = 40
+	cfg.CacheSlots = 32
+	b, err := websearch.NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func kvBuilder(t *testing.T, seed int64) apps.Builder {
+	t.Helper()
+	cfg := kvstore.DefaultConfig(seed)
+	cfg.Keys = 128
+	cfg.Ops = 200
+	b, err := kvstore.NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestGoldenRun(t *testing.T) {
+	g, err := GoldenRun(wsBuilder(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 40 {
+		t.Fatalf("golden length = %d, want 40", len(g))
+	}
+}
+
+func TestRunCampaignBasic(t *testing.T) {
+	res, err := Run(CampaignConfig{
+		Builder: wsBuilder(t, 2),
+		Spec:    faults.SingleBitSoft,
+		Trials:  60,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 60 {
+		t.Fatalf("got %d trials", len(res.Trials))
+	}
+	if res.App != "websearch" {
+		t.Errorf("app = %q", res.App)
+	}
+	// Outcome counts partition the trials.
+	total := 0
+	for _, o := range []Outcome{OutcomeCrash, OutcomeIncorrect, OutcomeMaskedOverwrite,
+		OutcomeMaskedLogic, OutcomeMaskedLatent} {
+		total += res.Count(o)
+	}
+	if total != 60 {
+		t.Errorf("outcome counts sum to %d, want 60", total)
+	}
+	// Fractions sum to 1.
+	var sum float64
+	for _, f := range res.OutcomeFractions() {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %g", sum)
+	}
+	p, err := res.CrashProbability(0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Trials != 60 {
+		t.Errorf("crash proportion trials = %d", p.Trials)
+	}
+	tol, err := res.ToleratedProbability(0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.P+tol.P > 1.0001 {
+		t.Error("crash + tolerated exceed 1")
+	}
+}
+
+func TestCampaignDeterministicAcrossParallelism(t *testing.T) {
+	run := func(par int) *CampaignResult {
+		res, err := Run(CampaignConfig{
+			Builder:     wsBuilder(t, 3),
+			Spec:        faults.SingleBitHard,
+			Trials:      30,
+			Seed:        99,
+			Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(4)
+	for i := range a.Trials {
+		if a.Trials[i].Outcome != b.Trials[i].Outcome ||
+			a.Trials[i].Region != b.Trials[i].Region ||
+			a.Trials[i].Incorrect != b.Trials[i].Incorrect {
+			t.Fatalf("trial %d differs between parallelism 1 and 4:\n%+v\n%+v",
+				i, a.Trials[i], b.Trials[i])
+		}
+	}
+}
+
+func TestCampaignRegionFilter(t *testing.T) {
+	res, err := Run(CampaignConfig{
+		Builder: wsBuilder(t, 4),
+		Spec:    faults.SingleBitSoft,
+		Trials:  25,
+		Seed:    5,
+		Filter:  func(r *simmem.Region) bool { return r.Kind() == simmem.RegionHeap },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range res.Trials {
+		if tr.Kind != simmem.RegionHeap {
+			t.Fatalf("trial %d injected into %v", i, tr.Kind)
+		}
+	}
+}
+
+func TestCampaignGoldenReuse(t *testing.T) {
+	b := wsBuilder(t, 6)
+	golden, err := GoldenRun(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(CampaignConfig{
+		Builder: b,
+		Spec:    faults.SingleBitSoft,
+		Trials:  10,
+		Seed:    1,
+		Golden:  golden,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Golden) != len(golden) {
+		t.Error("golden not retained")
+	}
+}
+
+func TestCampaignWarmup(t *testing.T) {
+	res, err := Run(CampaignConfig{
+		Builder: kvBuilder(t, 7),
+		Spec:    faults.SingleBitSoft,
+		Trials:  10,
+		Seed:    2,
+		Warmup:  50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range res.Trials {
+		if tr.InjectedAt == 0 {
+			t.Fatalf("trial %d injected at time zero despite warmup", i)
+		}
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	b := kvBuilder(t, 8)
+	if _, err := Run(CampaignConfig{Spec: faults.SingleBitSoft, Trials: 1}); err == nil {
+		t.Error("nil builder accepted")
+	}
+	if _, err := Run(CampaignConfig{Builder: b, Spec: faults.SingleBitSoft}); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := Run(CampaignConfig{Builder: b, Spec: faults.Spec{}, Trials: 1}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := Run(CampaignConfig{Builder: b, Spec: faults.SingleBitSoft, Trials: 1, Warmup: -1}); err == nil {
+		t.Error("negative warmup accepted")
+	}
+	if _, err := Run(CampaignConfig{Builder: b, Spec: faults.SingleBitSoft, Trials: 1, Warmup: 10000}); err == nil {
+		t.Error("oversized warmup accepted")
+	}
+}
+
+func TestHardErrorsCrashMoreOrEqual(t *testing.T) {
+	// Hard errors persist, so across identical trial counts they should
+	// cause at least as many bad outcomes (crash+incorrect) as soft
+	// errors in the read-mostly private region.
+	b := wsBuilder(t, 9)
+	golden, err := GoldenRun(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := func(r *simmem.Region) bool { return r.Kind() == simmem.RegionPrivate }
+	soft, err := Run(CampaignConfig{Builder: b, Spec: faults.SingleBitSoft, Trials: 80, Seed: 11, Filter: filter, Golden: golden})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := Run(CampaignConfig{Builder: b, Spec: faults.DoubleBitHard, Trials: 80, Seed: 11, Filter: filter, Golden: golden})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badSoft := soft.Count(OutcomeCrash) + soft.Count(OutcomeIncorrect)
+	badHard := hard.Count(OutcomeCrash) + hard.Count(OutcomeIncorrect)
+	if badHard < badSoft {
+		t.Errorf("2-bit hard errors caused fewer bad outcomes (%d) than 1-bit soft (%d)",
+			badHard, badSoft)
+	}
+}
+
+func TestIncorrectPerBillion(t *testing.T) {
+	res := &CampaignResult{
+		Trials: []TrialResult{
+			{Requests: 100, Incorrect: 1},
+			{Requests: 100, Incorrect: 0},
+			{Requests: 0},
+		},
+		counts: map[Outcome]int{},
+	}
+	mean, max := res.IncorrectPerBillion()
+	if mean != 1.0/200*1e9 {
+		t.Errorf("mean = %g", mean)
+	}
+	if max != 1.0/100*1e9 {
+		t.Errorf("max = %g", max)
+	}
+}
+
+func TestTimesToEffectAndOutcomeStrings(t *testing.T) {
+	res := &CampaignResult{
+		Trials: []TrialResult{
+			{Outcome: OutcomeCrash, InjectedAt: time.Minute, EffectAt: 3 * time.Minute},
+			{Outcome: OutcomeIncorrect, InjectedAt: time.Minute, EffectAt: 11 * time.Minute},
+			{Outcome: OutcomeMaskedLogic},
+		},
+		counts: map[Outcome]int{OutcomeCrash: 1, OutcomeIncorrect: 1, OutcomeMaskedLogic: 1},
+	}
+	crashTimes := res.TimesToEffect(OutcomeCrash)
+	if len(crashTimes) != 1 || crashTimes[0] != 2 {
+		t.Errorf("crash times = %v, want [2]", crashTimes)
+	}
+	if got := res.TimesToEffect(OutcomeMaskedLogic); len(got) != 0 {
+		t.Errorf("masked times = %v", got)
+	}
+	if res.MeanHorizon() != 6*time.Minute {
+		t.Errorf("mean horizon = %v", res.MeanHorizon())
+	}
+
+	for _, o := range []Outcome{OutcomeMaskedOverwrite, OutcomeMaskedLogic, OutcomeIncorrect, OutcomeCrash, OutcomeMaskedLatent} {
+		if o.String() == "" || strings.HasPrefix(o.String(), "outcome(") {
+			t.Errorf("missing name for outcome %d", int(o))
+		}
+	}
+	if !OutcomeMaskedOverwrite.Tolerated() || OutcomeCrash.Tolerated() || OutcomeIncorrect.Tolerated() {
+		t.Error("Tolerated classification wrong")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		crashed   bool
+		incorrect int
+		first     firstAccessKind
+		want      Outcome
+	}{
+		{true, 0, firstLoad, OutcomeCrash},
+		{true, 3, firstLoad, OutcomeCrash},
+		{false, 2, firstLoad, OutcomeIncorrect},
+		{false, 0, firstStore, OutcomeMaskedOverwrite},
+		{false, 0, firstLoad, OutcomeMaskedLogic},
+		{false, 0, firstNone, OutcomeMaskedLatent},
+	}
+	for i, tt := range tests {
+		if got := classify(tt.crashed, tt.incorrect, tt.first); got != tt.want {
+			t.Errorf("case %d: classify = %v, want %v", i, got, tt.want)
+		}
+	}
+}
+
+func TestAccessTracker(t *testing.T) {
+	tr := newAccessTracker([]simmem.Addr{100, 200})
+	tr.ObserveAccess(simmem.AccessEvent{Addr: 50, Len: 10, Kind: simmem.Load})
+	if tr.first != firstNone {
+		t.Error("non-covering access recorded")
+	}
+	tr.ObserveAccess(simmem.AccessEvent{Addr: 95, Len: 10, Kind: simmem.Store})
+	if tr.first != firstStore {
+		t.Error("covering store not recorded")
+	}
+	// First access is sticky.
+	tr.ObserveAccess(simmem.AccessEvent{Addr: 200, Len: 1, Kind: simmem.Load})
+	if tr.first != firstStore {
+		t.Error("first access overwritten")
+	}
+}
+
+func TestTrialSeedDecorrelated(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := trialSeed(42, i)
+		if seen[s] {
+			t.Fatalf("duplicate trial seed at %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestAllIncorrectTimes(t *testing.T) {
+	res := &CampaignResult{
+		Trials: []TrialResult{
+			{InjectedAt: time.Minute, IncorrectAt: []time.Duration{2 * time.Minute, 5 * time.Minute}},
+			{InjectedAt: 0, IncorrectAt: []time.Duration{10 * time.Minute}},
+			{InjectedAt: 0},
+		},
+		counts: map[Outcome]int{},
+	}
+	got := res.AllIncorrectTimes()
+	want := []float64{1, 4, 10}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sample %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCampaignRecordsIncorrectOccurrences(t *testing.T) {
+	// Hard errors in the read-mostly private region produce repeated
+	// incorrect responses whose times spread over the run.
+	res, err := Run(CampaignConfig{
+		Builder: wsBuilder(t, 10),
+		Spec:    faults.SingleBitHard,
+		Trials:  60,
+		Seed:    3,
+		Filter:  func(r *simmem.Region) bool { return r.Kind() == simmem.RegionPrivate },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := res.AllIncorrectTimes()
+	first := res.TimesToEffect(OutcomeIncorrect)
+	if len(all) < len(first) {
+		t.Errorf("all occurrences (%d) fewer than first-effects (%d)", len(all), len(first))
+	}
+	for _, x := range all {
+		if x < 0 {
+			t.Fatalf("negative occurrence time %g", x)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package core is the characterization engine — the paper's primary
+// contribution (Sections III and IV). It runs controlled error-injection
+// campaigns over applications built on simulated memory, classifies every
+// trial into the Fig. 1 outcome taxonomy, and aggregates crash
+// probabilities (with 90% confidence intervals), incorrect-result rates
+// per billion queries, and time-to-outcome distributions.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hrmsim/internal/simmem"
+)
+
+// Outcome is a leaf of the paper's Fig. 1 memory error outcome taxonomy.
+// The taxonomy is mutually exclusive and exhaustive.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeMaskedOverwrite: the first consumption of the erroneous
+	// location was a write, so the error vanished without effect
+	// (outcome 1).
+	OutcomeMaskedOverwrite Outcome = iota + 1
+	// OutcomeMaskedLogic: the error was read by the application but the
+	// output still matched (outcome 2.1).
+	OutcomeMaskedLogic
+	// OutcomeIncorrect: the run completed but at least one response
+	// differed from the golden output (outcome 2.2).
+	OutcomeIncorrect
+	// OutcomeCrash: the application or system crashed — a memory fault,
+	// an aborted invariant, a hung request, or an uncorrectable machine
+	// check (outcome 2.3).
+	OutcomeCrash
+	// OutcomeMaskedLatent: the erroneous location was never referenced
+	// again during the run. The paper folds this into "masked" (no
+	// change in application behaviour); it is kept distinct here for
+	// analysis.
+	OutcomeMaskedLatent
+)
+
+// String returns the outcome label.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMaskedOverwrite:
+		return "masked-by-overwrite"
+	case OutcomeMaskedLogic:
+		return "masked-by-logic"
+	case OutcomeIncorrect:
+		return "incorrect-response"
+	case OutcomeCrash:
+		return "crash"
+	case OutcomeMaskedLatent:
+		return "masked-latent"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Tolerated reports whether the outcome leaves the application externally
+// correct (the paper's definition of tolerance: outcomes 1 and 2.1).
+func (o Outcome) Tolerated() bool {
+	switch o {
+	case OutcomeMaskedOverwrite, OutcomeMaskedLogic, OutcomeMaskedLatent:
+		return true
+	default:
+		return false
+	}
+}
+
+// firstAccessKind distinguishes how injected bytes were first touched.
+type firstAccessKind int
+
+const (
+	firstNone firstAccessKind = iota
+	firstLoad
+	firstStore
+)
+
+// accessTracker watches the injected byte addresses and records the first
+// post-injection access kind, which separates masked-by-overwrite from
+// masked-by-logic.
+type accessTracker struct {
+	targets map[simmem.Addr]bool
+	first   firstAccessKind
+}
+
+var _ simmem.AccessObserver = (*accessTracker)(nil)
+
+func newAccessTracker(addrs []simmem.Addr) *accessTracker {
+	t := &accessTracker{targets: make(map[simmem.Addr]bool, len(addrs))}
+	for _, a := range addrs {
+		t.targets[a] = true
+	}
+	return t
+}
+
+// ObserveAccess implements simmem.AccessObserver.
+func (t *accessTracker) ObserveAccess(ev simmem.AccessEvent) {
+	if t.first != firstNone {
+		return
+	}
+	for a := range t.targets {
+		if a >= ev.Addr && a < ev.Addr+simmem.Addr(ev.Len) {
+			if ev.Kind == simmem.Store {
+				t.first = firstStore
+			} else {
+				t.first = firstLoad
+			}
+			return
+		}
+	}
+}
+
+// classify maps a finished trial's observations onto the taxonomy.
+func classify(crashed bool, incorrect int, first firstAccessKind) Outcome {
+	switch {
+	case crashed:
+		return OutcomeCrash
+	case incorrect > 0:
+		return OutcomeIncorrect
+	case first == firstStore:
+		return OutcomeMaskedOverwrite
+	case first == firstLoad:
+		return OutcomeMaskedLogic
+	default:
+		return OutcomeMaskedLatent
+	}
+}
+
+// TrialResult records one injection experiment (one pass around the
+// paper's Fig. 2 loop).
+type TrialResult struct {
+	// Outcome is the Fig. 1 classification.
+	Outcome Outcome
+	// Region names the region injected into.
+	Region string
+	// Kind is the region's Table 2 classification.
+	Kind simmem.RegionKind
+	// InjectedAt is the virtual time of injection.
+	InjectedAt time.Duration
+	// EffectAt is the virtual time of the first crash or incorrect
+	// response (zero for masked outcomes) — the Fig. 5a measurement.
+	EffectAt time.Duration
+	// Incorrect counts incorrect responses in the trial.
+	Incorrect int
+	// IncorrectAt holds the virtual times of incorrect responses
+	// (capped at maxIncorrectTimes per trial) — the "periodically
+	// incorrect" samples of Fig. 5a.
+	IncorrectAt []time.Duration
+	// Requests counts responses served before the trial ended.
+	Requests int
+	// CrashReason holds the crash error text, if any.
+	CrashReason string
+}
+
+// TimeToEffect returns the injection-to-effect latency for crash or
+// incorrect outcomes.
+func (t TrialResult) TimeToEffect() (time.Duration, bool) {
+	if t.Outcome != OutcomeCrash && t.Outcome != OutcomeIncorrect {
+		return 0, false
+	}
+	return t.EffectAt - t.InjectedAt, true
+}

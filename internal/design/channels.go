@@ -1,0 +1,101 @@
+package design
+
+import (
+	"fmt"
+	"sort"
+
+	"hrmsim/internal/ecc"
+)
+
+// ChannelAssignment maps one memory channel to the protection class of the
+// DIMMs it carries and the regions placed on it — the paper's Fig. 9
+// proposal that heterogeneous provisioning needs no new hardware beyond
+// per-channel memory controllers driving different DIMM types.
+type ChannelAssignment struct {
+	// Channel is the channel index.
+	Channel int
+	// Technique is the protection of the DIMMs on this channel.
+	Technique ecc.Technique
+	// LessTested marks cheaper, less-tested DIMMs.
+	LessTested bool
+	// Regions are the region names whose data the channel hosts.
+	Regions []string
+	// Bytes is the capacity consumed on this channel.
+	Bytes int64
+}
+
+// protClass groups regions that can share DIMMs.
+type protClass struct {
+	technique  ecc.Technique
+	lessTested bool
+}
+
+// AssignChannels places each region of a design point onto memory
+// channels, where every channel carries one DIMM type (one protection
+// class). Regions of the same class share channels; the assignment is a
+// first-fit decreasing pack. It fails if the point needs more channels
+// than the system has or a region exceeds total capacity of its class's
+// channels.
+func AssignChannels(channels int, channelCapacity int64, regionBytes map[string]int64, d DesignPoint) ([]ChannelAssignment, error) {
+	if channels <= 0 || channelCapacity <= 0 {
+		return nil, fmt.Errorf("design: need positive channels (%d) and capacity (%d)", channels, channelCapacity)
+	}
+	// Group regions by protection class, deterministically.
+	classes := map[protClass][]string{}
+	classBytes := map[protClass]int64{}
+	var names []string
+	for name := range regionBytes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m, ok := d.Regions[name]
+		if !ok {
+			return nil, fmt.Errorf("design: point %q has no mapping for region %q", d.Name, name)
+		}
+		pc := protClass{technique: m.Technique, lessTested: m.LessTested}
+		classes[pc] = append(classes[pc], name)
+		classBytes[pc] += regionBytes[name]
+	}
+	// Order classes deterministically by descending demand.
+	var order []protClass
+	for pc := range classes {
+		order = append(order, pc)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if classBytes[order[i]] != classBytes[order[j]] {
+			return classBytes[order[i]] > classBytes[order[j]]
+		}
+		return order[i].technique < order[j].technique
+	})
+
+	var out []ChannelAssignment
+	next := 0
+	for _, pc := range order {
+		remaining := classBytes[pc]
+		first := true
+		for remaining > 0 || first {
+			if next >= channels {
+				return nil, fmt.Errorf("design: point %q needs more than %d channels", d.Name, channels)
+			}
+			take := remaining
+			if take > channelCapacity {
+				take = channelCapacity
+			}
+			ca := ChannelAssignment{
+				Channel:    next,
+				Technique:  pc.technique,
+				LessTested: pc.lessTested,
+				Bytes:      take,
+			}
+			if first {
+				ca.Regions = classes[pc]
+			}
+			out = append(out, ca)
+			next++
+			remaining -= take
+			first = false
+		}
+	}
+	return out, nil
+}

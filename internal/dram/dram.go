@@ -1,0 +1,329 @@
+// Package dram models DRAM device geometry: how a flat physical address
+// range is interleaved across channels, DIMMs, chips, banks, rows, and
+// columns. The characterization framework uses it for two things:
+//
+//   - expanding correlated hardware fault modes (a failed row, column,
+//     bank, chip, or DIMM — the multi-bit hard errors of Sections II and
+//     VII) into the set of byte addresses they corrupt, and
+//
+//   - reasoning about channel-granularity heterogeneous provisioning
+//     (Fig. 9), where different channels carry DIMMs with different
+//     protection techniques.
+//
+// The mapping is the common cache-line-interleaved layout: 64-byte lines
+// round-robin across channels, then across the DIMMs of a channel; within
+// a DIMM the line's bytes stripe across chips by byte lane (an x8 DIMM
+// supplies 8 bits of every beat from each chip); lines within a DIMM walk
+// banks first, then columns within a row, then rows.
+package dram
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LineBytes is the memory transfer granularity (one cache line).
+const LineBytes = 64
+
+// Geometry describes a memory system's device organization.
+type Geometry struct {
+	// Channels is the number of memory channels.
+	Channels int
+	// DIMMsPerChannel is the number of DIMMs on each channel.
+	DIMMsPerChannel int
+	// ChipsPerDIMM is the number of data chips per DIMM (byte lanes);
+	// must divide LineBytes.
+	ChipsPerDIMM int
+	// BanksPerDIMM is the number of banks per DIMM.
+	BanksPerDIMM int
+	// RowsPerBank is the number of rows per bank.
+	RowsPerBank int
+	// LinesPerRow is the number of cache lines stored per row per bank.
+	LinesPerRow int
+}
+
+// Validate checks the geometry for consistency.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0, g.DIMMsPerChannel <= 0, g.ChipsPerDIMM <= 0,
+		g.BanksPerDIMM <= 0, g.RowsPerBank <= 0, g.LinesPerRow <= 0:
+		return fmt.Errorf("dram: all geometry fields must be positive: %+v", g)
+	case LineBytes%g.ChipsPerDIMM != 0:
+		return fmt.Errorf("dram: chips per DIMM (%d) must divide line size %d",
+			g.ChipsPerDIMM, LineBytes)
+	}
+	return nil
+}
+
+// Default returns a small but fully populated geometry suitable for
+// laptop-scale simulation: 3 channels x 2 DIMMs x 8 chips, 8 banks,
+// 64 rows x 16 lines — 48 MiB total.
+func Default() Geometry {
+	return Geometry{
+		Channels:        3,
+		DIMMsPerChannel: 2,
+		ChipsPerDIMM:    8,
+		BanksPerDIMM:    8,
+		RowsPerBank:     64,
+		LinesPerRow:     16,
+	}
+}
+
+// Capacity returns the total byte capacity of the memory system.
+func (g Geometry) Capacity() int64 {
+	return int64(g.Channels) * int64(g.DIMMsPerChannel) * int64(g.BanksPerDIMM) *
+		int64(g.RowsPerBank) * int64(g.LinesPerRow) * LineBytes
+}
+
+// Coord locates one byte in the device hierarchy.
+type Coord struct {
+	Channel int
+	DIMM    int // within the channel
+	Chip    int // byte lane within the DIMM
+	Bank    int // within the DIMM
+	Row     int // within the bank
+	Line    int // cache line within the row
+	Byte    int // byte within the line (Chip == Byte % ChipsPerDIMM)
+}
+
+// MapOffset converts a byte offset in [0, Capacity) to its device
+// coordinates.
+func (g Geometry) MapOffset(off int64) (Coord, error) {
+	if off < 0 || off >= g.Capacity() {
+		return Coord{}, fmt.Errorf("dram: offset %d outside capacity %d", off, g.Capacity())
+	}
+	b := int(off % LineBytes)
+	l := off / LineBytes
+	ch := int(l % int64(g.Channels))
+	t := l / int64(g.Channels)
+	dimm := int(t % int64(g.DIMMsPerChannel))
+	u := t / int64(g.DIMMsPerChannel)
+	bank := int(u % int64(g.BanksPerDIMM))
+	v := u / int64(g.BanksPerDIMM)
+	line := int(v % int64(g.LinesPerRow))
+	row := int(v / int64(g.LinesPerRow))
+	return Coord{
+		Channel: ch, DIMM: dimm, Chip: b % g.ChipsPerDIMM,
+		Bank: bank, Row: row, Line: line, Byte: b,
+	}, nil
+}
+
+// OffsetOf is the inverse of MapOffset.
+func (g Geometry) OffsetOf(c Coord) (int64, error) {
+	switch {
+	case c.Channel < 0 || c.Channel >= g.Channels,
+		c.DIMM < 0 || c.DIMM >= g.DIMMsPerChannel,
+		c.Bank < 0 || c.Bank >= g.BanksPerDIMM,
+		c.Row < 0 || c.Row >= g.RowsPerBank,
+		c.Line < 0 || c.Line >= g.LinesPerRow,
+		c.Byte < 0 || c.Byte >= LineBytes:
+		return 0, fmt.Errorf("dram: coordinate out of range: %+v", c)
+	}
+	v := int64(c.Row)*int64(g.LinesPerRow) + int64(c.Line)
+	u := v*int64(g.BanksPerDIMM) + int64(c.Bank)
+	t := u*int64(g.DIMMsPerChannel) + int64(c.DIMM)
+	l := t*int64(g.Channels) + int64(c.Channel)
+	return l*LineBytes + int64(c.Byte), nil
+}
+
+// ChannelOfOffset returns the channel serving a byte offset — the lookup
+// needed to provision protection per channel (Fig. 9).
+func (g Geometry) ChannelOfOffset(off int64) (int, error) {
+	c, err := g.MapOffset(off)
+	if err != nil {
+		return 0, err
+	}
+	return c.Channel, nil
+}
+
+// DomainKind classifies correlated hardware fault domains.
+type DomainKind int
+
+// Fault domain kinds, smallest to largest.
+const (
+	// DomainCell is a single byte-lane byte (the smallest unit we track;
+	// individual bit faults choose a bit within it).
+	DomainCell DomainKind = iota + 1
+	// DomainRow is one row of one chip in one bank.
+	DomainRow
+	// DomainColumn is one (line, byte) position of one chip across all
+	// rows of a bank.
+	DomainColumn
+	// DomainBank is one bank of one chip.
+	DomainBank
+	// DomainChip is one whole chip of a DIMM.
+	DomainChip
+	// DomainDIMM is an entire DIMM.
+	DomainDIMM
+	// DomainChannel is every DIMM on a channel.
+	DomainChannel
+)
+
+// String returns the domain kind name.
+func (k DomainKind) String() string {
+	switch k {
+	case DomainCell:
+		return "cell"
+	case DomainRow:
+		return "row"
+	case DomainColumn:
+		return "column"
+	case DomainBank:
+		return "bank"
+	case DomainChip:
+		return "chip"
+	case DomainDIMM:
+		return "dimm"
+	case DomainChannel:
+		return "channel"
+	default:
+		return fmt.Sprintf("domain(%d)", int(k))
+	}
+}
+
+// FaultDomain is a concrete failed structure: a Kind plus the coordinates
+// that pin it down (fields beyond the kind's granularity are ignored).
+type FaultDomain struct {
+	Kind  DomainKind
+	Coord Coord
+}
+
+// laneBytesPerLine is the number of bytes a single chip contributes to one
+// cache line.
+func (g Geometry) laneBytesPerLine() int { return LineBytes / g.ChipsPerDIMM }
+
+// DomainSize returns the number of byte addresses a fault domain corrupts.
+func (g Geometry) DomainSize(d FaultDomain) (int64, error) {
+	lane := int64(g.laneBytesPerLine())
+	switch d.Kind {
+	case DomainCell:
+		return 1, nil
+	case DomainRow:
+		return int64(g.LinesPerRow) * lane, nil
+	case DomainColumn:
+		return int64(g.RowsPerBank), nil
+	case DomainBank:
+		return int64(g.RowsPerBank) * int64(g.LinesPerRow) * lane, nil
+	case DomainChip:
+		return int64(g.BanksPerDIMM) * int64(g.RowsPerBank) * int64(g.LinesPerRow) * lane, nil
+	case DomainDIMM:
+		return int64(g.BanksPerDIMM) * int64(g.RowsPerBank) * int64(g.LinesPerRow) * LineBytes, nil
+	case DomainChannel:
+		return int64(g.DIMMsPerChannel) * int64(g.BanksPerDIMM) * int64(g.RowsPerBank) *
+			int64(g.LinesPerRow) * LineBytes, nil
+	default:
+		return 0, fmt.Errorf("dram: unknown domain kind %d", int(d.Kind))
+	}
+}
+
+// OffsetAt returns the i-th byte offset (in canonical order) of a fault
+// domain, 0 <= i < DomainSize.
+func (g Geometry) OffsetAt(d FaultDomain, i int64) (int64, error) {
+	size, err := g.DomainSize(d)
+	if err != nil {
+		return 0, err
+	}
+	if i < 0 || i >= size {
+		return 0, fmt.Errorf("dram: index %d outside domain of size %d", i, size)
+	}
+	lane := int64(g.laneBytesPerLine())
+	c := d.Coord
+	switch d.Kind {
+	case DomainCell:
+		// The coordinate itself.
+	case DomainRow:
+		c.Line = int(i / lane)
+		c.Byte = g.laneByte(c.Chip, int(i%lane))
+	case DomainColumn:
+		c.Row = int(i)
+	case DomainBank:
+		perRow := int64(g.LinesPerRow) * lane
+		c.Row = int(i / perRow)
+		rest := i % perRow
+		c.Line = int(rest / lane)
+		c.Byte = g.laneByte(c.Chip, int(rest%lane))
+	case DomainChip:
+		perBank := int64(g.RowsPerBank) * int64(g.LinesPerRow) * lane
+		c.Bank = int(i / perBank)
+		rest := i % perBank
+		perRow := int64(g.LinesPerRow) * lane
+		c.Row = int(rest / perRow)
+		rest %= perRow
+		c.Line = int(rest / lane)
+		c.Byte = g.laneByte(c.Chip, int(rest%lane))
+	case DomainDIMM:
+		perBank := int64(g.RowsPerBank) * int64(g.LinesPerRow) * LineBytes
+		c.Bank = int(i / perBank)
+		rest := i % perBank
+		perRow := int64(g.LinesPerRow) * LineBytes
+		c.Row = int(rest / perRow)
+		rest %= perRow
+		c.Line = int(rest / LineBytes)
+		c.Byte = int(rest % LineBytes)
+		c.Chip = c.Byte % g.ChipsPerDIMM
+	case DomainChannel:
+		perDIMM := int64(g.BanksPerDIMM) * int64(g.RowsPerBank) * int64(g.LinesPerRow) * LineBytes
+		c.DIMM = int(i / perDIMM)
+		rest := i % perDIMM
+		return g.OffsetAt(FaultDomain{Kind: DomainDIMM, Coord: c}, rest)
+	}
+	return g.OffsetOf(c)
+}
+
+// laneByte returns the j-th byte position within a line that belongs to
+// the given chip (byte lane).
+func (g Geometry) laneByte(chip, j int) int {
+	return j*g.ChipsPerDIMM + chip
+}
+
+// SampleOffsets draws k distinct byte offsets uniformly from a fault
+// domain (all of them when the domain has at most k bytes). Injection
+// campaigns use this to corrupt a representative subset of a large failed
+// structure without materializing millions of addresses.
+func (g Geometry) SampleOffsets(d FaultDomain, rng *rand.Rand, k int) ([]int64, error) {
+	size, err := g.DomainSize(d)
+	if err != nil {
+		return nil, err
+	}
+	if int64(k) >= size {
+		out := make([]int64, size)
+		for i := int64(0); i < size; i++ {
+			off, err := g.OffsetAt(d, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = off
+		}
+		return out, nil
+	}
+	seen := make(map[int64]bool, k)
+	out := make([]int64, 0, k)
+	for len(out) < k {
+		i := rng.Int63n(size)
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		off, err := g.OffsetAt(d, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, off)
+	}
+	return out, nil
+}
+
+// RandomDomain picks a uniformly random concrete fault domain of the given
+// kind.
+func (g Geometry) RandomDomain(kind DomainKind, rng *rand.Rand) FaultDomain {
+	c := Coord{
+		Channel: rng.Intn(g.Channels),
+		DIMM:    rng.Intn(g.DIMMsPerChannel),
+		Chip:    rng.Intn(g.ChipsPerDIMM),
+		Bank:    rng.Intn(g.BanksPerDIMM),
+		Row:     rng.Intn(g.RowsPerBank),
+		Line:    rng.Intn(g.LinesPerRow),
+	}
+	c.Byte = g.laneByte(c.Chip, rng.Intn(g.laneBytesPerLine()))
+	return FaultDomain{Kind: kind, Coord: c}
+}

@@ -1,0 +1,292 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default geometry invalid: %v", err)
+	}
+	bad := Default()
+	bad.Channels = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero channels accepted")
+	}
+	bad = Default()
+	bad.ChipsPerDIMM = 7 // does not divide 64
+	if err := bad.Validate(); err == nil {
+		t.Error("non-dividing chip count accepted")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	g := Default()
+	want := int64(3) * 2 * 8 * 64 * 16 * 64
+	if got := g.Capacity(); got != want {
+		t.Errorf("Capacity = %d, want %d", got, want)
+	}
+}
+
+func TestMapOffsetRoundtrip(t *testing.T) {
+	g := Default()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		off := rng.Int63n(g.Capacity())
+		c, err := g.MapOffset(off)
+		if err != nil {
+			t.Fatalf("MapOffset(%d): %v", off, err)
+		}
+		back, err := g.OffsetOf(c)
+		if err != nil {
+			t.Fatalf("OffsetOf(%+v): %v", c, err)
+		}
+		if back != off {
+			t.Fatalf("roundtrip %d -> %+v -> %d", off, c, back)
+		}
+		if c.Chip != c.Byte%g.ChipsPerDIMM {
+			t.Fatalf("chip/byte lane inconsistent: %+v", c)
+		}
+	}
+}
+
+func TestMapOffsetBounds(t *testing.T) {
+	g := Default()
+	if _, err := g.MapOffset(-1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := g.MapOffset(g.Capacity()); err == nil {
+		t.Error("offset == capacity accepted")
+	}
+	if _, err := g.OffsetOf(Coord{Channel: g.Channels}); err == nil {
+		t.Error("out-of-range coordinate accepted")
+	}
+}
+
+func TestChannelInterleaving(t *testing.T) {
+	g := Default()
+	// Consecutive cache lines must land on consecutive channels.
+	for l := int64(0); l < 12; l++ {
+		ch, err := g.ChannelOfOffset(l * LineBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch != int(l)%g.Channels {
+			t.Errorf("line %d on channel %d, want %d", l, ch, int(l)%g.Channels)
+		}
+	}
+	// All bytes of one line are on the same channel.
+	c0, _ := g.ChannelOfOffset(0)
+	for b := int64(1); b < LineBytes; b++ {
+		ch, _ := g.ChannelOfOffset(b)
+		if ch != c0 {
+			t.Fatalf("byte %d of line 0 on different channel", b)
+		}
+	}
+}
+
+func TestDomainSizes(t *testing.T) {
+	g := Default()
+	lane := int64(LineBytes / g.ChipsPerDIMM)
+	tests := []struct {
+		kind DomainKind
+		want int64
+	}{
+		{DomainCell, 1},
+		{DomainRow, int64(g.LinesPerRow) * lane},
+		{DomainColumn, int64(g.RowsPerBank)},
+		{DomainBank, int64(g.RowsPerBank) * int64(g.LinesPerRow) * lane},
+		{DomainChip, int64(g.BanksPerDIMM) * int64(g.RowsPerBank) * int64(g.LinesPerRow) * lane},
+		{DomainDIMM, int64(g.BanksPerDIMM) * int64(g.RowsPerBank) * int64(g.LinesPerRow) * LineBytes},
+		{DomainChannel, int64(g.DIMMsPerChannel) * int64(g.BanksPerDIMM) * int64(g.RowsPerBank) * int64(g.LinesPerRow) * LineBytes},
+	}
+	for _, tt := range tests {
+		got, err := g.DomainSize(FaultDomain{Kind: tt.kind})
+		if err != nil {
+			t.Fatalf("%v: %v", tt.kind, err)
+		}
+		if got != tt.want {
+			t.Errorf("DomainSize(%v) = %d, want %d", tt.kind, got, tt.want)
+		}
+	}
+	if _, err := g.DomainSize(FaultDomain{Kind: DomainKind(99)}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestDomainOffsetsBelongToDomain verifies that every offset enumerated
+// for a domain maps back to coordinates matching the domain's constraint.
+func TestDomainOffsetsBelongToDomain(t *testing.T) {
+	g := Default()
+	rng := rand.New(rand.NewSource(2))
+	kinds := []DomainKind{DomainCell, DomainRow, DomainColumn, DomainBank, DomainChip, DomainDIMM, DomainChannel}
+	for _, kind := range kinds {
+		d := g.RandomDomain(kind, rng)
+		size, err := g.DomainSize(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check a sample of indices, including the first and last.
+		idxs := []int64{0, size - 1}
+		for i := 0; i < 50; i++ {
+			idxs = append(idxs, rng.Int63n(size))
+		}
+		seen := map[int64]bool{}
+		for _, i := range idxs {
+			off, err := g.OffsetAt(d, i)
+			if err != nil {
+				t.Fatalf("%v OffsetAt(%d): %v", kind, i, err)
+			}
+			c, err := g.MapOffset(off)
+			if err != nil {
+				t.Fatalf("%v MapOffset: %v", kind, err)
+			}
+			if !coordInDomain(c, d) {
+				t.Fatalf("%v: offset %d -> %+v not in domain %+v", kind, off, c, d.Coord)
+			}
+			seen[off] = true
+		}
+		_ = seen
+	}
+}
+
+// TestDomainOffsetsDistinct verifies OffsetAt is injective over a domain.
+func TestDomainOffsetsDistinct(t *testing.T) {
+	g := Default()
+	rng := rand.New(rand.NewSource(3))
+	d := g.RandomDomain(DomainRow, rng)
+	size, err := g.DomainSize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for i := int64(0); i < size; i++ {
+		off, err := g.OffsetAt(d, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[off] {
+			t.Fatalf("duplicate offset %d at index %d", off, i)
+		}
+		seen[off] = true
+	}
+}
+
+// coordInDomain reports whether c is inside d for d's granularity.
+func coordInDomain(c Coord, d FaultDomain) bool {
+	dc := d.Coord
+	switch d.Kind {
+	case DomainCell:
+		return c == dc
+	case DomainRow:
+		return c.Channel == dc.Channel && c.DIMM == dc.DIMM && c.Chip == dc.Chip &&
+			c.Bank == dc.Bank && c.Row == dc.Row
+	case DomainColumn:
+		return c.Channel == dc.Channel && c.DIMM == dc.DIMM && c.Chip == dc.Chip &&
+			c.Bank == dc.Bank && c.Line == dc.Line && c.Byte == dc.Byte
+	case DomainBank:
+		return c.Channel == dc.Channel && c.DIMM == dc.DIMM && c.Chip == dc.Chip &&
+			c.Bank == dc.Bank
+	case DomainChip:
+		return c.Channel == dc.Channel && c.DIMM == dc.DIMM && c.Chip == dc.Chip
+	case DomainDIMM:
+		return c.Channel == dc.Channel && c.DIMM == dc.DIMM
+	case DomainChannel:
+		return c.Channel == dc.Channel
+	default:
+		return false
+	}
+}
+
+func TestOffsetAtBounds(t *testing.T) {
+	g := Default()
+	d := FaultDomain{Kind: DomainRow}
+	size, _ := g.DomainSize(d)
+	if _, err := g.OffsetAt(d, -1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := g.OffsetAt(d, size); err == nil {
+		t.Error("index == size accepted")
+	}
+}
+
+func TestSampleOffsets(t *testing.T) {
+	g := Default()
+	rng := rand.New(rand.NewSource(4))
+	d := g.RandomDomain(DomainBank, rng)
+
+	offs, err := g.SampleOffsets(d, rng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 100 {
+		t.Fatalf("got %d offsets, want 100", len(offs))
+	}
+	seen := map[int64]bool{}
+	for _, off := range offs {
+		if seen[off] {
+			t.Fatal("duplicate sampled offset")
+		}
+		seen[off] = true
+		c, err := g.MapOffset(off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !coordInDomain(c, d) {
+			t.Fatalf("sampled offset %d outside domain", off)
+		}
+	}
+
+	// Requesting more than the domain holds returns the whole domain.
+	cell := g.RandomDomain(DomainCell, rng)
+	offs, err = g.SampleOffsets(cell, rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offs) != 1 {
+		t.Fatalf("cell domain sample = %d offsets, want 1", len(offs))
+	}
+}
+
+func TestRandomDomainInRange(t *testing.T) {
+	g := Default()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		d := g.RandomDomain(DomainCell, rng)
+		if _, err := g.OffsetOf(d.Coord); err != nil {
+			t.Fatalf("RandomDomain produced invalid coord: %v", err)
+		}
+	}
+}
+
+func TestDomainKindString(t *testing.T) {
+	kinds := map[DomainKind]string{
+		DomainCell: "cell", DomainRow: "row", DomainColumn: "column",
+		DomainBank: "bank", DomainChip: "chip", DomainDIMM: "dimm",
+		DomainChannel: "channel",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestMapOffsetQuickProperty(t *testing.T) {
+	g := Default()
+	cap := g.Capacity()
+	f := func(x uint32) bool {
+		off := int64(x) % cap
+		c, err := g.MapOffset(off)
+		if err != nil {
+			return false
+		}
+		back, err := g.OffsetOf(c)
+		return err == nil && back == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

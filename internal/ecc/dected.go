@@ -1,0 +1,236 @@
+package ecc
+
+import (
+	"math/bits"
+
+	"hrmsim/internal/simmem"
+)
+
+// DECTED is a double-error-correcting, triple-error-detecting code built
+// from a binary BCH code over GF(2^7) (t=2, 14 check bits) extended with
+// an overall parity bit — 15 meaningful check bits per 64 data bits, the
+// 23.4% added capacity of Table 1.
+//
+// Codeword layout (polynomial coefficients, bit i = coeff of x^i):
+// bits 0..13 are the BCH remainder, bits 14..77 are the 64 data bits. The
+// two check-storage bytes hold the remainder in bits 0..13 and the overall
+// parity in bit 14.
+type DECTED struct{}
+
+var _ simmem.Codec = DECTED{}
+
+// NewDECTED returns the DEC-TED codec.
+func NewDECTED() DECTED { return DECTED{} }
+
+const (
+	dectedCheckBits = 14 // BCH remainder bits
+	dectedCodeBits  = 64 + dectedCheckBits
+)
+
+// dectedGen is the degree-14 generator polynomial g(x) = m1(x)·m3(x),
+// packed as a bit mask; computed at init from the minimal polynomials of α
+// and α^3 in GF(2^7).
+var dectedGen uint64
+
+func init() {
+	m1 := minimalPolyGF2(gf128, 1)
+	m3 := minimalPolyGF2(gf128, 3)
+	dectedGen = polyMulGF2(m1, m3)
+	if bits.Len64(dectedGen) != dectedCheckBits+1 {
+		panic("ecc: DEC-TED generator has unexpected degree")
+	}
+}
+
+// Name implements simmem.Codec.
+func (DECTED) Name() string { return "DEC-TED" }
+
+// WordBytes implements simmem.Codec.
+func (DECTED) WordBytes() int { return 8 }
+
+// CheckBytes implements simmem.Codec.
+func (DECTED) CheckBytes() int { return 2 }
+
+// CheckBits implements simmem.Codec.
+func (DECTED) CheckBits() int { return 15 }
+
+// cw is a 78-bit codeword in two words: lo holds bits 0..63, hi bits 64..77.
+type cw struct {
+	lo, hi uint64
+}
+
+func (c cw) bit(i int) byte {
+	if i < 64 {
+		return byte(c.lo>>i) & 1
+	}
+	return byte(c.hi>>(i-64)) & 1
+}
+
+func (c *cw) flip(i int) {
+	if i < 64 {
+		c.lo ^= 1 << i
+	} else {
+		c.hi ^= 1 << (i - 64)
+	}
+}
+
+func (c cw) onesCount() int {
+	return bits.OnesCount64(c.lo) + bits.OnesCount64(c.hi)
+}
+
+// bchRemainder computes d(x)·x^14 mod g(x) for the 64 data bits.
+func bchRemainder(data []byte) uint16 {
+	var c cw
+	d := leU64(data)
+	// d(x)·x^14: data bit k becomes coefficient 14+k.
+	c.lo = d << dectedCheckBits
+	c.hi = d >> (64 - dectedCheckBits)
+	for i := dectedCodeBits - 1; i >= dectedCheckBits; i-- {
+		if c.bit(i) == 1 {
+			// XOR g shifted so its top term cancels bit i.
+			s := i - dectedCheckBits
+			g := dectedGen
+			if s < 64 {
+				c.lo ^= g << s
+				if s > 0 {
+					c.hi ^= g >> (64 - s)
+				}
+			} else {
+				c.hi ^= g << (s - 64)
+			}
+		}
+	}
+	return uint16(c.lo) & (1<<dectedCheckBits - 1)
+}
+
+// leU64 reads 8 bytes little-endian.
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// putLeU64 writes v little-endian into b.
+func putLeU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Encode implements simmem.Codec.
+func (DECTED) Encode(data, check []byte) {
+	rem := bchRemainder(data)
+	p := byte(parity64(data)) ^ byte(bits.OnesCount16(rem)&1)
+	v := rem | uint16(p)<<14
+	check[0] = byte(v)
+	check[1] = byte(v >> 8)
+}
+
+// received assembles the received codeword from data and check storage.
+func dectedReceived(data, check []byte) cw {
+	var c cw
+	rem := uint64(check[0]) | uint64(check[1])<<8
+	rem &= 1<<dectedCheckBits - 1
+	d := leU64(data)
+	c.lo = rem | d<<dectedCheckBits
+	c.hi = d >> (64 - dectedCheckBits)
+	return c
+}
+
+// dectedWriteBack stores the (corrected) codeword back into data/check,
+// preserving the stored parity bit which the caller fixes separately.
+func dectedWriteBack(c cw, data, check []byte) {
+	rem := uint16(c.lo) & (1<<dectedCheckBits - 1)
+	d := c.lo>>dectedCheckBits | c.hi<<(64-dectedCheckBits)
+	putLeU64(data, d)
+	parityBit := check[1] & 0x40 // bit 14 of the 16-bit check value
+	check[0] = byte(rem)
+	check[1] = byte(rem>>8)&0x3f | parityBit
+}
+
+// syndromes evaluates S1 = r(α) and S3 = r(α^3) over GF(2^7).
+func dectedSyndromes(c cw) (s1, s3 byte) {
+	for i := 0; i < dectedCodeBits; i++ {
+		if c.bit(i) == 1 {
+			s1 ^= gf128.alphaPow(i)
+			s3 ^= gf128.alphaPow(3 * i)
+		}
+	}
+	return s1, s3
+}
+
+// Decode implements simmem.Codec.
+func (DECTED) Decode(data, check []byte) simmem.Verdict {
+	c := dectedReceived(data, check)
+	storedP := (check[1] >> 6) & 1
+	calcP := byte(c.onesCount() & 1)
+	parityErr := calcP != storedP
+	s1, s3 := dectedSyndromes(c)
+
+	if s1 == 0 && s3 == 0 {
+		if !parityErr {
+			return simmem.VerdictClean
+		}
+		// Only the parity bit flipped.
+		check[1] ^= 0x40
+		return simmem.VerdictCorrected
+	}
+
+	if parityErr {
+		// Odd number of errors: correct a single error or detect three.
+		if s1 != 0 && s3 == gf128.pow(s1, 3) {
+			p := gf128.logOf(s1)
+			if p < dectedCodeBits {
+				c.flip(p)
+				dectedWriteBack(c, data, check)
+				return simmem.VerdictCorrected
+			}
+		}
+		return simmem.VerdictUncorrectable
+	}
+
+	// Even number of errors (at least two): attempt double correction.
+	if s1 == 0 {
+		// Two errors with X1 = X2 is impossible; inconsistent syndromes.
+		return simmem.VerdictUncorrectable
+	}
+	if s3 == gf128.pow(s1, 3) {
+		// The single-error signature with even parity: one codeword
+		// error plus a flipped parity bit. (A true double cannot
+		// produce S3 == S1^3: that would need X1·X2·S1 = 0.)
+		p := gf128.logOf(s1)
+		if p < dectedCodeBits {
+			c.flip(p)
+			dectedWriteBack(c, data, check)
+			check[1] ^= 0x40 // repair the parity bit too
+			return simmem.VerdictCorrected
+		}
+		return simmem.VerdictUncorrectable
+	}
+	// Error locator: x^2 + s1·x + (s3/s1 + s1^2), roots at the locators.
+	q := gf128.div(s3, s1) ^ gf128.mul(s1, s1)
+	var roots []int
+	for p := 0; p < dectedCodeBits; p++ {
+		x := gf128.alphaPow(p)
+		v := gf128.mul(x, x) ^ gf128.mul(s1, x) ^ q
+		if v == 0 {
+			roots = append(roots, p)
+			if len(roots) > 2 {
+				break
+			}
+		}
+	}
+	if len(roots) != 2 {
+		return simmem.VerdictUncorrectable
+	}
+	c.flip(roots[0])
+	c.flip(roots[1])
+	// Confirm the correction zeroes the syndromes (guards against
+	// miscorrecting ≥4-bit patterns that alias onto two positions).
+	if v1, v3 := dectedSyndromes(c); v1 != 0 || v3 != 0 {
+		return simmem.VerdictUncorrectable
+	}
+	dectedWriteBack(c, data, check)
+	return simmem.VerdictCorrected
+}

@@ -1,0 +1,166 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"hrmsim/internal/simmem"
+)
+
+// flipCodewordBit flips bit i of the (data ++ check) bit string.
+func flipCodewordBit(data, check []byte, i int) {
+	if i < len(data)*8 {
+		data[i/8] ^= 1 << (i % 8)
+		return
+	}
+	i -= len(data) * 8
+	check[i/8] ^= 1 << (i % 8)
+}
+
+// TestSECDEDExhaustiveDoubleBit verifies that every possible double-bit
+// error pattern across the full codeword (data and check storage) is
+// detected and never miscorrected.
+func TestSECDEDExhaustiveDoubleBit(t *testing.T) {
+	s := NewSECDED()
+	rng := rand.New(rand.NewSource(21))
+	data, check := encodeRandom(s, rng)
+	orig := append([]byte(nil), data...)
+	origCheck := append([]byte(nil), check...)
+	total := 72 // 64 data + 8 check bits
+	for b1 := 0; b1 < total; b1++ {
+		for b2 := b1 + 1; b2 < total; b2++ {
+			d := append([]byte(nil), orig...)
+			c := append([]byte(nil), origCheck...)
+			flipCodewordBit(d, c, b1)
+			flipCodewordBit(d, c, b2)
+			switch s.Decode(d, c) {
+			case simmem.VerdictClean:
+				t.Fatalf("double (%d,%d) decoded clean", b1, b2)
+			case simmem.VerdictCorrected:
+				t.Fatalf("double (%d,%d) miscorrected", b1, b2)
+			}
+		}
+	}
+}
+
+// TestDECTEDExhaustiveDoubleBit verifies every double-bit pattern over the
+// full DEC-TED codeword (64 data + 14 BCH + 1 parity bits) is corrected
+// back to the original data.
+func TestDECTEDExhaustiveDoubleBit(t *testing.T) {
+	d := NewDECTED()
+	rng := rand.New(rand.NewSource(22))
+	data, check := encodeRandom(d, rng)
+	orig := append([]byte(nil), data...)
+	origCheck := append([]byte(nil), check...)
+	total := 64 + 15
+	for b1 := 0; b1 < total; b1++ {
+		for b2 := b1 + 1; b2 < total; b2++ {
+			dd := append([]byte(nil), orig...)
+			cc := append([]byte(nil), origCheck...)
+			flipCodewordBit(dd, cc, b1)
+			flipCodewordBit(dd, cc, b2)
+			if v := d.Decode(dd, cc); v != simmem.VerdictCorrected {
+				t.Fatalf("double (%d,%d): verdict %v", b1, b2, v)
+			}
+			if !bytes.Equal(dd, orig) {
+				t.Fatalf("double (%d,%d): data not restored", b1, b2)
+			}
+		}
+	}
+}
+
+// TestDECTEDExhaustiveSingleBit verifies every single-bit position.
+func TestDECTEDExhaustiveSingleBit(t *testing.T) {
+	d := NewDECTED()
+	rng := rand.New(rand.NewSource(23))
+	data, check := encodeRandom(d, rng)
+	orig := append([]byte(nil), data...)
+	for b := 0; b < 64+15; b++ {
+		dd := append([]byte(nil), orig...)
+		cc := append([]byte(nil), check...)
+		flipCodewordBit(dd, cc, b)
+		if v := d.Decode(dd, cc); v != simmem.VerdictCorrected {
+			t.Fatalf("single %d: verdict %v", b, v)
+		}
+		if !bytes.Equal(dd, orig) {
+			t.Fatalf("single %d: data not restored", b)
+		}
+	}
+}
+
+// TestChipkillExhaustiveSingleSymbol verifies that every nonzero error
+// pattern confined to any one symbol (chip) — 18 symbols x 255 patterns —
+// is corrected.
+func TestChipkillExhaustiveSingleSymbol(t *testing.T) {
+	ck := NewChipkill()
+	rng := rand.New(rand.NewSource(24))
+	data, check := encodeRandom(ck, rng)
+	orig := append([]byte(nil), data...)
+	origCheck := append([]byte(nil), check...)
+	for sym := 0; sym < 18; sym++ {
+		for pat := 1; pat < 256; pat++ {
+			d := append([]byte(nil), orig...)
+			c := append([]byte(nil), origCheck...)
+			if sym < 2 {
+				c[sym] ^= byte(pat)
+			} else {
+				d[sym-2] ^= byte(pat)
+			}
+			if v := ck.Decode(d, c); v != simmem.VerdictCorrected {
+				t.Fatalf("symbol %d pattern %#x: verdict %v", sym, pat, v)
+			}
+			if !bytes.Equal(d, orig) || !bytes.Equal(c, origCheck) {
+				t.Fatalf("symbol %d pattern %#x: not restored", sym, pat)
+			}
+		}
+	}
+}
+
+// TestRAIMExhaustiveSingleSymbol verifies single-symbol correction across
+// all 20 symbol positions and all 255 patterns.
+func TestRAIMExhaustiveSingleSymbol(t *testing.T) {
+	r := NewRAIM()
+	rng := rand.New(rand.NewSource(25))
+	data, check := encodeRandom(r, rng)
+	orig := append([]byte(nil), data...)
+	origCheck := append([]byte(nil), check...)
+	for sym := 0; sym < 20; sym++ {
+		for pat := 1; pat < 256; pat++ {
+			d := append([]byte(nil), orig...)
+			c := append([]byte(nil), origCheck...)
+			if sym < 4 {
+				c[sym] ^= byte(pat)
+			} else {
+				d[sym-4] ^= byte(pat)
+			}
+			if v := r.Decode(d, c); v != simmem.VerdictCorrected {
+				t.Fatalf("symbol %d pattern %#x: verdict %v", sym, pat, v)
+			}
+			if !bytes.Equal(d, orig) || !bytes.Equal(c, origCheck) {
+				t.Fatalf("symbol %d pattern %#x: not restored", sym, pat)
+			}
+		}
+	}
+}
+
+// TestMirrorExhaustiveSingleBit verifies single-bit correction across the
+// full 18-byte mirrored codeword.
+func TestMirrorExhaustiveSingleBit(t *testing.T) {
+	m := NewMirror()
+	rng := rand.New(rand.NewSource(26))
+	data, check := encodeRandom(m, rng)
+	orig := append([]byte(nil), data...)
+	origCheck := append([]byte(nil), check...)
+	for b := 0; b < (8+10)*8; b++ {
+		d := append([]byte(nil), orig...)
+		c := append([]byte(nil), origCheck...)
+		flipCodewordBit(d, c, b)
+		if v := m.Decode(d, c); v != simmem.VerdictCorrected {
+			t.Fatalf("bit %d: verdict %v", b, v)
+		}
+		if !bytes.Equal(d, orig) {
+			t.Fatalf("bit %d: data not restored", b)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package ecc implements executable memory error detection and correction
+// codes — the hardware-technique axis of the paper's design space (Table 1
+// and Table 4). Each technique is a simmem.Codec: stores encode check bits,
+// loads decode and correct, and uncorrectable patterns surface as machine
+// checks, so the protection actually runs against injected errors instead
+// of being modelled by a formula.
+//
+// Implemented techniques:
+//
+//   - Parity: one even-parity bit per 64-bit word (detect-only).
+//   - SEC-DED: extended Hamming (72,64) — corrects 1 bit, detects 2.
+//   - DEC-TED: shortened binary BCH over GF(2^7) plus overall parity —
+//     corrects 2 bits, detects 3, 15 check bits per 64 (23.4%).
+//   - Chipkill: Reed–Solomon (18,16) over GF(2^8) — corrects any single
+//     8-bit symbol (chip) per 128-bit word at 12.5% overhead.
+//   - RAIM: Reed–Solomon (20,16) over GF(2^8) — corrects up to two
+//     symbols, approximating module-level redundancy.
+//   - Mirroring: SEC-DED plus a full mirrored copy (125% overhead).
+package ecc
+
+import "fmt"
+
+// gf is a binary extension field GF(2^m) with exp/log tables.
+type gf struct {
+	m    uint   // extension degree
+	n    int    // field size minus one (2^m - 1)
+	poly uint16 // primitive polynomial (with the x^m term)
+	exp  []byte
+	log  []int
+}
+
+// newGF builds the tables for GF(2^m) using the given primitive polynomial.
+func newGF(m uint, poly uint16) *gf {
+	n := (1 << m) - 1
+	f := &gf{m: m, n: n, poly: poly, exp: make([]byte, 2*n), log: make([]int, n+1)}
+	x := 1
+	for i := 0; i < n; i++ {
+		f.exp[i] = byte(x)
+		f.exp[i+n] = byte(x) // duplicated so mul avoids a mod
+		f.log[x] = i
+		x <<= 1
+		if x>>(m) != 0 {
+			x ^= int(poly)
+		}
+	}
+	f.log[0] = -1
+	return f
+}
+
+// gf128 is GF(2^7) with primitive polynomial x^7 + x^3 + 1, used by the
+// DEC-TED BCH code.
+var gf128 = newGF(7, 0x89)
+
+// gf256 is GF(2^8) with primitive polynomial x^8 + x^4 + x^3 + x^2 + 1,
+// used by the Reed–Solomon symbol codes.
+var gf256 = newGF(8, 0x11d)
+
+// mul multiplies two field elements.
+func (f *gf) mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]+f.log[b]]
+}
+
+// div divides a by b (b must be nonzero).
+func (f *gf) div(a, b byte) byte {
+	if b == 0 {
+		panic("ecc: division by zero in GF")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := f.log[a] - f.log[b]
+	if d < 0 {
+		d += f.n
+	}
+	return f.exp[d]
+}
+
+// inv returns the multiplicative inverse of a (a must be nonzero).
+func (f *gf) inv(a byte) byte {
+	return f.div(1, a)
+}
+
+// pow returns a^k for k >= 0.
+func (f *gf) pow(a byte, k int) byte {
+	if a == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	e := (f.log[a] * k) % f.n
+	if e < 0 {
+		e += f.n
+	}
+	return f.exp[e]
+}
+
+// alphaPow returns α^k where α is the primitive element, for any integer k.
+func (f *gf) alphaPow(k int) byte {
+	e := k % f.n
+	if e < 0 {
+		e += f.n
+	}
+	return f.exp[e]
+}
+
+// logOf returns log_α(a); a must be nonzero.
+func (f *gf) logOf(a byte) int {
+	if a == 0 {
+		panic("ecc: log of zero in GF")
+	}
+	return f.log[a]
+}
+
+// polyMulGF2 multiplies two polynomials with GF(2) coefficients packed as
+// bit masks (bit i = coefficient of x^i).
+func polyMulGF2(a, b uint64) uint64 {
+	var out uint64
+	for i := 0; b != 0; i++ {
+		if b&1 != 0 {
+			out ^= a << i
+		}
+		b >>= 1
+	}
+	return out
+}
+
+// minimalPolyGF2 computes the minimal polynomial over GF(2) of α^k in f,
+// returned as a packed bit mask. It multiplies (x − α^(k·2^i)) over the
+// conjugacy class of α^k.
+func minimalPolyGF2(f *gf, k int) uint64 {
+	// Collect the conjugacy class exponents.
+	seen := map[int]bool{}
+	var class []int
+	e := k % f.n
+	for !seen[e] {
+		seen[e] = true
+		class = append(class, e)
+		e = (e * 2) % f.n
+	}
+	// Multiply (x + α^e) terms with GF(2^m) coefficients, then verify the
+	// result has GF(2) coefficients.
+	coeffs := []byte{1} // constant polynomial 1
+	for _, e := range class {
+		root := f.alphaPow(e)
+		next := make([]byte, len(coeffs)+1)
+		for i, c := range coeffs {
+			next[i+1] ^= c            // c * x
+			next[i] ^= f.mul(c, root) // c * root
+		}
+		coeffs = next
+	}
+	var mask uint64
+	for i, c := range coeffs {
+		switch c {
+		case 0:
+		case 1:
+			mask |= 1 << i
+		default:
+			panic(fmt.Sprintf("ecc: minimal polynomial has non-binary coefficient %d", c))
+		}
+	}
+	return mask
+}

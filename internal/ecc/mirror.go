@@ -1,0 +1,102 @@
+package ecc
+
+import (
+	"hrmsim/internal/simmem"
+)
+
+// Mirror models memory mirroring (e.g. POWER7-style): every 64-bit word is
+// stored twice, each copy protected by SEC-DED, and reads fail over to the
+// mirror when the primary is uncorrectable — 125% added capacity per
+// Table 1 (a full copy plus ECC on both copies).
+//
+// Check storage layout per 8-byte word: byte 0 is the primary's SEC-DED
+// check byte, bytes 1..8 are the mirrored copy, byte 9 is the copy's
+// SEC-DED check byte.
+type Mirror struct {
+	inner SECDED
+}
+
+var _ simmem.Codec = Mirror{}
+
+// NewMirror returns the mirroring codec.
+func NewMirror() Mirror { return Mirror{} }
+
+// Name implements simmem.Codec.
+func (Mirror) Name() string { return "Mirroring" }
+
+// WordBytes implements simmem.Codec.
+func (Mirror) WordBytes() int { return 8 }
+
+// CheckBytes implements simmem.Codec.
+func (Mirror) CheckBytes() int { return 10 }
+
+// CheckBits implements simmem.Codec.
+func (Mirror) CheckBits() int { return 80 }
+
+// Encode implements simmem.Codec.
+func (m Mirror) Encode(data, check []byte) {
+	m.inner.Encode(data, check[0:1])
+	copy(check[1:9], data)
+	m.inner.Encode(check[1:9], check[9:10])
+}
+
+// Decode implements simmem.Codec.
+func (m Mirror) Decode(data, check []byte) simmem.Verdict {
+	// Decode the primary copy.
+	primary := m.inner.Decode(data, check[0:1])
+
+	// Decode the mirror into scratch so a failed mirror cannot corrupt it.
+	var copyData [8]byte
+	var copyCheck [1]byte
+	copy(copyData[:], check[1:9])
+	copyCheck[0] = check[9]
+	mirror := m.inner.Decode(copyData[:], copyCheck[:])
+
+	agree := equal8(copyData[:], data)
+
+	switch {
+	case primary == simmem.VerdictClean && mirror == simmem.VerdictClean:
+		if agree {
+			return simmem.VerdictClean
+		}
+		// Both sides look internally consistent but disagree: a
+		// multi-bit error aliased one side onto a valid codeword and
+		// there is no way to tell which copy is right.
+		return simmem.VerdictUncorrectable
+	case primary == simmem.VerdictClean:
+		// Trust the clean primary; rebuild the mirror from it.
+		copy(check[1:9], data)
+		m.inner.Encode(check[1:9], check[9:10])
+		return simmem.VerdictCorrected
+	case mirror == simmem.VerdictClean:
+		// Trust the clean mirror over a corrected (possibly
+		// miscorrected) or failed primary; restore the primary.
+		copy(data, copyData[:])
+		m.inner.Encode(data, check[0:1])
+		copy(check[1:9], copyData[:])
+		check[9] = copyCheck[0]
+		return simmem.VerdictCorrected
+	case primary == simmem.VerdictCorrected:
+		copy(check[1:9], data)
+		m.inner.Encode(check[1:9], check[9:10])
+		return simmem.VerdictCorrected
+	case mirror == simmem.VerdictCorrected:
+		copy(data, copyData[:])
+		m.inner.Encode(data, check[0:1])
+		copy(check[1:9], copyData[:])
+		check[9] = copyCheck[0]
+		return simmem.VerdictCorrected
+	default:
+		return simmem.VerdictUncorrectable
+	}
+}
+
+// equal8 compares two 8-byte slices.
+func equal8(a, b []byte) bool {
+	for i := 0; i < 8; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

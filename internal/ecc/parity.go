@@ -1,0 +1,53 @@
+package ecc
+
+import (
+	"math/bits"
+
+	"hrmsim/internal/simmem"
+)
+
+// Parity is a detection-only code: one even-parity bit per 64-bit word
+// (1.56% added capacity per Table 1). It detects any odd number of flipped
+// bits and corrects nothing; any detection is reported uncorrectable so the
+// software response (e.g. Par+R recovery from persistent storage) decides
+// what happens next.
+type Parity struct{}
+
+var _ simmem.Codec = Parity{}
+
+// NewParity returns the parity codec.
+func NewParity() Parity { return Parity{} }
+
+// Name implements simmem.Codec.
+func (Parity) Name() string { return "Parity" }
+
+// WordBytes implements simmem.Codec.
+func (Parity) WordBytes() int { return 8 }
+
+// CheckBytes implements simmem.Codec.
+func (Parity) CheckBytes() int { return 1 }
+
+// CheckBits implements simmem.Codec.
+func (Parity) CheckBits() int { return 1 }
+
+// Encode implements simmem.Codec.
+func (Parity) Encode(data, check []byte) {
+	check[0] = byte(parity64(data)) & 1
+}
+
+// Decode implements simmem.Codec.
+func (Parity) Decode(data, check []byte) simmem.Verdict {
+	if byte(parity64(data))&1 == check[0]&1 {
+		return simmem.VerdictClean
+	}
+	return simmem.VerdictUncorrectable
+}
+
+// parity64 returns the population-count parity of an 8-byte slice.
+func parity64(data []byte) int {
+	var n int
+	for _, b := range data {
+		n += bits.OnesCount8(b)
+	}
+	return n & 1
+}

@@ -1,0 +1,124 @@
+package ecc
+
+import (
+	"math/bits"
+
+	"hrmsim/internal/simmem"
+)
+
+// SECDED is an extended Hamming (72,64) code: 8 check bits per 64 data
+// bits (12.5% added capacity per Table 1), correcting any single-bit error
+// and detecting any double-bit error per word. This is the protection of
+// the paper's "Typical Server" baseline.
+//
+// Codeword layout: Hamming positions 1..71, with check bits at the seven
+// power-of-two positions and data bits filling the rest; one overall
+// parity bit extends the code from SEC to SEC-DED. The check byte stores
+// Hamming checks in bits 0..6 and the overall parity in bit 7.
+type SECDED struct{}
+
+var _ simmem.Codec = SECDED{}
+
+// NewSECDED returns the SEC-DED codec.
+func NewSECDED() SECDED { return SECDED{} }
+
+// secdedPos[k] is the Hamming codeword position of data bit k: the k-th
+// position in 1..71 that is not a power of two.
+var secdedPos [64]int
+
+// secdedDataIdx maps a Hamming position back to its data bit index, or -1.
+var secdedDataIdx [72]int
+
+func init() {
+	for i := range secdedDataIdx {
+		secdedDataIdx[i] = -1
+	}
+	k := 0
+	for p := 1; p <= 71; p++ {
+		if p&(p-1) == 0 { // power of two: check-bit position
+			continue
+		}
+		secdedPos[k] = p
+		secdedDataIdx[p] = k
+		k++
+	}
+	if k != 64 {
+		panic("ecc: SEC-DED position table construction failed")
+	}
+}
+
+// Name implements simmem.Codec.
+func (SECDED) Name() string { return "SEC-DED" }
+
+// WordBytes implements simmem.Codec.
+func (SECDED) WordBytes() int { return 8 }
+
+// CheckBytes implements simmem.Codec.
+func (SECDED) CheckBytes() int { return 1 }
+
+// CheckBits implements simmem.Codec.
+func (SECDED) CheckBits() int { return 8 }
+
+// dataBit returns data bit k (0..63) of an 8-byte word.
+func dataBit(data []byte, k int) byte {
+	return (data[k>>3] >> (k & 7)) & 1
+}
+
+// flipDataBit flips data bit k of an 8-byte word.
+func flipDataBit(data []byte, k int) {
+	data[k>>3] ^= 1 << (k & 7)
+}
+
+// hammingChecks computes the seven Hamming check bits over the data bits.
+func hammingChecks(data []byte) byte {
+	var c byte
+	for k := 0; k < 64; k++ {
+		if dataBit(data, k) == 1 {
+			c ^= byte(secdedPos[k]) // accumulate position into syndrome bits
+		}
+	}
+	return c & 0x7f
+}
+
+// Encode implements simmem.Codec.
+func (SECDED) Encode(data, check []byte) {
+	c := hammingChecks(data)
+	// Overall parity covers all 71 codeword bits: 64 data + 7 checks.
+	p := byte(parity64(data)) ^ byte(bits.OnesCount8(c)&1)
+	check[0] = c | p<<7
+}
+
+// Decode implements simmem.Codec.
+func (SECDED) Decode(data, check []byte) simmem.Verdict {
+	storedC := check[0] & 0x7f
+	storedP := check[0] >> 7
+	calcC := hammingChecks(data)
+	syndrome := int(storedC ^ calcC)
+	calcP := byte(parity64(data)) ^ byte(bits.OnesCount8(storedC)&1)
+	parityErr := calcP != storedP
+
+	switch {
+	case syndrome == 0 && !parityErr:
+		return simmem.VerdictClean
+	case syndrome == 0 && parityErr:
+		// The overall parity bit itself flipped.
+		check[0] ^= 0x80
+		return simmem.VerdictCorrected
+	case parityErr:
+		// Odd number of errors; assume one and locate it by syndrome.
+		if syndrome&(syndrome-1) == 0 {
+			// Power-of-two syndrome: a check bit flipped.
+			check[0] ^= byte(syndrome)
+			return simmem.VerdictCorrected
+		}
+		if syndrome <= 71 && secdedDataIdx[syndrome] >= 0 {
+			flipDataBit(data, secdedDataIdx[syndrome])
+			return simmem.VerdictCorrected
+		}
+		// Syndrome points outside the codeword: at least three errors.
+		return simmem.VerdictUncorrectable
+	default:
+		// Nonzero syndrome with even parity: double-bit error.
+		return simmem.VerdictUncorrectable
+	}
+}

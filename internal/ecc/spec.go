@@ -1,0 +1,132 @@
+package ecc
+
+import (
+	"fmt"
+
+	"hrmsim/internal/simmem"
+)
+
+// Technique identifies a hardware memory-protection technique from
+// Table 1 of the paper.
+type Technique int
+
+// Techniques, in Table 1 order. TechNone is the "no detection/correction"
+// consumer-PC configuration.
+const (
+	TechNone Technique = iota
+	TechParity
+	TechSECDED
+	TechDECTED
+	TechChipkill
+	TechRAIM
+	TechMirroring
+)
+
+// String returns the technique name as printed in the paper's tables.
+func (t Technique) String() string {
+	switch t {
+	case TechNone:
+		return "NoECC"
+	case TechParity:
+		return "Parity"
+	case TechSECDED:
+		return "SEC-DED"
+	case TechDECTED:
+		return "DEC-TED"
+	case TechChipkill:
+		return "Chipkill"
+	case TechRAIM:
+		return "RAIM"
+	case TechMirroring:
+		return "Mirroring"
+	default:
+		return fmt.Sprintf("technique(%d)", int(t))
+	}
+}
+
+// Techniques lists all techniques in Table 1 order (including TechNone).
+func Techniques() []Technique {
+	return []Technique{
+		TechNone, TechParity, TechSECDED, TechDECTED,
+		TechChipkill, TechRAIM, TechMirroring,
+	}
+}
+
+// Spec is one row of Table 1: a technique's capability and cost.
+type Spec struct {
+	Technique Technique
+	// Detection and Correction describe capability in the paper's
+	// "X/Y Z" notation.
+	Detection  string
+	Correction string
+	// AddedCapacity is the fraction of extra memory capacity the
+	// technique requires (0.125 = 12.5%); for DRAM this is proportional
+	// to cost.
+	AddedCapacity float64
+	// HighLogic is true for techniques needing substantial extra logic.
+	HighLogic bool
+}
+
+// table1 reproduces Table 1 of the paper.
+var table1 = map[Technique]Spec{
+	TechNone: {
+		Technique: TechNone, Detection: "None", Correction: "None",
+		AddedCapacity: 0, HighLogic: false,
+	},
+	TechParity: {
+		Technique: TechParity, Detection: "2n-1/64 bits", Correction: "None",
+		AddedCapacity: 0.0156, HighLogic: false,
+	},
+	TechSECDED: {
+		Technique: TechSECDED, Detection: "2/64 bits", Correction: "1/64 bits",
+		AddedCapacity: 0.125, HighLogic: false,
+	},
+	TechDECTED: {
+		Technique: TechDECTED, Detection: "3/64 bits", Correction: "2/64 bits",
+		AddedCapacity: 0.234, HighLogic: false,
+	},
+	TechChipkill: {
+		Technique: TechChipkill, Detection: "2/8 chips", Correction: "1/8 chips",
+		AddedCapacity: 0.125, HighLogic: true,
+	},
+	TechRAIM: {
+		Technique: TechRAIM, Detection: "1/5 modules", Correction: "1/5 modules",
+		AddedCapacity: 0.406, HighLogic: true,
+	},
+	TechMirroring: {
+		Technique: TechMirroring, Detection: "2/8 chips", Correction: "1/2 modules",
+		AddedCapacity: 1.25, HighLogic: false,
+	},
+}
+
+// SpecFor returns the Table 1 row for a technique.
+func SpecFor(t Technique) (Spec, error) {
+	s, ok := table1[t]
+	if !ok {
+		return Spec{}, fmt.Errorf("ecc: unknown technique %d", int(t))
+	}
+	return s, nil
+}
+
+// CodecFor returns an executable codec for a technique, or nil for
+// TechNone (no detection/correction).
+func CodecFor(t Technique) (simmem.Codec, error) {
+	switch t {
+	case TechNone:
+		return nil, nil
+	case TechParity:
+		return NewParity(), nil
+	case TechSECDED:
+		return NewSECDED(), nil
+	case TechDECTED:
+		return NewDECTED(), nil
+	case TechChipkill:
+		return NewChipkill(), nil
+	case TechRAIM:
+		return NewRAIM(), nil
+	case TechMirroring:
+		return NewMirror(), nil
+	default:
+		return nil, fmt.Errorf("ecc: unknown technique %d", int(t))
+	}
+}

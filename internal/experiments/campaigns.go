@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hrmsim/internal/core"
+	"hrmsim/internal/faults"
+	"hrmsim/internal/simmem"
+)
+
+// campaign runs (or returns the cached result of) one injection campaign
+// cell: an application, an error type, and an optional region restriction
+// (kind 0 = all regions).
+func (s *Suite) campaign(app string, spec faults.Spec, kind simmem.RegionKind, trials int) (*core.CampaignResult, error) {
+	key := fmt.Sprintf("%s|%v|%d|%d", app, spec, kind, trials)
+	s.mu.Lock()
+	if s.campaigns == nil {
+		s.campaigns = make(map[string]*core.CampaignResult)
+	}
+	if r, ok := s.campaigns[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	entry, err := s.app(app)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.CampaignConfig{
+		Builder:     entry.builder,
+		Spec:        spec,
+		Trials:      trials,
+		Seed:        s.scale.Seed,
+		Parallelism: s.scale.Parallelism,
+		Golden:      entry.golden,
+	}
+	if kind != 0 {
+		k := kind
+		cfg.Filter = func(r *simmem.Region) bool { return r.Kind() == k }
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: campaign %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.campaigns[key] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// regionsOf lists the region kinds an application actually maps.
+func (s *Suite) regionsOf(app string) ([]simmem.RegionKind, error) {
+	entry, err := s.app(app)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := entry.builder.Build()
+	if err != nil {
+		return nil, err
+	}
+	var kinds []simmem.RegionKind
+	for _, r := range inst.Space().Regions() {
+		kinds = append(kinds, r.Kind())
+	}
+	return kinds, nil
+}

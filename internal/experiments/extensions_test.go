@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionIDsDispatch(t *testing.T) {
+	s := getSuite(t)
+	if _, err := s.Run("ext-nope"); err == nil {
+		t.Error("unknown extension accepted")
+	}
+	if len(ExtensionIDs()) != 5 {
+		t.Errorf("got %d extension IDs", len(ExtensionIDs()))
+	}
+	_ = s
+}
+
+func TestExtAggregationReducesExposure(t *testing.T) {
+	s := getSuite(t)
+	rep, err := s.Run("ext-aggregation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "exposure reduction") {
+		t.Errorf("missing metrics:\n%s", rep.Text)
+	}
+	if len(rep.Comparisons) == 0 {
+		t.Fatal("no comparison recorded")
+	}
+}
+
+func TestExtCorrelatedMoreSevere(t *testing.T) {
+	s := getSuite(t)
+	rep, err := s.Run("ext-correlated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"row", "column", "bank", "chip"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("missing %q domain:\n%s", want, rep.Text)
+		}
+	}
+}
+
+func TestExtScrubbingMonotone(t *testing.T) {
+	s := getSuite(t)
+	rep, err := s.Run("ext-scrub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "no scrubbing") || !strings.Contains(rep.Text, "every 1 min") {
+		t.Errorf("missing cases:\n%s", rep.Text)
+	}
+}
+
+func TestExtRetirement(t *testing.T) {
+	s := getSuite(t)
+	rep, err := s.Run("ext-retire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "Pages retired") {
+		t.Errorf("missing retirement column:\n%s", rep.Text)
+	}
+}

@@ -1,0 +1,315 @@
+// Package monitor implements the paper's memory access monitoring
+// framework (Section IV-B): watchpoints on sampled application addresses,
+// safe/unsafe duration accounting, safe-ratio computation (Section III-B,
+// Fig. 5b), per-page write-frequency tracking, and the implicit/explicit
+// data recoverability classification of Section III-C (Table 5).
+//
+// Where the paper attaches x86 debug-register watchpoints through a
+// debugger, this package observes every access of a simulated address
+// space exactly, on its virtual clock.
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hrmsim/internal/simmem"
+	"hrmsim/internal/stats"
+)
+
+// ExplicitThreshold is the write-interval above which data counts as
+// explicitly recoverable: the paper classifies memory written to less than
+// once every five minutes as cheap to checkpoint.
+const ExplicitThreshold = 5 * time.Minute
+
+// watchRec is the per-watched-address state.
+type watchRec struct {
+	addr   simmem.Addr
+	kind   simmem.RegionKind
+	last   time.Duration // time of previous reference
+	seen   bool          // any reference observed yet
+	safe   time.Duration // Σ (write time − previous reference time)
+	unsafe time.Duration // Σ (read time − previous reference time)
+	loads  int
+	stores int
+}
+
+// pageTrack is per-region page write/read counting.
+type pageTrack struct {
+	region *simmem.Region
+	writes []uint64
+	reads  []uint64
+}
+
+// Monitor observes a simulated address space. Register it with
+// simmem.AddressSpace.AddAccessObserver.
+type Monitor struct {
+	pageSize int
+	clock    *simmem.Clock
+	start    time.Duration
+	// buckets groups watchpoints by page-granularity bucket so an access
+	// event only scans the few watchpoints near it.
+	buckets map[uint64][]*watchRec
+	watched map[simmem.Addr]*watchRec
+	pages   map[*simmem.Region]*pageTrack
+}
+
+// New creates a monitor for the address space. The observation window
+// starts at the clock's current time.
+func New(as *simmem.AddressSpace) *Monitor {
+	return &Monitor{
+		pageSize: as.PageSize(),
+		clock:    as.Clock(),
+		start:    as.Clock().Now(),
+		buckets:  make(map[uint64][]*watchRec),
+		watched:  make(map[simmem.Addr]*watchRec),
+		pages:    make(map[*simmem.Region]*pageTrack),
+	}
+}
+
+// Watch installs a watchpoint on one byte address in the given region
+// kind. Watching the same address twice is a no-op.
+func (m *Monitor) Watch(addr simmem.Addr, kind simmem.RegionKind) {
+	if _, ok := m.watched[addr]; ok {
+		return
+	}
+	rec := &watchRec{addr: addr, kind: kind}
+	m.watched[addr] = rec
+	b := uint64(addr) / uint64(m.pageSize)
+	m.buckets[b] = append(m.buckets[b], rec)
+}
+
+// WatchSample installs n watchpoints on addresses sampled uniformly from
+// the used bytes of the regions accepted by filter, i.e. with per-region
+// counts proportional to region size — the paper's Fig. 5b sampling. It
+// returns the number actually installed (less than n only if the sampler
+// keeps hitting already-watched addresses or no region has used bytes).
+func (m *Monitor) WatchSample(as *simmem.AddressSpace, rng *rand.Rand, n int, filter func(*simmem.Region) bool) int {
+	installed := 0
+	attempts := 0
+	for installed < n && attempts < 20*n+100 {
+		attempts++
+		addr, ok := as.SampleAddr(rng, filter)
+		if !ok {
+			break
+		}
+		if _, dup := m.watched[addr]; dup {
+			continue
+		}
+		var kind simmem.RegionKind
+		for _, r := range as.Regions() {
+			if r.Contains(addr) {
+				kind = r.Kind()
+				break
+			}
+		}
+		m.Watch(addr, kind)
+		installed++
+	}
+	return installed
+}
+
+// TrackPages enables per-page write/read counting for a region, the input
+// to the recoverability classification.
+func (m *Monitor) TrackPages(r *simmem.Region) {
+	if _, ok := m.pages[r]; ok {
+		return
+	}
+	m.pages[r] = &pageTrack{
+		region: r,
+		writes: make([]uint64, r.PageCount()),
+		reads:  make([]uint64, r.PageCount()),
+	}
+}
+
+var _ simmem.AccessObserver = (*Monitor)(nil)
+
+// ObserveAccess implements simmem.AccessObserver.
+func (m *Monitor) ObserveAccess(ev simmem.AccessEvent) {
+	// Update watchpoints: scan the buckets the access range overlaps.
+	lo := uint64(ev.Addr) / uint64(m.pageSize)
+	hi := (uint64(ev.Addr) + uint64(ev.Len) - 1) / uint64(m.pageSize)
+	for b := lo; b <= hi; b++ {
+		for _, rec := range m.buckets[b] {
+			if rec.addr < ev.Addr || rec.addr >= ev.Addr+simmem.Addr(ev.Len) {
+				continue
+			}
+			m.touch(rec, ev)
+		}
+	}
+	// Update page counters.
+	if pt, ok := m.pages[ev.Region]; ok {
+		first := ev.Region.PageIndex(ev.Addr)
+		last := ev.Region.PageIndex(ev.Addr + simmem.Addr(ev.Len-1))
+		for p := first; p <= last; p++ {
+			if ev.Kind == simmem.Store {
+				pt.writes[p]++
+			} else {
+				pt.reads[p]++
+			}
+		}
+	}
+}
+
+// touch applies one reference to a watchpoint, attributing the interval
+// since the previous reference per the Section III-B definitions.
+func (m *Monitor) touch(rec *watchRec, ev simmem.AccessEvent) {
+	if rec.seen {
+		dt := ev.Time - rec.last
+		if dt > 0 {
+			if ev.Kind == simmem.Store {
+				rec.safe += dt
+			} else {
+				rec.unsafe += dt
+			}
+		}
+	}
+	rec.seen = true
+	rec.last = ev.Time
+	if ev.Kind == simmem.Store {
+		rec.stores++
+	} else {
+		rec.loads++
+	}
+}
+
+// AddressStats summarizes one watched address.
+type AddressStats struct {
+	Addr      simmem.Addr
+	Kind      simmem.RegionKind
+	Loads     int
+	Stores    int
+	SafeDur   time.Duration
+	UnsafeDur time.Duration
+	SafeRatio float64
+	HasAccess bool // at least two references (a ratio exists)
+}
+
+// Stats returns the statistics for a watched address.
+func (m *Monitor) Stats(addr simmem.Addr) (AddressStats, error) {
+	rec, ok := m.watched[addr]
+	if !ok {
+		return AddressStats{}, fmt.Errorf("monitor: address %#x is not watched", uint64(addr))
+	}
+	return recStats(rec), nil
+}
+
+func recStats(rec *watchRec) AddressStats {
+	s := AddressStats{
+		Addr: rec.addr, Kind: rec.kind,
+		Loads: rec.loads, Stores: rec.stores,
+		SafeDur: rec.safe, UnsafeDur: rec.unsafe,
+	}
+	total := rec.safe + rec.unsafe
+	if total > 0 {
+		s.SafeRatio = float64(rec.safe) / float64(total)
+		s.HasAccess = true
+	}
+	return s
+}
+
+// SafeRatios returns the safe ratios of all watched addresses in the given
+// region kind that accumulated at least one attributed interval — the raw
+// data behind one violin of Fig. 5b.
+func (m *Monitor) SafeRatios(kind simmem.RegionKind) []float64 {
+	var out []float64
+	for _, rec := range m.watched {
+		if rec.kind != kind {
+			continue
+		}
+		if s := recStats(rec); s.HasAccess {
+			out = append(out, s.SafeRatio)
+		}
+	}
+	return out
+}
+
+// AllStats returns statistics for every watched address.
+func (m *Monitor) AllStats() []AddressStats {
+	out := make([]AddressStats, 0, len(m.watched))
+	for _, rec := range m.watched {
+		out = append(out, recStats(rec))
+	}
+	return out
+}
+
+// RegionSafeSummary summarizes a region kind's safe ratios.
+func (m *Monitor) RegionSafeSummary(kind simmem.RegionKind) (stats.Summary, error) {
+	return stats.Summarize(m.SafeRatios(kind))
+}
+
+// Recoverability is the Table 5 classification for one region: the
+// fraction of its used pages recoverable by each strategy. A page may be
+// both, so the fields can sum to more than 1.
+type Recoverability struct {
+	// Implicit: a clean copy already exists in persistent storage and
+	// the page was never dirtied (read-only file-backed data).
+	Implicit float64
+	// Explicit: the page is written rarely enough (at most once per
+	// ExplicitThreshold on average) that mirroring writes to persistent
+	// storage is cheap.
+	Explicit float64
+	// Either is the fraction recoverable by at least one strategy.
+	Either float64
+	// Pages is the number of used pages considered.
+	Pages int
+}
+
+// RecoverabilityOf classifies the used pages of a tracked region over the
+// observation window [monitor start, clock now). TrackPages must have been
+// called for the region before the workload ran.
+func (m *Monitor) RecoverabilityOf(r *simmem.Region) (Recoverability, error) {
+	pt, ok := m.pages[r]
+	if !ok {
+		return Recoverability{}, fmt.Errorf("monitor: region %q pages are not tracked", r.Name())
+	}
+	span := m.clock.Now() - m.start
+	usedPages := (r.Used() + m.pageSize - 1) / m.pageSize
+	if usedPages == 0 {
+		return Recoverability{}, nil
+	}
+	var implicit, explicit, either int
+	for p := 0; p < usedPages; p++ {
+		w := pt.writes[p]
+		isImplicit := r.Backed() && (r.ReadOnly() || w == 0)
+		// Average write interval over the window; zero writes means
+		// an unbounded interval.
+		isExplicit := w == 0 || time.Duration(float64(span)/float64(w)) >= ExplicitThreshold
+		if isImplicit {
+			implicit++
+		}
+		if isExplicit {
+			explicit++
+		}
+		if isImplicit || isExplicit {
+			either++
+		}
+	}
+	n := float64(usedPages)
+	return Recoverability{
+		Implicit: float64(implicit) / n,
+		Explicit: float64(explicit) / n,
+		Either:   float64(either) / n,
+		Pages:    usedPages,
+	}, nil
+}
+
+// PageWrites returns the write count observed for page i of a tracked
+// region.
+func (m *Monitor) PageWrites(r *simmem.Region, i int) (uint64, error) {
+	pt, ok := m.pages[r]
+	if !ok {
+		return 0, fmt.Errorf("monitor: region %q pages are not tracked", r.Name())
+	}
+	if i < 0 || i >= len(pt.writes) {
+		return 0, fmt.Errorf("monitor: page %d out of range [0,%d)", i, len(pt.writes))
+	}
+	return pt.writes[i], nil
+}
+
+// WatchedCount returns the number of installed watchpoints.
+func (m *Monitor) WatchedCount() int { return len(m.watched) }
+
+// Window returns the observation window so far.
+func (m *Monitor) Window() time.Duration { return m.clock.Now() - m.start }

@@ -1,0 +1,54 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"hrmsim/internal/simmem"
+)
+
+func TestAllStatsIncludesUnaccessed(t *testing.T) {
+	e := newEnv(t)
+	e.mon.Watch(e.heap.Base(), simmem.RegionHeap)
+	e.mon.Watch(e.heap.Base()+1, simmem.RegionHeap)
+	all := e.mon.AllStats()
+	if len(all) != 2 {
+		t.Fatalf("AllStats len = %d", len(all))
+	}
+	for _, s := range all {
+		if s.HasAccess {
+			t.Error("unaccessed watchpoint reports access")
+		}
+	}
+}
+
+func TestRegionSafeSummaryEmpty(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.mon.RegionSafeSummary(simmem.RegionStack); err == nil {
+		t.Error("summary of empty region sample should error")
+	}
+}
+
+func TestMixedReadWriteRatioHalf(t *testing.T) {
+	e := newEnv(t)
+	a := e.heap.Base() + 16
+	e.mon.Watch(a, simmem.RegionHeap)
+	// Alternate store/load at equal intervals: safe and unsafe
+	// durations accumulate equally.
+	at := time.Minute
+	for i := 0; i < 10; i++ {
+		e.store(t, a, byte(i), at)
+		at += time.Minute
+		e.load(t, a, at)
+		at += time.Minute
+	}
+	s, err := e.mon.Stats(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First store has no prior reference; after that, 10 unsafe and 9
+	// safe one-minute intervals.
+	if s.UnsafeDur != 10*time.Minute || s.SafeDur != 9*time.Minute {
+		t.Errorf("safe/unsafe = %v/%v", s.SafeDur, s.UnsafeDur)
+	}
+}

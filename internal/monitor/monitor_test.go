@@ -1,0 +1,367 @@
+package monitor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hrmsim/internal/simmem"
+)
+
+// env is a small simulated setup for monitor tests.
+type env struct {
+	as   *simmem.AddressSpace
+	mon  *Monitor
+	heap *simmem.Region
+	priv *simmem.Region
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	as, err := simmem.New(simmem.Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv, err := as.AddRegion(simmem.RegionSpec{
+		Name: "private", Kind: simmem.RegionPrivate, Size: 4096, Backed: true, ReadOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := as.AddRegion(simmem.RegionSpec{
+		Name: "heap", Kind: simmem.RegionHeap, Size: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := New(as)
+	as.AddAccessObserver(mon)
+	return &env{as: as, mon: mon, heap: heap, priv: priv}
+}
+
+func (e *env) store(t *testing.T, addr simmem.Addr, v byte, at time.Duration) {
+	t.Helper()
+	e.as.Clock().Set(at)
+	if err := e.as.StoreU8(addr, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (e *env) load(t *testing.T, addr simmem.Addr, at time.Duration) {
+	t.Helper()
+	e.as.Clock().Set(at)
+	if _, err := e.as.LoadU8(addr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSafeUnsafeDurations(t *testing.T) {
+	e := newEnv(t)
+	a := e.heap.Base() + 100
+	e.mon.Watch(a, simmem.RegionHeap)
+
+	// t=1m store; t=3m load (unsafe += 2m); t=4m store (safe += 1m);
+	// t=10m load (unsafe += 6m).
+	e.store(t, a, 1, 1*time.Minute)
+	e.load(t, a, 3*time.Minute)
+	e.store(t, a, 2, 4*time.Minute)
+	e.load(t, a, 10*time.Minute)
+
+	s, err := e.mon.Stats(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SafeDur != 1*time.Minute {
+		t.Errorf("safe = %v, want 1m", s.SafeDur)
+	}
+	if s.UnsafeDur != 8*time.Minute {
+		t.Errorf("unsafe = %v, want 8m", s.UnsafeDur)
+	}
+	want := float64(1) / 9
+	if math.Abs(s.SafeRatio-want) > 1e-12 {
+		t.Errorf("safe ratio = %g, want %g", s.SafeRatio, want)
+	}
+	if s.Loads != 2 || s.Stores != 2 {
+		t.Errorf("loads/stores = %d/%d, want 2/2", s.Loads, s.Stores)
+	}
+	if !s.HasAccess {
+		t.Error("HasAccess = false")
+	}
+}
+
+func TestWriteOnlyAddressIsFullySafe(t *testing.T) {
+	e := newEnv(t)
+	a := e.heap.Base()
+	e.mon.Watch(a, simmem.RegionHeap)
+	e.store(t, a, 1, 1*time.Minute)
+	e.store(t, a, 2, 2*time.Minute)
+	e.store(t, a, 3, 5*time.Minute)
+	s, err := e.mon.Stats(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SafeRatio != 1 {
+		t.Errorf("safe ratio = %g, want 1", s.SafeRatio)
+	}
+}
+
+func TestReadOnlyAddressIsFullyUnsafe(t *testing.T) {
+	e := newEnv(t)
+	a := e.priv.Base()
+	if err := e.as.WriteRaw(a, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	e.mon.Watch(a, simmem.RegionPrivate)
+	e.load(t, a, 1*time.Minute)
+	e.load(t, a, 2*time.Minute)
+	s, err := e.mon.Stats(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SafeRatio != 0 || !s.HasAccess {
+		t.Errorf("safe ratio = %g (HasAccess=%v), want 0 with access", s.SafeRatio, s.HasAccess)
+	}
+}
+
+func TestSingleReferenceHasNoRatio(t *testing.T) {
+	e := newEnv(t)
+	a := e.heap.Base() + 8
+	e.mon.Watch(a, simmem.RegionHeap)
+	e.store(t, a, 1, time.Minute)
+	s, err := e.mon.Stats(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HasAccess {
+		t.Error("single reference should not produce a ratio")
+	}
+	if len(e.mon.SafeRatios(simmem.RegionHeap)) != 0 {
+		t.Error("SafeRatios included an address without intervals")
+	}
+}
+
+func TestRangeAccessTouchesWatchpoint(t *testing.T) {
+	e := newEnv(t)
+	a := e.heap.Base() + 250 // near a page boundary (page size 256)
+	e.mon.Watch(a, simmem.RegionHeap)
+
+	// A 16-byte store crossing the boundary covers the watchpoint.
+	e.as.Clock().Set(time.Minute)
+	if err := e.as.Store(e.heap.Base()+248, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	e.as.Clock().Set(2 * time.Minute)
+	buf := make([]byte, 16)
+	if err := e.as.Load(e.heap.Base()+248, buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.mon.Stats(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stores != 1 || s.Loads != 1 {
+		t.Errorf("stores/loads = %d/%d, want 1/1", s.Stores, s.Loads)
+	}
+	if s.UnsafeDur != time.Minute {
+		t.Errorf("unsafe = %v, want 1m", s.UnsafeDur)
+	}
+}
+
+func TestAccessesNotCoveringWatchpointIgnored(t *testing.T) {
+	e := newEnv(t)
+	a := e.heap.Base() + 100
+	e.mon.Watch(a, simmem.RegionHeap)
+	e.store(t, a+1, 1, time.Minute) // adjacent, not covering
+	e.load(t, a+1, 2*time.Minute)
+	s, err := e.mon.Stats(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Loads != 0 || s.Stores != 0 {
+		t.Errorf("adjacent accesses counted: %+v", s)
+	}
+}
+
+func TestWatchDuplicateAndUnknownStats(t *testing.T) {
+	e := newEnv(t)
+	a := e.heap.Base()
+	e.mon.Watch(a, simmem.RegionHeap)
+	e.mon.Watch(a, simmem.RegionHeap) // duplicate: no-op
+	if e.mon.WatchedCount() != 1 {
+		t.Errorf("WatchedCount = %d, want 1", e.mon.WatchedCount())
+	}
+	if _, err := e.mon.Stats(a + 1); err == nil {
+		t.Error("Stats of unwatched address succeeded")
+	}
+}
+
+func TestWatchSampleProportional(t *testing.T) {
+	e := newEnv(t)
+	e.priv.SetUsed(3000)
+	e.heap.SetUsed(1000)
+	rng := rand.New(rand.NewSource(1))
+
+	n := e.mon.WatchSample(e.as, rng, 400, nil)
+	if n != 400 {
+		t.Fatalf("installed %d watchpoints, want 400", n)
+	}
+	var priv, heap int
+	for _, s := range e.mon.AllStats() {
+		switch s.Kind {
+		case simmem.RegionPrivate:
+			priv++
+		case simmem.RegionHeap:
+			heap++
+		}
+	}
+	ratio := float64(priv) / float64(heap)
+	if ratio < 2.0 || ratio > 4.5 {
+		t.Errorf("sampling ratio = %.2f, want about 3", ratio)
+	}
+}
+
+func TestWatchSampleNoUsedBytes(t *testing.T) {
+	e := newEnv(t)
+	rng := rand.New(rand.NewSource(2))
+	if n := e.mon.WatchSample(e.as, rng, 10, nil); n != 0 {
+		t.Errorf("installed %d watchpoints with no used bytes", n)
+	}
+}
+
+func TestRecoverabilityImplicit(t *testing.T) {
+	e := newEnv(t)
+	// Private region: read-only, backed — fully implicitly recoverable.
+	e.priv.SetUsed(1024) // 4 pages
+	e.mon.TrackPages(e.priv)
+	e.as.Clock().Set(time.Hour)
+	rec, err := e.mon.RecoverabilityOf(e.priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Implicit != 1 || rec.Either != 1 {
+		t.Errorf("implicit = %g, either = %g, want 1,1", rec.Implicit, rec.Either)
+	}
+	if rec.Pages != 4 {
+		t.Errorf("pages = %d, want 4", rec.Pages)
+	}
+}
+
+func TestRecoverabilityExplicitByWriteInterval(t *testing.T) {
+	e := newEnv(t)
+	e.heap.SetUsed(512) // 2 pages of 256
+	e.mon.TrackPages(e.heap)
+
+	// Page 0: written every minute for an hour — too hot for explicit
+	// recovery. Page 1: written twice in an hour — cold enough.
+	for i := 0; i < 60; i++ {
+		e.store(t, e.heap.Base(), byte(i), time.Duration(i+1)*time.Minute)
+	}
+	e.store(t, e.heap.Base()+256, 1, 30*time.Minute)
+	e.as.Clock().Set(time.Hour)
+	e.store(t, e.heap.Base()+256, 2, time.Hour)
+
+	rec, err := e.mon.RecoverabilityOf(e.heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Explicit != 0.5 {
+		t.Errorf("explicit = %g, want 0.5", rec.Explicit)
+	}
+	if rec.Implicit != 0 {
+		t.Errorf("implicit = %g, want 0 (no backing)", rec.Implicit)
+	}
+	if rec.Either != 0.5 {
+		t.Errorf("either = %g, want 0.5", rec.Either)
+	}
+	// Page write counts are queryable.
+	if w, err := e.mon.PageWrites(e.heap, 0); err != nil || w != 60 {
+		t.Errorf("PageWrites(0) = %d, %v; want 60", w, err)
+	}
+	if _, err := e.mon.PageWrites(e.heap, 99); err == nil {
+		t.Error("out-of-range page accepted")
+	}
+	if _, err := e.mon.PageWrites(e.priv, 0); err == nil {
+		t.Error("untracked region accepted")
+	}
+}
+
+func TestRecoverabilityBackedWrittenPage(t *testing.T) {
+	// A backed but writable region: untouched pages are implicit,
+	// written pages are not.
+	as, err := simmem.New(simmem.Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.AddRegion(simmem.RegionSpec{
+		Name: "data", Kind: simmem.RegionPrivate, Size: 1024, Backed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := New(as)
+	as.AddAccessObserver(mon)
+	mon.TrackPages(r)
+	r.SetUsed(512) // 2 pages
+
+	as.Clock().Set(time.Minute)
+	if err := as.StoreU8(r.Base(), 1); err != nil { // dirty page 0
+		t.Fatal(err)
+	}
+	as.Clock().Set(time.Hour)
+	rec, err := mon.RecoverabilityOf(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Implicit != 0.5 {
+		t.Errorf("implicit = %g, want 0.5", rec.Implicit)
+	}
+	// Page 0 written once in an hour: interval 1h >= 5m, so explicit.
+	if rec.Explicit != 1 {
+		t.Errorf("explicit = %g, want 1", rec.Explicit)
+	}
+	if rec.Either != 1 {
+		t.Errorf("either = %g, want 1", rec.Either)
+	}
+}
+
+func TestRecoverabilityErrorsAndEmpty(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.mon.RecoverabilityOf(e.heap); err == nil {
+		t.Error("untracked region accepted")
+	}
+	e.mon.TrackPages(e.heap)
+	e.mon.TrackPages(e.heap) // double-track is a no-op
+	rec, err := e.mon.RecoverabilityOf(e.heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Pages != 0 {
+		t.Errorf("pages = %d for unused region, want 0", rec.Pages)
+	}
+}
+
+func TestRegionSafeSummaryAndWindow(t *testing.T) {
+	e := newEnv(t)
+	a1 := e.heap.Base()
+	a2 := e.heap.Base() + 64
+	e.mon.Watch(a1, simmem.RegionHeap)
+	e.mon.Watch(a2, simmem.RegionHeap)
+
+	// The virtual clock is monotone, so timestamps must not go backwards.
+	e.store(t, a1, 1, time.Minute)
+	e.store(t, a2, 1, time.Minute)
+	e.store(t, a1, 2, 2*time.Minute) // a1 ratio 1
+	e.load(t, a2, 2*time.Minute)     // a2 ratio 0
+
+	sum, err := e.mon.RegionSafeSummary(simmem.RegionHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N != 2 || sum.Mean != 0.5 {
+		t.Errorf("summary = %+v, want N=2 Mean=0.5", sum)
+	}
+	if e.mon.Window() != 2*time.Minute {
+		t.Errorf("Window = %v, want 2m", e.mon.Window())
+	}
+}

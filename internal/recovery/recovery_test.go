@@ -1,0 +1,529 @@
+package recovery
+
+import (
+	"testing"
+	"time"
+
+	"hrmsim/internal/ecc"
+	"hrmsim/internal/simmem"
+)
+
+// newParityAS maps one parity-protected backed heap region.
+func newParityAS(t *testing.T, mc simmem.MCHandler) (*simmem.AddressSpace, *simmem.Region) {
+	t.Helper()
+	as, err := simmem.New(simmem.Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.AddRegion(simmem.RegionSpec{
+		Name: "data", Kind: simmem.RegionHeap, Size: 1024,
+		Backed: true, Codec: ecc.NewParity(), MC: mc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as, r
+}
+
+func TestParRRecoversSoftError(t *testing.T) {
+	h := &ParR{}
+	as, r := newParityAS(t, h)
+	addr := r.Base() + 64
+	if err := as.StoreU64(addr, 777); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.FlipBit(addr, 4); err != nil {
+		t.Fatal(err)
+	}
+	v, err := as.LoadU64(addr)
+	if err != nil {
+		t.Fatalf("load with Par+R: %v", err)
+	}
+	if v != 777 {
+		t.Errorf("recovered value = %d, want 777", v)
+	}
+	if h.Recoveries != 1 || h.Failures != 0 {
+		t.Errorf("recoveries/failures = %d/%d", h.Recoveries, h.Failures)
+	}
+}
+
+func TestParRRecoversStaleCheckpoint(t *testing.T) {
+	// Data written after the checkpoint recovers to the checkpointed
+	// value: a stale-but-served response, not a crash.
+	h := &ParR{}
+	as, r := newParityAS(t, h)
+	addr := r.Base() + 8
+	if err := as.StoreU64(addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.StoreU64(addr, 2); err != nil { // newer than checkpoint
+		t.Fatal(err)
+	}
+	if err := as.FlipBit(addr, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := as.LoadU64(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("recovered value = %d, want stale checkpoint value 1", v)
+	}
+}
+
+func TestParRWordRestoreCannotFixHardFault(t *testing.T) {
+	h := &ParR{} // word-granularity restore
+	as, r := newParityAS(t, h)
+	addr := r.Base() + 16
+	if err := as.StoreU64(addr, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Stick a bit at the wrong value: restoring the word rewrites the
+	// data but the cell still senses wrong, so the retry fails.
+	var raw [1]byte
+	if err := as.ReadRaw(addr, raw[:]); err != nil {
+		t.Fatal(err)
+	}
+	stuck := int(raw[0]&1) ^ 1
+	if err := as.StickBit(addr, 0, stuck); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.LoadU64(addr); !simmem.IsFault(err) {
+		t.Fatalf("expected machine-check fault, got %v", err)
+	}
+
+	// Whole-page Par+R replaces the frame, clearing the stuck bit.
+	h2 := &ParR{WholePage: true}
+	r.SetMCHandler(h2)
+	v, err := as.LoadU64(addr)
+	if err != nil {
+		t.Fatalf("whole-page recovery failed: %v", err)
+	}
+	if v != 3 {
+		t.Errorf("value = %d, want 3", v)
+	}
+	if h2.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", h2.Recoveries)
+	}
+}
+
+func TestParREscalating(t *testing.T) {
+	h := NewParREscalating()
+	as, r := newParityAS(t, h)
+	addr := r.Base() + 32
+	if err := as.StoreU64(addr, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	var raw [1]byte
+	if err := as.ReadRaw(addr, raw[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.StickBit(addr, 2, int(raw[0]>>2&1)^1); err != nil {
+		t.Fatal(err)
+	}
+	// First load: word restore happens, retry still fails on the stuck
+	// bit... but the handler only gets one call per load. The first
+	// load therefore faults; the second load escalates to a frame
+	// replacement and succeeds.
+	_, err := as.LoadU64(addr)
+	if err == nil {
+		t.Fatal("first load should fault (word restore cannot clear stuck bit)")
+	}
+	v, err := as.LoadU64(addr)
+	if err != nil {
+		t.Fatalf("second load should escalate and recover: %v", err)
+	}
+	if v != 9 {
+		t.Errorf("value = %d, want 9", v)
+	}
+	if h.Escalations != 1 || h.Recoveries() != 1 {
+		t.Errorf("escalations/recoveries = %d/%d, want 1/1", h.Escalations, h.Recoveries())
+	}
+}
+
+func TestParRFailsWithoutBacking(t *testing.T) {
+	h := &ParR{}
+	as, err := simmem.New(simmem.Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.AddRegion(simmem.RegionSpec{
+		Name: "nb", Kind: simmem.RegionHeap, Size: 512, Codec: ecc.NewParity(), MC: h,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.StoreU64(r.Base(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.FlipBit(r.Base(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.LoadU64(r.Base()); !simmem.IsFault(err) {
+		t.Fatalf("expected fault, got %v", err)
+	}
+	if h.Failures != 1 {
+		t.Errorf("failures = %d, want 1", h.Failures)
+	}
+}
+
+func TestRetirerReplacesHotPages(t *testing.T) {
+	ret := &Retirer{Threshold: 3}
+	as, err := simmem.New(simmem.Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.AddRegion(simmem.RegionSpec{
+		Name: "d", Kind: simmem.RegionHeap, Size: 512, Backed: true, Codec: ecc.NewSECDED(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as.AddECCObserver(ret)
+	addr := r.Base() + 8
+	if err := as.StoreU64(addr, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// A stuck bit forces a correction on every load; the third load
+	// crosses the threshold and the page is retired (frame replaced,
+	// stuck bit cleared).
+	var raw [1]byte
+	if err := as.ReadRaw(addr, raw[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.StickBit(addr, 0, int(raw[0]&1)^1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if v, err := as.LoadU64(addr); err != nil || v != 42 {
+			t.Fatalf("load %d: %d, %v", i, v, err)
+		}
+	}
+	if ret.Retired != 1 {
+		t.Fatalf("retired = %d, want 1", ret.Retired)
+	}
+	// After retirement the error is gone: loads are clean.
+	before := as.Counters().Corrected
+	if v, err := as.LoadU64(addr); err != nil || v != 42 {
+		t.Fatalf("post-retirement load: %d, %v", v, err)
+	}
+	if as.Counters().Corrected != before {
+		t.Error("corrections continued after retirement")
+	}
+}
+
+func TestRetirerZeroThresholdInactive(t *testing.T) {
+	ret := &Retirer{}
+	ret.ObserveECC(simmem.ECCEvent{Kind: simmem.ECCCorrected})
+	if ret.Retired != 0 {
+		t.Error("zero-threshold retirer acted")
+	}
+}
+
+func TestCheckpointer(t *testing.T) {
+	as, r := newParityAS(t, nil)
+	cp, err := NewCheckpointer(r, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as.AddAccessObserver(cp)
+
+	addr := r.Base()
+	if err := as.StoreU64(addr, 10); err != nil { // t=0: within interval
+		t.Fatal(err)
+	}
+	as.Clock().Set(2 * time.Minute)
+	if err := as.StoreU64(addr, 20); err != nil { // within interval: no flush
+		t.Fatal(err)
+	}
+	if cp.Flushes != 0 {
+		t.Fatalf("flushes = %d before the interval elapsed", cp.Flushes)
+	}
+	as.Clock().Set(6 * time.Minute)
+	if err := as.StoreU64(addr, 30); err != nil { // crosses interval: flush
+		t.Fatal(err)
+	}
+	if cp.Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", cp.Flushes)
+	}
+	b, err := r.BackingBytes(addr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 30 {
+		t.Errorf("backing byte = %d, want 30 (flushed after final store)", b[0])
+	}
+}
+
+func TestCheckpointerValidation(t *testing.T) {
+	as, err := simmem.New(simmem.Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.AddRegion(simmem.RegionSpec{Name: "x", Kind: simmem.RegionHeap, Size: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCheckpointer(r, time.Minute); err == nil {
+		t.Error("unbacked region accepted")
+	}
+	_, r2 := newParityAS(t, nil)
+	if _, err := NewCheckpointer(r2, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestScrubRegion(t *testing.T) {
+	as, err := simmem.New(simmem.Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.AddRegion(simmem.RegionSpec{
+		Name: "s", Kind: simmem.RegionHeap, Size: 512, Codec: ecc.NewSECDED(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.StoreU64(r.Base()+8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.FlipBit(r.Base()+8, 3); err != nil { // correctable
+		t.Fatal(err)
+	}
+	if err := as.FlipBit(r.Base()+24, 0); err != nil { // double-bit: uncorrectable
+		t.Fatal(err)
+	}
+	if err := as.FlipBit(r.Base()+24, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ScrubRegion(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrected != 1 || rep.Uncorrectable != 1 {
+		t.Fatalf("report = %+v, want 1 corrected, 1 uncorrectable", rep)
+	}
+	// The scrub wrote back the correction: a second pass is clean.
+	rep, err = ScrubRegion(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrected != 0 || rep.Uncorrectable != 1 {
+		t.Fatalf("second pass = %+v, want 0 corrected, 1 uncorrectable", rep)
+	}
+}
+
+func TestMemtestRegion(t *testing.T) {
+	as, err := simmem.New(simmem.Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.AddRegion(simmem.RegionSpec{
+		Name: "m", Kind: simmem.RegionPrivate, Size: 512, Backed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.StoreU64(r.Base(), 0xABCD); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.FlipBit(r.Base()+1, 6); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MemtestRegion(as, r, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatched != 1 || rep.Repaired != 0 {
+		t.Fatalf("detect-only report = %+v", rep)
+	}
+	rep, err = MemtestRegion(as, r, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired != 1 {
+		t.Fatalf("repair report = %+v", rep)
+	}
+	if v, _ := as.LoadU64(r.Base()); v != 0xABCD {
+		t.Errorf("value after repair = %#x", v)
+	}
+	// Unbacked regions are rejected.
+	r2, err := as.AddRegion(simmem.RegionSpec{Name: "nb", Kind: simmem.RegionHeap, Size: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MemtestRegion(as, r2, true); err == nil {
+		t.Error("unbacked region accepted")
+	}
+}
+
+func TestPeriodicScrubberValidation(t *testing.T) {
+	as, r := newParityAS(t, nil)
+	_ = as
+	if _, err := NewPeriodicScrubber(0, r); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewPeriodicScrubber(time.Minute); err == nil {
+		t.Error("no regions accepted")
+	}
+}
+
+func TestPeriodicScrubberCorrectsOnInterval(t *testing.T) {
+	as, err := simmem.New(simmem.Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.AddRegion(simmem.RegionSpec{
+		Name: "d", Kind: simmem.RegionHeap, Size: 512, Codec: ecc.NewSECDED(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewPeriodicScrubber(5*time.Minute, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as.AddAccessObserver(sc)
+
+	// Corrupt a word the application never touches.
+	if err := as.StoreU64(r.Base()+64, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.FlipBit(r.Base()+64, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Activity within the interval: no scrub yet.
+	as.Clock().Set(time.Minute)
+	if err := as.StoreU8(r.Base(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Passes != 0 {
+		t.Fatalf("scrubbed early: %d passes", sc.Passes)
+	}
+	// Crossing the interval triggers a pass that repairs the word.
+	as.Clock().Set(6 * time.Minute)
+	if err := as.StoreU8(r.Base(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Passes != 1 || sc.Corrected != 1 {
+		t.Fatalf("passes=%d corrected=%d, want 1/1", sc.Passes, sc.Corrected)
+	}
+	// The write-back means a second pass finds nothing.
+	as.Clock().Set(12 * time.Minute)
+	if err := as.StoreU8(r.Base(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Corrected != 1 {
+		t.Fatalf("corrected=%d after clean pass, want 1", sc.Corrected)
+	}
+}
+
+func TestPeriodicScrubberRetireThreshold(t *testing.T) {
+	as, err := simmem.New(simmem.Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.AddRegion(simmem.RegionSpec{
+		Name: "d", Kind: simmem.RegionHeap, Size: 512, Backed: true, Codec: ecc.NewSECDED(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.StoreU64(r.Base()+8, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewPeriodicScrubber(time.Minute, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.RetireThreshold = 2
+	as.AddAccessObserver(sc)
+
+	// Stick a bit: every scrub pass corrects it again until the page's
+	// corrected count reaches the threshold and the frame is replaced.
+	var raw [1]byte
+	if err := as.ReadRaw(r.Base()+8, raw[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.StickBit(r.Base()+8, 0, int(raw[0]&1)^1); err != nil {
+		t.Fatal(err)
+	}
+	for m := 2; m <= 8 && sc.Retired == 0; m += 2 {
+		as.Clock().Set(time.Duration(m) * time.Minute)
+		if err := as.StoreU8(r.Base()+128, byte(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sc.Retired != 1 {
+		t.Fatalf("retired=%d, want 1", sc.Retired)
+	}
+	// After retirement the stuck bit is gone and the data restored.
+	if v, err := as.LoadU64(r.Base() + 8); err != nil || v != 42 {
+		t.Fatalf("after retirement: %d, %v", v, err)
+	}
+}
+
+func TestParREscalatingUnbackedCrashes(t *testing.T) {
+	h := NewParREscalating()
+	as, err := simmem.New(simmem.Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.AddRegion(simmem.RegionSpec{
+		Name: "nb", Kind: simmem.RegionHeap, Size: 512, Codec: ecc.NewParity(), MC: h,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.StoreU64(r.Base(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.FlipBit(r.Base(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.LoadU64(r.Base()); !simmem.IsFault(err) {
+		t.Fatalf("expected fault without backing, got %v", err)
+	}
+}
+
+func TestScrubRegionUnprotectedNoop(t *testing.T) {
+	as, err := simmem.New(simmem.Config{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.AddRegion(simmem.RegionSpec{Name: "u", Kind: simmem.RegionHeap, Size: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.FlipBit(r.Base(), 0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ScrubRegion(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Corrected != 0 || rep.Uncorrectable != 0 {
+		t.Errorf("unprotected scrub reported %+v", rep)
+	}
+}

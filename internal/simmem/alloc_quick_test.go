@@ -1,0 +1,110 @@
+package simmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestArenaNoOverlapProperty drives the arena with random alloc/free
+// sequences and checks the fundamental invariants: live blocks never
+// overlap, all stay inside the region, and freed blocks are reusable.
+func TestArenaNoOverlapProperty(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		as, err := New(Config{PageSize: 256})
+		if err != nil {
+			return false
+		}
+		r, err := as.AddRegion(RegionSpec{Name: "h", Kind: RegionHeap, Size: 8192})
+		if err != nil {
+			return false
+		}
+		a := NewArena(r)
+		type block struct {
+			addr Addr
+			size int
+		}
+		var live []block
+		ops := int(opsRaw)%200 + 20
+		for i := 0; i < ops; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				k := rng.Intn(len(live))
+				if err := a.Free(live[k].addr); err != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+				continue
+			}
+			size := rng.Intn(120) + 1
+			addr, err := a.Alloc(size)
+			if err != nil {
+				continue // out of memory is legal
+			}
+			// Bounds.
+			if addr < r.Base() || addr+Addr(size) > r.Base()+Addr(r.Size()) {
+				return false
+			}
+			// Overlap against every live block (sizes rounded to 16).
+			lo := addr
+			hi := addr + Addr((size+15)/16*16)
+			for _, b := range live {
+				blo := b.addr
+				bhi := b.addr + Addr((b.size+15)/16*16)
+				if lo < bhi && blo < hi {
+					return false
+				}
+			}
+			live = append(live, block{addr: addr, size: size})
+		}
+		return a.Live() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStackLIFOProperty drives random push/pop sequences and checks LIFO
+// discipline and depth accounting.
+func TestStackLIFOProperty(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		as, err := New(Config{PageSize: 256})
+		if err != nil {
+			return false
+		}
+		r, err := as.AddRegion(RegionSpec{Name: "s", Kind: RegionStack, Size: 4096})
+		if err != nil {
+			return false
+		}
+		s := NewStack(r)
+		var frames []Frame
+		depth := 0
+		ops := int(opsRaw)%150 + 10
+		for i := 0; i < ops; i++ {
+			if len(frames) > 0 && rng.Intn(2) == 0 {
+				f := frames[len(frames)-1]
+				if err := s.Pop(f); err != nil {
+					return false
+				}
+				frames = frames[:len(frames)-1]
+				depth -= f.Size
+				continue
+			}
+			size := rng.Intn(100) + 1
+			fr, err := s.Push(size)
+			if err != nil {
+				continue // overflow is legal
+			}
+			if int(fr.Base-r.Base()) != depth {
+				return false // frames must be contiguous
+			}
+			frames = append(frames, fr)
+			depth += fr.Size
+		}
+		return s.Depth() == depth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package simmem
+
+// Verdict is the result of decoding one protected memory word.
+type Verdict int
+
+// Decode verdicts, ordered by severity.
+const (
+	// VerdictClean means the word decoded with no error detected.
+	VerdictClean Verdict = iota
+	// VerdictCorrected means an error was detected and corrected in
+	// place; the returned data is believed clean.
+	VerdictCorrected
+	// VerdictUncorrectable means an error was detected but could not be
+	// corrected; the hardware would raise a machine-check exception.
+	VerdictUncorrectable
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictClean:
+		return "clean"
+	case VerdictCorrected:
+		return "corrected"
+	case VerdictUncorrectable:
+		return "uncorrectable"
+	default:
+		return "unknown"
+	}
+}
+
+// Codec is an executable memory-protection code applied per codeword, the
+// hook through which the ecc package plugs hardware reliability techniques
+// (Table 1 of the paper) into the simulated memory. The address space
+// maintains CheckBytes of check storage for every WordBytes of data in a
+// protected region; stores re-encode, loads decode and may correct the
+// data slice in place.
+//
+// Implementations must be deterministic and must not retain the slices
+// passed to Encode/Decode.
+type Codec interface {
+	// Name identifies the technique (e.g. "SEC-DED").
+	Name() string
+	// WordBytes is the number of data bytes per codeword (e.g. 8 for
+	// SEC-DED(72,64), 16 for a chipkill-style symbol code).
+	WordBytes() int
+	// CheckBytes is the number of check-storage bytes per codeword.
+	CheckBytes() int
+	// CheckBits is the number of meaningful redundancy bits per
+	// codeword (used for added-capacity cost accounting; may be less
+	// than 8*CheckBytes when the storage is byte-padded).
+	CheckBits() int
+	// Encode computes check bytes for data. len(data) == WordBytes and
+	// len(check) == CheckBytes.
+	Encode(data, check []byte)
+	// Decode verifies data against check, correcting data (and check)
+	// in place when the code permits, and reports what the hardware
+	// observed. Detection-only codes (parity) return
+	// VerdictUncorrectable on any detected error.
+	Decode(data, check []byte) Verdict
+}
+
+// MCEvent describes an uncorrectable error encountered on a load from a
+// protected region.
+type MCEvent struct {
+	// Addr is the first byte of the affected codeword.
+	Addr Addr
+	// Region is the region containing the word.
+	Region *Region
+}
+
+// MCAction is a software response decision for an uncorrectable error.
+type MCAction int
+
+// Machine-check actions a handler may take.
+const (
+	// MCCrash propagates the machine check to the application as a
+	// fault (the default when no handler is installed).
+	MCCrash MCAction = iota
+	// MCRecovered means the handler repaired the word (e.g. reloaded a
+	// clean copy from backing storage); the load is retried once.
+	MCRecovered
+)
+
+// MCHandler is the software-response hook for uncorrectable errors —
+// page retirement, Par+R recovery from persistent storage, and restart
+// policies are implemented behind this interface in the recovery package.
+type MCHandler interface {
+	HandleMC(as *AddressSpace, ev MCEvent) MCAction
+}
+
+// MCHandlerFunc adapts a function to the MCHandler interface.
+type MCHandlerFunc func(as *AddressSpace, ev MCEvent) MCAction
+
+// HandleMC calls f.
+func (f MCHandlerFunc) HandleMC(as *AddressSpace, ev MCEvent) MCAction {
+	return f(as, ev)
+}

@@ -1,0 +1,65 @@
+package simmem
+
+import "time"
+
+// AccessKind distinguishes loads from stores.
+type AccessKind int
+
+// Access kinds.
+const (
+	// Load is a read access.
+	Load AccessKind = iota + 1
+	// Store is a write access.
+	Store
+)
+
+// String returns "load" or "store".
+func (k AccessKind) String() string {
+	if k == Load {
+		return "load"
+	}
+	return "store"
+}
+
+// AccessEvent describes one application memory access. Observers receive
+// one event per Load/Store call (not per byte), mirroring the paper's
+// watchpoint-based monitoring (Algorithm 1(b)).
+type AccessEvent struct {
+	Addr   Addr
+	Len    int
+	Kind   AccessKind
+	Time   time.Duration
+	Region *Region
+}
+
+// AccessObserver receives application access events. The monitor package
+// implements this to compute safe ratios and write-interval statistics.
+type AccessObserver interface {
+	ObserveAccess(ev AccessEvent)
+}
+
+// ECCEventKind classifies protection-code outcomes worth reporting.
+type ECCEventKind int
+
+// ECC event kinds.
+const (
+	// ECCCorrected is a corrected error on a load.
+	ECCCorrected ECCEventKind = iota + 1
+	// ECCUncorrectable is a detected-but-uncorrectable error on a load
+	// (before any software response runs).
+	ECCUncorrectable
+)
+
+// ECCEvent describes a detection/correction event in a protected region.
+type ECCEvent struct {
+	Kind   ECCEventKind
+	Addr   Addr // first byte of the affected codeword
+	Time   time.Duration
+	Region *Region
+}
+
+// ECCObserver receives ECC events; the recovery package uses corrected-
+// error streams to drive page-retirement thresholds.
+type ECCObserver interface {
+	ObserveECC(ev ECCEvent)
+}

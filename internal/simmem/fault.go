@@ -1,0 +1,70 @@
+package simmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FaultKind classifies memory faults raised by the simulated address space.
+type FaultKind int
+
+// Fault kinds. A fault corresponds to behaviour that would terminate a real
+// process (segmentation fault, machine-check exception) or to a simulator
+// usage error surfaced the same way.
+const (
+	// FaultUnmapped is an access to an address in no region (the
+	// simulated equivalent of a segmentation fault).
+	FaultUnmapped FaultKind = iota + 1
+	// FaultOutOfRange is an access that starts inside a region but runs
+	// past its end.
+	FaultOutOfRange
+	// FaultReadOnly is a store to a read-only region.
+	FaultReadOnly
+	// FaultMachineCheck is an uncorrectable memory error detected by the
+	// region's ECC codec with no (or failed) software recovery.
+	FaultMachineCheck
+)
+
+// String returns the fault kind name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultUnmapped:
+		return "unmapped"
+	case FaultOutOfRange:
+		return "out-of-range"
+	case FaultReadOnly:
+		return "read-only"
+	case FaultMachineCheck:
+		return "machine-check"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Fault is the error type for all simulated memory faults. The
+// characterization engine treats any Fault reaching the workload driver as
+// a crash outcome.
+type Fault struct {
+	Kind FaultKind
+	Addr Addr
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("memory fault: %s at %#x", f.Kind, uint64(f.Addr))
+}
+
+// AsFault unwraps err as a *Fault if it is (or wraps) one.
+func AsFault(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// IsFault reports whether err is (or wraps) a memory fault.
+func IsFault(err error) bool {
+	_, ok := AsFault(err)
+	return ok
+}

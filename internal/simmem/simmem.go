@@ -1,0 +1,996 @@
+// Package simmem implements the simulated memory subsystem that the whole
+// framework is built on: a byte-addressable address space divided into
+// application memory regions (private, heap, stack — Table 2 of the paper),
+// with pluggable per-region protection codecs (ECC), stuck-at fault state
+// for hard errors, access observation hooks for the monitoring framework,
+// optional persistent backing storage for recoverability experiments, and a
+// virtual clock.
+//
+// It substitutes for the paper's WinDbg-based manipulation of live process
+// memory: applications in internal/apps store all of their data structures
+// in an AddressSpace and access them through Load/Store, so injected bit
+// flips corrupt the actual bytes those applications parse and traverse.
+// Crashes, incorrect results, and masking then emerge from real execution
+// rather than from a closed-form model.
+package simmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+// RegionKind classifies application memory regions per Table 2.
+type RegionKind int
+
+// Region kinds.
+const (
+	// RegionPrivate is pre-allocated user-managed memory (VirtualAlloc /
+	// mmap), e.g. WebSearch's read-only index cache.
+	RegionPrivate RegionKind = iota + 1
+	// RegionHeap holds dynamically allocated data.
+	RegionHeap
+	// RegionStack holds function parameters and local variables.
+	RegionStack
+	// RegionOther is program code, managed heap, and so on.
+	RegionOther
+)
+
+// String returns the region kind name as used in the paper's tables.
+func (k RegionKind) String() string {
+	switch k {
+	case RegionPrivate:
+		return "private"
+	case RegionHeap:
+		return "heap"
+	case RegionStack:
+		return "stack"
+	case RegionOther:
+		return "other"
+	default:
+		return fmt.Sprintf("region(%d)", int(k))
+	}
+}
+
+// Config configures an AddressSpace.
+type Config struct {
+	// PageSize is the memory page granularity in bytes (used for page
+	// retirement and checkpoint flushing). Defaults to 4096. Must be a
+	// power of two and a multiple of every region codec's word size.
+	PageSize int
+	// Clock is the virtual time source. A new zero clock is created if
+	// nil.
+	Clock *Clock
+	// ScrubOnCorrect writes corrected data back to memory on every
+	// corrected load (demand scrubbing). Off by default: like most
+	// memory controllers, corrections are made on the fly and the
+	// erroneous cells keep their contents until overwritten.
+	ScrubOnCorrect bool
+}
+
+// Counters aggregates access and protection statistics for an address
+// space.
+type Counters struct {
+	Loads         uint64
+	Stores        uint64
+	Corrected     uint64 // corrected-error decode events
+	Uncorrectable uint64 // uncorrectable decode events (before software response)
+	Recovered     uint64 // uncorrectable events repaired by an MCHandler
+}
+
+// AddressSpace is one application's simulated memory. It is not safe for
+// concurrent use; characterization campaigns create one address space per
+// trial goroutine.
+type AddressSpace struct {
+	pageSize       int
+	clock          *Clock
+	scrubOnCorrect bool
+	regions        []*Region
+	accessObs      []AccessObserver
+	eccObs         []ECCObserver
+	counters       Counters
+	cache          *cache // nil unless EnableCache was called
+}
+
+// New creates an empty address space.
+func New(cfg Config) (*AddressSpace, error) {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.PageSize < 16 || cfg.PageSize&(cfg.PageSize-1) != 0 {
+		return nil, fmt.Errorf("simmem: page size %d is not a power of two >= 16", cfg.PageSize)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = &Clock{}
+	}
+	return &AddressSpace{
+		pageSize:       cfg.PageSize,
+		clock:          cfg.Clock,
+		scrubOnCorrect: cfg.ScrubOnCorrect,
+	}, nil
+}
+
+// Clock returns the address space's virtual clock.
+func (as *AddressSpace) Clock() *Clock { return as.clock }
+
+// PageSize returns the page granularity in bytes.
+func (as *AddressSpace) PageSize() int { return as.pageSize }
+
+// Counters returns a snapshot of the access and ECC counters.
+func (as *AddressSpace) Counters() Counters { return as.counters }
+
+// AddAccessObserver registers an observer for application accesses.
+func (as *AddressSpace) AddAccessObserver(o AccessObserver) {
+	as.accessObs = append(as.accessObs, o)
+}
+
+// AddECCObserver registers an observer for detection/correction events.
+func (as *AddressSpace) AddECCObserver(o ECCObserver) {
+	as.eccObs = append(as.eccObs, o)
+}
+
+// Regions returns the mapped regions in layout order. The returned slice
+// must not be modified.
+func (as *AddressSpace) Regions() []*Region { return as.regions }
+
+// RegionByKind returns the first region of the given kind, or nil.
+func (as *AddressSpace) RegionByKind(k RegionKind) *Region {
+	for _, r := range as.regions {
+		if r.kind == k {
+			return r
+		}
+	}
+	return nil
+}
+
+// RegionByName returns the named region, or nil.
+func (as *AddressSpace) RegionByName(name string) *Region {
+	for _, r := range as.regions {
+		if r.name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// RegionSpec describes a region to map.
+type RegionSpec struct {
+	// Name identifies the region (unique within the address space).
+	Name string
+	// Kind is the Table 2 classification.
+	Kind RegionKind
+	// Size is the mapped size in bytes; it is rounded up to a whole
+	// number of pages.
+	Size int
+	// ReadOnly rejects application stores (setup and recovery writes go
+	// through WriteRaw). WebSearch's index cache is read-only.
+	ReadOnly bool
+	// Backed maintains a persistent-storage shadow copy used by the
+	// recoverability analysis and by Par+R software recovery.
+	Backed bool
+	// Codec is the hardware protection technique; nil means no
+	// detection/correction (NoECC).
+	Codec Codec
+	// MC handles uncorrectable errors; nil means they crash the
+	// application.
+	MC MCHandler
+}
+
+// regionGap leaves unmapped guard space between regions so corrupted
+// pointers usually fault rather than silently landing in a neighbour.
+const regionGap = 1 << 20
+
+// firstBase is the base address of the first mapped region; addresses below
+// it are never mapped, so small corrupted offsets fault.
+const firstBase Addr = 1 << 16
+
+// AddRegion maps a new region after the existing ones.
+func (as *AddressSpace) AddRegion(spec RegionSpec) (*Region, error) {
+	if spec.Size <= 0 {
+		return nil, fmt.Errorf("simmem: region %q size must be positive, got %d", spec.Name, spec.Size)
+	}
+	if as.RegionByName(spec.Name) != nil {
+		return nil, fmt.Errorf("simmem: region %q already mapped", spec.Name)
+	}
+	if spec.Codec != nil {
+		w := spec.Codec.WordBytes()
+		if w <= 0 || as.pageSize%w != 0 {
+			return nil, fmt.Errorf("simmem: codec %q word size %d does not divide page size %d",
+				spec.Codec.Name(), w, as.pageSize)
+		}
+		if spec.Codec.CheckBytes() <= 0 {
+			return nil, fmt.Errorf("simmem: codec %q has no check storage", spec.Codec.Name())
+		}
+	}
+	// Round size up to whole pages.
+	npages := (spec.Size + as.pageSize - 1) / as.pageSize
+	size := npages * as.pageSize
+
+	base := firstBase
+	if n := len(as.regions); n > 0 {
+		last := as.regions[n-1]
+		base = last.base + Addr(last.size) + regionGap
+	}
+	r := &Region{
+		as:       as,
+		name:     spec.Name,
+		kind:     spec.Kind,
+		base:     base,
+		size:     size,
+		readOnly: spec.ReadOnly,
+		codec:    spec.Codec,
+		mc:       spec.MC,
+		pages:    make([]*page, npages),
+	}
+	checkPerPage := 0
+	if spec.Codec != nil {
+		checkPerPage = as.pageSize / spec.Codec.WordBytes() * spec.Codec.CheckBytes()
+	}
+	for i := range r.pages {
+		p := &page{data: make([]byte, as.pageSize)}
+		if checkPerPage > 0 {
+			p.check = make([]byte, checkPerPage)
+		}
+		r.pages[i] = p
+	}
+	if spec.Backed {
+		r.backing = make([]byte, size)
+	}
+	as.regions = append(as.regions, r)
+	return r, nil
+}
+
+// page is one physical page frame of a region.
+type page struct {
+	data  []byte
+	check []byte // nil when the region is unprotected
+	// stuckSet forces bits to 1 on sensing; stuckClr forces bits to 0.
+	// Both are nil until the first hard error is installed.
+	stuckSet  []byte
+	stuckClr  []byte
+	corrected uint64 // corrected-error events observed on this frame
+	replaced  int    // times the frame was replaced (retirement)
+}
+
+// senseByte returns the value the memory device would return for byte i of
+// the page, applying stuck-at faults.
+func (p *page) senseByte(i int) byte {
+	b := p.data[i]
+	if p.stuckClr != nil {
+		b &^= p.stuckClr[i]
+	}
+	if p.stuckSet != nil {
+		b |= p.stuckSet[i]
+	}
+	return b
+}
+
+// hasStuck reports whether the frame has any stuck-at fault state.
+func (p *page) hasStuck() bool { return p.stuckSet != nil || p.stuckClr != nil }
+
+// Region is a contiguous mapped range of the address space.
+type Region struct {
+	as       *AddressSpace
+	name     string
+	kind     RegionKind
+	base     Addr
+	size     int
+	readOnly bool
+	codec    Codec
+	mc       MCHandler
+	pages    []*page
+	backing  []byte
+	used     int
+}
+
+// Name returns the region name.
+func (r *Region) Name() string { return r.name }
+
+// Kind returns the Table 2 classification.
+func (r *Region) Kind() RegionKind { return r.kind }
+
+// Base returns the first mapped address.
+func (r *Region) Base() Addr { return r.base }
+
+// Size returns the mapped size in bytes.
+func (r *Region) Size() int { return r.size }
+
+// ReadOnly reports whether application stores are rejected.
+func (r *Region) ReadOnly() bool { return r.readOnly }
+
+// Backed reports whether the region has a persistent-storage shadow.
+func (r *Region) Backed() bool { return r.backing != nil }
+
+// Codec returns the protection codec, or nil for NoECC.
+func (r *Region) Codec() Codec { return r.codec }
+
+// SetMCHandler installs (or clears) the uncorrectable-error software
+// response for this region.
+func (r *Region) SetMCHandler(h MCHandler) { r.mc = h }
+
+// Used returns the high-water mark of bytes actually occupied by
+// application data, as reported by the region's allocator. Error-injection
+// address sampling draws only from used bytes, matching the paper's
+// sampling of valid application addresses.
+func (r *Region) Used() int { return r.used }
+
+// SetUsed records the number of occupied bytes (clamped to the region
+// size).
+func (r *Region) SetUsed(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > r.size {
+		n = r.size
+	}
+	r.used = n
+}
+
+// Contains reports whether addr falls inside the region.
+func (r *Region) Contains(addr Addr) bool {
+	return addr >= r.base && addr < r.base+Addr(r.size)
+}
+
+// PageCount returns the number of page frames.
+func (r *Region) PageCount() int { return len(r.pages) }
+
+// PageIndex returns the page number containing addr, which must be inside
+// the region.
+func (r *Region) PageIndex(addr Addr) int {
+	return int(addr-r.base) / r.as.pageSize
+}
+
+// PageAddr returns the first address of page i.
+func (r *Region) PageAddr(i int) Addr {
+	return r.base + Addr(i*r.as.pageSize)
+}
+
+// CorrectedOnPage returns the number of corrected-error events observed on
+// page i since its frame was last replaced. Page-retirement policies use
+// this as their threshold input.
+func (r *Region) CorrectedOnPage(i int) uint64 { return r.pages[i].corrected }
+
+// Replacements returns how many times page i's frame has been replaced.
+func (r *Region) Replacements(i int) int { return r.pages[i].replaced }
+
+// findRegion locates the region containing addr.
+func (as *AddressSpace) findRegion(addr Addr) *Region {
+	for _, r := range as.regions {
+		if r.Contains(addr) {
+			return r
+		}
+	}
+	return nil
+}
+
+// locate resolves an access of n bytes at addr to a region, returning a
+// fault if the range is unmapped or runs off the end of its region.
+func (as *AddressSpace) locate(addr Addr, n int) (*Region, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("simmem: negative access length %d", n)
+	}
+	r := as.findRegion(addr)
+	if r == nil {
+		return nil, &Fault{Kind: FaultUnmapped, Addr: addr}
+	}
+	if addr+Addr(n) > r.base+Addr(r.size) {
+		return nil, &Fault{Kind: FaultOutOfRange, Addr: addr}
+	}
+	return r, nil
+}
+
+// Load reads len(buf) bytes at addr through the full memory path: stuck-at
+// faults are sensed, protected regions decode every covered codeword
+// (possibly correcting, possibly raising a machine check), and access
+// observers are notified.
+func (as *AddressSpace) Load(addr Addr, buf []byte) error {
+	r, err := as.locate(addr, len(buf))
+	if err != nil {
+		return err
+	}
+	if as.cache != nil {
+		if err := as.cachedLoad(addr, buf); err != nil {
+			return err
+		}
+	} else if r.codec == nil {
+		r.senseInto(buf, int(addr-r.base))
+	} else if err := as.loadDecoded(r, int(addr-r.base), buf); err != nil {
+		return err
+	}
+	as.counters.Loads++
+	as.notifyAccess(AccessEvent{Addr: addr, Len: len(buf), Kind: Load, Time: as.clock.Now(), Region: r})
+	return nil
+}
+
+// senseInto copies size bytes starting at region offset off into buf,
+// applying stuck-at masks.
+func (r *Region) senseInto(buf []byte, off int) {
+	ps := r.as.pageSize
+	for i := range buf {
+		o := off + i
+		p := r.pages[o/ps]
+		buf[i] = p.senseByte(o % ps)
+	}
+}
+
+// loadDecoded performs a protected load of len(buf) bytes at region offset
+// off, decoding every covered codeword.
+func (as *AddressSpace) loadDecoded(r *Region, off int, buf []byte) error {
+	w := r.codec.WordBytes()
+	c := r.codec.CheckBytes()
+	ps := as.pageSize
+	first := off / w * w
+	last := (off + len(buf) + w - 1) / w * w
+	word := make([]byte, w)
+	check := make([]byte, c)
+	for wo := first; wo < last; wo += w {
+		p := r.pages[wo/ps]
+		inPage := wo % ps
+		wordIdx := inPage / w
+		// Sense the stored word and its check bytes.
+		for i := 0; i < w; i++ {
+			word[i] = p.senseByte(inPage + i)
+		}
+		copy(check, p.check[wordIdx*c:(wordIdx+1)*c])
+
+		verdict := r.codec.Decode(word, check)
+		if verdict == VerdictUncorrectable {
+			v, err := as.handleUncorrectable(r, wo, word, check)
+			if err != nil {
+				return err
+			}
+			verdict = v
+		}
+		if verdict == VerdictCorrected {
+			as.counters.Corrected++
+			p.corrected++
+			as.notifyECC(ECCEvent{Kind: ECCCorrected, Addr: r.base + Addr(wo), Time: as.clock.Now(), Region: r})
+			if as.scrubOnCorrect {
+				copy(p.data[inPage:inPage+w], word)
+				copy(p.check[wordIdx*c:(wordIdx+1)*c], check)
+			}
+		}
+		// Copy the decoded bytes that overlap the request.
+		for i := 0; i < w; i++ {
+			o := wo + i
+			if o >= off && o < off+len(buf) {
+				buf[o-off] = word[i]
+			}
+		}
+	}
+	return nil
+}
+
+// handleUncorrectable runs the software response for an uncorrectable
+// error at region word offset wo. On successful recovery it re-senses and
+// re-decodes the word into word/check and returns the new verdict;
+// otherwise it returns a machine-check fault.
+func (as *AddressSpace) handleUncorrectable(r *Region, wo int, word, check []byte) (Verdict, error) {
+	as.counters.Uncorrectable++
+	addr := r.base + Addr(wo)
+	as.notifyECC(ECCEvent{Kind: ECCUncorrectable, Addr: addr, Time: as.clock.Now(), Region: r})
+	if r.mc == nil || r.mc.HandleMC(as, MCEvent{Addr: addr, Region: r}) != MCRecovered {
+		return VerdictUncorrectable, &Fault{Kind: FaultMachineCheck, Addr: addr}
+	}
+	// The handler claims to have repaired storage; retry once.
+	w := r.codec.WordBytes()
+	c := r.codec.CheckBytes()
+	p := r.pages[wo/as.pageSize]
+	inPage := wo % as.pageSize
+	wordIdx := inPage / w
+	for i := 0; i < w; i++ {
+		word[i] = p.senseByte(inPage + i)
+	}
+	copy(check, p.check[wordIdx*c:(wordIdx+1)*c])
+	v := r.codec.Decode(word, check)
+	if v == VerdictUncorrectable {
+		return v, &Fault{Kind: FaultMachineCheck, Addr: addr}
+	}
+	as.counters.Recovered++
+	return v, nil
+}
+
+// Store writes data at addr through the full memory path. Stores to
+// read-only regions fault. In protected regions, partial codewords are
+// read-modify-written: the untouched bytes are decoded first (which can
+// itself raise a machine check), then the whole word is re-encoded.
+func (as *AddressSpace) Store(addr Addr, data []byte) error {
+	r, err := as.locate(addr, len(data))
+	if err != nil {
+		return err
+	}
+	if r.readOnly {
+		return &Fault{Kind: FaultReadOnly, Addr: addr}
+	}
+	off := int(addr - r.base)
+	if as.cache != nil {
+		if err := as.cachedStore(addr, data); err != nil {
+			return err
+		}
+	} else if r.codec == nil {
+		r.writeBytes(off, data)
+	} else if err := as.storeEncoded(r, off, data); err != nil {
+		return err
+	}
+	as.counters.Stores++
+	as.notifyAccess(AccessEvent{Addr: addr, Len: len(data), Kind: Store, Time: as.clock.Now(), Region: r})
+	return nil
+}
+
+// writeBytes writes raw bytes at region offset off (no encoding).
+func (r *Region) writeBytes(off int, data []byte) {
+	ps := r.as.pageSize
+	for len(data) > 0 {
+		p := r.pages[off/ps]
+		inPage := off % ps
+		n := copy(p.data[inPage:], data)
+		data = data[n:]
+		off += n
+	}
+}
+
+// storeEncoded writes data at region offset off in a protected region,
+// re-encoding every touched codeword.
+func (as *AddressSpace) storeEncoded(r *Region, off int, data []byte) error {
+	w := r.codec.WordBytes()
+	c := r.codec.CheckBytes()
+	ps := as.pageSize
+	first := off / w * w
+	last := (off + len(data) + w - 1) / w * w
+	word := make([]byte, w)
+	check := make([]byte, c)
+	for wo := first; wo < last; wo += w {
+		p := r.pages[wo/ps]
+		inPage := wo % ps
+		wordIdx := inPage / w
+		partial := wo < off || wo+w > off+len(data)
+		if partial {
+			// Read-modify-write: decode the existing word so latent
+			// errors in the untouched bytes are handled, not laundered
+			// into a fresh valid codeword.
+			for i := 0; i < w; i++ {
+				word[i] = p.senseByte(inPage + i)
+			}
+			copy(check, p.check[wordIdx*c:(wordIdx+1)*c])
+			verdict := r.codec.Decode(word, check)
+			if verdict == VerdictUncorrectable {
+				v, err := as.handleUncorrectable(r, wo, word, check)
+				if err != nil {
+					return err
+				}
+				verdict = v
+			}
+			if verdict == VerdictCorrected {
+				as.counters.Corrected++
+				p.corrected++
+				as.notifyECC(ECCEvent{Kind: ECCCorrected, Addr: r.base + Addr(wo), Time: as.clock.Now(), Region: r})
+			}
+		}
+		// Merge the new bytes.
+		for i := 0; i < w; i++ {
+			o := wo + i
+			if o >= off && o < off+len(data) {
+				word[i] = data[o-off]
+			}
+		}
+		r.codec.Encode(word, check)
+		copy(p.data[inPage:inPage+w], word)
+		copy(p.check[wordIdx*c:(wordIdx+1)*c], check)
+	}
+	return nil
+}
+
+// notifyAccess fans an access event out to the observers.
+func (as *AddressSpace) notifyAccess(ev AccessEvent) {
+	for _, o := range as.accessObs {
+		o.ObserveAccess(ev)
+	}
+}
+
+// notifyECC fans an ECC event out to the observers.
+func (as *AddressSpace) notifyECC(ev ECCEvent) {
+	for _, o := range as.eccObs {
+		o.ObserveECC(ev)
+	}
+}
+
+// Typed accessors. All use little-endian byte order.
+
+// LoadU64 loads a 64-bit value.
+func (as *AddressSpace) LoadU64(addr Addr) (uint64, error) {
+	var b [8]byte
+	if err := as.Load(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// StoreU64 stores a 64-bit value.
+func (as *AddressSpace) StoreU64(addr Addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return as.Store(addr, b[:])
+}
+
+// LoadU32 loads a 32-bit value.
+func (as *AddressSpace) LoadU32(addr Addr) (uint32, error) {
+	var b [4]byte
+	if err := as.Load(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// StoreU32 stores a 32-bit value.
+func (as *AddressSpace) StoreU32(addr Addr, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return as.Store(addr, b[:])
+}
+
+// LoadU16 loads a 16-bit value.
+func (as *AddressSpace) LoadU16(addr Addr) (uint16, error) {
+	var b [2]byte
+	if err := as.Load(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+// StoreU16 stores a 16-bit value.
+func (as *AddressSpace) StoreU16(addr Addr, v uint16) error {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	return as.Store(addr, b[:])
+}
+
+// LoadU8 loads one byte.
+func (as *AddressSpace) LoadU8(addr Addr) (byte, error) {
+	var b [1]byte
+	if err := as.Load(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// StoreU8 stores one byte.
+func (as *AddressSpace) StoreU8(addr Addr, v byte) error {
+	b := [1]byte{v}
+	return as.Store(addr, b[:])
+}
+
+// LoadF64 loads a float64.
+func (as *AddressSpace) LoadF64(addr Addr) (float64, error) {
+	u, err := as.LoadU64(addr)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(u), nil
+}
+
+// StoreF64 stores a float64.
+func (as *AddressSpace) StoreF64(addr Addr, v float64) error {
+	return as.StoreU64(addr, math.Float64bits(v))
+}
+
+// LoadF32 loads a float32.
+func (as *AddressSpace) LoadF32(addr Addr) (float32, error) {
+	u, err := as.LoadU32(addr)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float32frombits(u), nil
+}
+
+// StoreF32 stores a float32.
+func (as *AddressSpace) StoreF32(addr Addr, v float32) error {
+	return as.StoreU32(addr, math.Float32bits(v))
+}
+
+// Raw access (simulator plumbing: setup, recovery, ground-truth checks).
+
+// ReadRaw copies the stored bytes at addr into buf without sensing stuck
+// bits, without ECC decoding, and without notifying observers. Tests and
+// the outcome classifier use it to inspect ground truth.
+func (as *AddressSpace) ReadRaw(addr Addr, buf []byte) error {
+	r, err := as.locate(addr, len(buf))
+	if err != nil {
+		return err
+	}
+	off := int(addr - r.base)
+	ps := as.pageSize
+	for i := range buf {
+		o := off + i
+		buf[i] = r.pages[o/ps].data[o%ps]
+	}
+	return nil
+}
+
+// WriteRaw writes bytes at addr bypassing the read-only flag and access
+// observers, re-encoding check storage so protected regions stay
+// consistent. Region initialization (loading an index into a read-only
+// cache) and software recovery use it.
+func (as *AddressSpace) WriteRaw(addr Addr, data []byte) error {
+	r, err := as.locate(addr, len(data))
+	if err != nil {
+		return err
+	}
+	off := int(addr - r.base)
+	if r.codec == nil {
+		r.writeBytes(off, data)
+		return nil
+	}
+	// Widen to whole codewords so re-encoding is well defined; the
+	// untouched bytes keep their stored (possibly erroneous) values.
+	w := r.codec.WordBytes()
+	first := off / w * w
+	last := (off + len(data) + w - 1) / w * w
+	wide := make([]byte, last-first)
+	ps := as.pageSize
+	for i := range wide {
+		o := first + i
+		wide[i] = r.pages[o/ps].data[o%ps]
+	}
+	copy(wide[off-first:], data)
+	check := make([]byte, r.codec.CheckBytes())
+	for wo := first; wo < last; wo += w {
+		word := wide[wo-first : wo-first+w]
+		r.codec.Encode(word, check)
+		p := r.pages[wo/ps]
+		inPage := wo % ps
+		c := r.codec.CheckBytes()
+		wordIdx := inPage / w
+		copy(p.data[inPage:inPage+w], word)
+		copy(p.check[wordIdx*c:(wordIdx+1)*c], check)
+	}
+	return nil
+}
+
+// Error injection (the Algorithm 1(a) primitive).
+
+// FlipBit flips one stored data bit: bit index 0..7 within the byte at
+// addr. It models a soft error: the flip is persistent until the byte is
+// overwritten, invisible to ECC until the word is next decoded, and does
+// not notify observers.
+func (as *AddressSpace) FlipBit(addr Addr, bit int) error {
+	if bit < 0 || bit > 7 {
+		return fmt.Errorf("simmem: bit index %d out of range [0,7]", bit)
+	}
+	r, err := as.locate(addr, 1)
+	if err != nil {
+		return err
+	}
+	off := int(addr - r.base)
+	p := r.pages[off/as.pageSize]
+	p.data[off%as.pageSize] ^= 1 << bit
+	return nil
+}
+
+// FlipCheckBit flips one stored check bit of the codeword containing addr
+// (bit counts across the word's check bytes, LSB-first). It returns an
+// error for unprotected regions.
+func (as *AddressSpace) FlipCheckBit(addr Addr, bit int) error {
+	r, err := as.locate(addr, 1)
+	if err != nil {
+		return err
+	}
+	if r.codec == nil {
+		return fmt.Errorf("simmem: region %q has no check storage", r.name)
+	}
+	c := r.codec.CheckBytes()
+	if bit < 0 || bit >= c*8 {
+		return fmt.Errorf("simmem: check bit %d out of range [0,%d)", bit, c*8)
+	}
+	w := r.codec.WordBytes()
+	off := int(addr-r.base) / w * w
+	p := r.pages[off/as.pageSize]
+	wordIdx := (off % as.pageSize) / w
+	p.check[wordIdx*c+bit/8] ^= 1 << (bit % 8)
+	return nil
+}
+
+// StickBit installs a stuck-at fault on one data bit: the cell will sense
+// as value (0 or 1) regardless of what is stored, modelling a hard error.
+// Overwrites do not clear it; only frame replacement (page retirement)
+// does.
+func (as *AddressSpace) StickBit(addr Addr, bit, value int) error {
+	if bit < 0 || bit > 7 {
+		return fmt.Errorf("simmem: bit index %d out of range [0,7]", bit)
+	}
+	if value != 0 && value != 1 {
+		return fmt.Errorf("simmem: stuck value must be 0 or 1, got %d", value)
+	}
+	r, err := as.locate(addr, 1)
+	if err != nil {
+		return err
+	}
+	off := int(addr - r.base)
+	p := r.pages[off/as.pageSize]
+	i := off % as.pageSize
+	mask := byte(1) << bit
+	if value == 1 {
+		if p.stuckSet == nil {
+			p.stuckSet = make([]byte, as.pageSize)
+		}
+		p.stuckSet[i] |= mask
+		if p.stuckClr != nil {
+			p.stuckClr[i] &^= mask
+		}
+	} else {
+		if p.stuckClr == nil {
+			p.stuckClr = make([]byte, as.pageSize)
+		}
+		p.stuckClr[i] |= mask
+		if p.stuckSet != nil {
+			p.stuckSet[i] &^= mask
+		}
+	}
+	return nil
+}
+
+// ReplaceFrame models OS page retirement: the page's frame is replaced by a
+// fresh one, clearing stuck-at faults and corrected-error counters. The new
+// frame is filled from the region's backing store if it has one, and zeroed
+// otherwise; check storage is re-encoded.
+func (r *Region) ReplaceFrame(pageIdx int) error {
+	if pageIdx < 0 || pageIdx >= len(r.pages) {
+		return fmt.Errorf("simmem: page %d out of range [0,%d)", pageIdx, len(r.pages))
+	}
+	p := r.pages[pageIdx]
+	p.stuckSet = nil
+	p.stuckClr = nil
+	p.corrected = 0
+	p.replaced++
+	ps := r.as.pageSize
+	if r.backing != nil {
+		copy(p.data, r.backing[pageIdx*ps:(pageIdx+1)*ps])
+	} else {
+		for i := range p.data {
+			p.data[i] = 0
+		}
+	}
+	if r.codec != nil {
+		w := r.codec.WordBytes()
+		c := r.codec.CheckBytes()
+		check := make([]byte, c)
+		for wo := 0; wo < ps; wo += w {
+			r.codec.Encode(p.data[wo:wo+w], check)
+			copy(p.check[wo/w*c:(wo/w+1)*c], check)
+		}
+	}
+	return nil
+}
+
+// Backing-store (persistent storage) operations.
+
+// FlushPage copies page i's current stored bytes to the backing store —
+// one step of a periodic checkpoint (the Par+R five-minute flush).
+func (r *Region) FlushPage(i int) error {
+	if r.backing == nil {
+		return fmt.Errorf("simmem: region %q has no backing store", r.name)
+	}
+	if i < 0 || i >= len(r.pages) {
+		return fmt.Errorf("simmem: page %d out of range [0,%d)", i, len(r.pages))
+	}
+	ps := r.as.pageSize
+	copy(r.backing[i*ps:(i+1)*ps], r.pages[i].data)
+	return nil
+}
+
+// FlushAll checkpoints every page to the backing store.
+func (r *Region) FlushAll() error {
+	for i := range r.pages {
+		if err := r.FlushPage(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreWord reloads the codeword (or single byte, for unprotected
+// regions) containing addr from the backing store and re-encodes its check
+// storage. Par+R recovery calls this after a parity detection.
+func (r *Region) RestoreWord(addr Addr) error {
+	if r.backing == nil {
+		return fmt.Errorf("simmem: region %q has no backing store", r.name)
+	}
+	if !r.Contains(addr) {
+		return &Fault{Kind: FaultOutOfRange, Addr: addr}
+	}
+	w := 1
+	if r.codec != nil {
+		w = r.codec.WordBytes()
+	}
+	off := int(addr-r.base) / w * w
+	return r.as.WriteRaw(r.base+Addr(off), r.backing[off:off+w])
+}
+
+// BackingBytes returns the clean persistent copy of the byte range
+// [addr, addr+n), for recoverability verification in tests.
+func (r *Region) BackingBytes(addr Addr, n int) ([]byte, error) {
+	if r.backing == nil {
+		return nil, fmt.Errorf("simmem: region %q has no backing store", r.name)
+	}
+	off := int(addr - r.base)
+	if !r.Contains(addr) || off+n > r.size {
+		return nil, &Fault{Kind: FaultOutOfRange, Addr: addr}
+	}
+	out := make([]byte, n)
+	copy(out, r.backing[off:off+n])
+	return out, nil
+}
+
+// ScrubPage decodes every codeword of page i like a background memory
+// scrubber: corrected patterns are optionally written back, uncorrectable
+// patterns are counted but raise no machine check (scrubbers log and move
+// on). It emits no access or ECC events and returns the counts. Scrubbing
+// an unprotected region reports zeroes — without a code there is nothing
+// to detect (the paper's §VI-C suggests memtest-style scans for such
+// regions, which compare against known patterns instead; see the recovery
+// package).
+func (r *Region) ScrubPage(i int, writeBack bool) (corrected, uncorrectable int, err error) {
+	if i < 0 || i >= len(r.pages) {
+		return 0, 0, fmt.Errorf("simmem: page %d out of range [0,%d)", i, len(r.pages))
+	}
+	if r.codec == nil {
+		return 0, 0, nil
+	}
+	p := r.pages[i]
+	w := r.codec.WordBytes()
+	c := r.codec.CheckBytes()
+	ps := r.as.pageSize
+	word := make([]byte, w)
+	check := make([]byte, c)
+	for wo := 0; wo < ps; wo += w {
+		for k := 0; k < w; k++ {
+			word[k] = p.senseByte(wo + k)
+		}
+		wordIdx := wo / w
+		copy(check, p.check[wordIdx*c:(wordIdx+1)*c])
+		switch r.codec.Decode(word, check) {
+		case VerdictCorrected:
+			corrected++
+			p.corrected++
+			if writeBack {
+				copy(p.data[wo:wo+w], word)
+				copy(p.check[wordIdx*c:(wordIdx+1)*c], check)
+			}
+		case VerdictUncorrectable:
+			uncorrectable++
+		}
+	}
+	return corrected, uncorrectable, nil
+}
+
+// SampleAddr picks a uniformly random used byte address across the regions
+// accepted by filter (all regions when filter is nil), weighting regions by
+// their used sizes — the paper's "randomly select a valid byte-aligned
+// application memory address". It returns false when no accepted region
+// has any used bytes.
+func (as *AddressSpace) SampleAddr(rng *rand.Rand, filter func(*Region) bool) (Addr, bool) {
+	total := 0
+	for _, r := range as.regions {
+		if filter == nil || filter(r) {
+			total += r.used
+		}
+	}
+	if total == 0 {
+		return 0, false
+	}
+	n := rng.Intn(total)
+	for _, r := range as.regions {
+		if filter != nil && !filter(r) {
+			continue
+		}
+		if n < r.used {
+			return r.base + Addr(n), true
+		}
+		n -= r.used
+	}
+	// Unreachable: the weights sum to total.
+	return 0, false
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeSingleElement(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestKSDistanceExactValue(t *testing.T) {
+	// For the two-point sample {0.25, 0.75} against Uniform(0,1), the
+	// ECDF jumps give a KS distance of exactly 0.25.
+	e, err := NewECDF([]float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf := func(x float64) float64 {
+		switch {
+		case x <= 0:
+			return 0
+		case x >= 1:
+			return 1
+		default:
+			return x
+		}
+	}
+	if d := ksDistance(e, cdf); math.Abs(d-0.25) > 1e-12 {
+		t.Errorf("KS = %g, want 0.25", d)
+	}
+}
+
+func TestFitUniformDefaultsHorizon(t *testing.T) {
+	// hi <= 0 falls back to the sample maximum.
+	f, err := FitUniformRange([]float64{1, 2, 3, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Hi != 4 {
+		t.Errorf("Hi = %g, want 4", f.Hi)
+	}
+}
+
+func TestWilsonStringFormat(t *testing.T) {
+	p, err := WilsonInterval(3, 7, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Level != 0.90 {
+		t.Errorf("level = %g", p.Level)
+	}
+}

@@ -1,0 +1,233 @@
+// Package textplot renders the reproduction's tables and figures as
+// aligned text for terminal output: tables (Tables 1, 3, 5, 6), log-scale
+// bar charts (Figs. 3, 4, 6, 8), histograms (Fig. 5a), and density
+// "violin" strips (Fig. 5b).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the table with aligned columns.
+func (t *Table) Render() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			if i < cols-1 {
+				b.WriteString("  ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		var sep []string
+		for i := 0; i < cols; i++ {
+			sep = append(sep, strings.Repeat("-", widths[i]))
+		}
+		writeRow(sep)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar is one labeled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	// Note is appended after the value (e.g. a confidence interval).
+	Note string
+}
+
+// BarChart renders horizontal bars, optionally on a log10 scale (the
+// paper's incorrect-rate figures span six orders of magnitude).
+func BarChart(title string, bars []Bar, width int, logScale bool) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	minPos := math.Inf(1)
+	for _, b := range bars {
+		if b.Value > maxV {
+			maxV = b.Value
+		}
+		if b.Value > 0 && b.Value < minPos {
+			minPos = b.Value
+		}
+	}
+	labelW := 0
+	for _, b := range bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	scale := func(v float64) int {
+		if v <= 0 || maxV <= 0 {
+			return 0
+		}
+		if !logScale {
+			return int(math.Round(v / maxV * float64(width)))
+		}
+		lo := math.Log10(minPos) - 0.5
+		hi := math.Log10(maxV)
+		if hi <= lo {
+			return width
+		}
+		return int(math.Round((math.Log10(v) - lo) / (hi - lo) * float64(width)))
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for _, bar := range bars {
+		n := scale(bar.Value)
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(&b, "%-*s |%-*s %s", labelW, bar.Label, width, strings.Repeat("#", n), formatValue(bar.Value))
+		if bar.Note != "" {
+			b.WriteString("  ")
+			b.WriteString(bar.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatValue picks a compact representation.
+func formatValue(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// HistogramPlot renders counts per bin as a vertical profile of '#'
+// columns laid out horizontally (one row per bin), labeling bin centers.
+func HistogramPlot(title string, centers []float64, counts []int, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, c := range counts {
+		n := 0
+		if maxC > 0 {
+			n = int(math.Round(float64(c) / float64(maxC) * float64(width)))
+		}
+		fmt.Fprintf(&b, "%8.1f |%-*s %d\n", centers[i], width, strings.Repeat("#", n), c)
+	}
+	return b.String()
+}
+
+// violinGlyphs maps density (0..1) to characters.
+var violinGlyphs = []byte(" .:-=+*#%@")
+
+// ViolinStrip renders one normalized density profile (values in [0,1],
+// low to high along the axis) as a single character strip.
+func ViolinStrip(profile []float64) string {
+	out := make([]byte, len(profile))
+	for i, v := range profile {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		idx := int(v * float64(len(violinGlyphs)-1))
+		out[i] = violinGlyphs[idx]
+	}
+	return string(out)
+}
+
+// ViolinPlot renders labeled density strips over [lo, hi] with an axis
+// line, plus each distribution's mean marker ("^") — the Fig. 5b layout.
+func ViolinPlot(title string, labels []string, profiles [][]float64, means []float64, lo, hi float64) string {
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, l := range labels {
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, l, ViolinStrip(profiles[i]))
+		if means != nil && i < len(means) && len(profiles[i]) > 1 {
+			pos := int((means[i] - lo) / (hi - lo) * float64(len(profiles[i])-1))
+			if pos < 0 {
+				pos = 0
+			}
+			if pos >= len(profiles[i]) {
+				pos = len(profiles[i]) - 1
+			}
+			fmt.Fprintf(&b, "%-*s |%s^ mean=%.2f\n", labelW, "", strings.Repeat(" ", pos), means[i])
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %-*.2f%*.2f\n", labelW, "", 10, lo, 10, hi)
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Value"},
+	}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-long", "22")
+	out := tb.Render()
+	if !strings.Contains(out, "Demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: "Value" column starts at the same offset.
+	h := strings.Index(lines[1], "Value")
+	r := strings.Index(lines[3], "1")
+	if h != r {
+		t.Errorf("misaligned columns: header at %d, row at %d\n%s", h, r, out)
+	}
+}
+
+func TestTableNoHeaders(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("x", "y")
+	out := tb.Render()
+	if strings.Contains(out, "--") {
+		t.Error("separator rendered without headers")
+	}
+}
+
+func TestBarChartLinear(t *testing.T) {
+	out := BarChart("Chart", []Bar{
+		{Label: "a", Value: 10},
+		{Label: "b", Value: 5},
+		{Label: "zero", Value: 0},
+	}, 20, false)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	aCount := strings.Count(lines[1], "#")
+	bCount := strings.Count(lines[2], "#")
+	if aCount != 20 || bCount != 10 {
+		t.Errorf("bar lengths = %d, %d; want 20, 10", aCount, bCount)
+	}
+	if strings.Count(lines[3], "#") != 0 {
+		t.Error("zero value drew a bar")
+	}
+}
+
+func TestBarChartLog(t *testing.T) {
+	out := BarChart("", []Bar{
+		{Label: "big", Value: 1e6},
+		{Label: "small", Value: 1},
+	}, 30, true)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	big := strings.Count(lines[0], "#")
+	small := strings.Count(lines[1], "#")
+	if big != 30 {
+		t.Errorf("max bar = %d, want full width", big)
+	}
+	if small == 0 {
+		t.Error("log scale lost the small value entirely")
+	}
+	if small >= big {
+		t.Error("ordering broken")
+	}
+}
+
+func TestBarChartNotes(t *testing.T) {
+	out := BarChart("", []Bar{{Label: "x", Value: 1, Note: "[0.5, 1.5]"}}, 10, false)
+	if !strings.Contains(out, "[0.5, 1.5]") {
+		t.Error("note missing")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1e7, "1e+07"},
+		{150, "150"},
+		{1.234, "1.23"},
+	}
+	for _, tt := range tests {
+		if got := formatValue(tt.v); got != tt.want {
+			t.Errorf("formatValue(%g) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestHistogramPlot(t *testing.T) {
+	out := HistogramPlot("H", []float64{1, 2, 3}, []int{4, 8, 0}, 16)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if strings.Count(lines[2], "#") != 16 {
+		t.Error("max bin not full width")
+	}
+	if strings.Count(lines[1], "#") != 8 {
+		t.Error("half bin wrong length")
+	}
+	if strings.Count(lines[3], "#") != 0 {
+		t.Error("empty bin drew marks")
+	}
+}
+
+func TestViolinStrip(t *testing.T) {
+	s := ViolinStrip([]float64{0, 0.5, 1, -1, 2})
+	if len(s) != 5 {
+		t.Fatalf("length = %d", len(s))
+	}
+	if s[0] != ' ' || s[2] != '@' {
+		t.Errorf("glyph mapping wrong: %q", s)
+	}
+	if s[3] != ' ' || s[4] != '@' {
+		t.Errorf("clamping wrong: %q", s)
+	}
+}
+
+func TestViolinPlot(t *testing.T) {
+	out := ViolinPlot("V", []string{"heap", "stack"},
+		[][]float64{{0, 1, 0}, {1, 0, 0}},
+		[]float64{0.5, 0.0}, 0, 1)
+	if !strings.Contains(out, "heap") || !strings.Contains(out, "stack") {
+		t.Error("labels missing")
+	}
+	if !strings.Contains(out, "mean=0.50") {
+		t.Error("mean marker missing")
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("density glyphs missing")
+	}
+}

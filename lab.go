@@ -1,0 +1,119 @@
+package hrmsim
+
+import (
+	"fmt"
+
+	"hrmsim/internal/experiments"
+)
+
+// ComparisonRow is one paper-vs-measured data point of a regenerated
+// experiment.
+type ComparisonRow struct {
+	Metric   string
+	Paper    string
+	Measured string
+	Note     string
+}
+
+// ExperimentReport is one regenerated table or figure.
+type ExperimentReport struct {
+	// ID is the experiment identifier (see ExperimentIDs).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Text is the rendered table/figure, ready to print.
+	Text string
+	// Comparisons hold structured paper-vs-measured rows.
+	Comparisons []ComparisonRow
+}
+
+// ExperimentIDs lists every reproducible table and figure in paper order:
+// table1, table3, table4, fig3, fig4, fig5a, fig5b, fig6, table5, table6,
+// fig8, fig9.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExtensionIDs lists the experiments beyond the paper's published
+// evaluation: multi-server aggregation (§V-B), correlated
+// device-structure faults (§VII future work), and scrubbing/retirement
+// ablations.
+func ExtensionIDs() []string { return experiments.ExtensionIDs() }
+
+// LabConfig sizes a Lab's campaigns.
+type LabConfig struct {
+	// Trials per campaign cell (default 400; use ~60 for quick runs).
+	Trials int
+	// TimingTrials is the larger count for the Fig. 5a timing
+	// distribution (default 3× Trials).
+	TimingTrials int
+	// Watchpoints for safe-ratio sampling (default 1590, the paper's
+	// Fig. 5b sample size).
+	Watchpoints int
+	// Seed drives everything (default 1).
+	Seed int64
+	// Parallelism bounds concurrent trials (default GOMAXPROCS).
+	Parallelism int
+}
+
+// Lab regenerates the paper's tables and figures. Campaign cells are
+// cached, so regenerating several related figures shares work.
+type Lab struct {
+	suite *experiments.Suite
+}
+
+// NewLab creates a lab.
+func NewLab(cfg LabConfig) (*Lab, error) {
+	if cfg.Trials == 0 {
+		cfg.Trials = 400
+	}
+	if cfg.TimingTrials == 0 {
+		cfg.TimingTrials = 3 * cfg.Trials
+	}
+	if cfg.Watchpoints == 0 {
+		cfg.Watchpoints = 1590
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	s, err := experiments.NewSuite(experiments.Scale{
+		Trials:      cfg.Trials,
+		Fig5aTrials: cfg.TimingTrials,
+		Watchpoints: cfg.Watchpoints,
+		Seed:        cfg.Seed,
+		Parallelism: cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{suite: s}, nil
+}
+
+// Run regenerates one experiment by ID.
+func (l *Lab) Run(id string) (*ExperimentReport, error) {
+	rep, err := l.suite.Run(id)
+	if err != nil {
+		return nil, err
+	}
+	return convertReport(rep), nil
+}
+
+// RunAll regenerates every experiment in paper order.
+func (l *Lab) RunAll() ([]*ExperimentReport, error) {
+	var out []*ExperimentReport
+	for _, id := range experiments.IDs() {
+		rep, err := l.Run(id)
+		if err != nil {
+			return nil, fmt.Errorf("hrmsim: experiment %s: %w", id, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// convertReport maps the internal report type.
+func convertReport(rep *experiments.Report) *ExperimentReport {
+	out := &ExperimentReport{ID: rep.ID, Title: rep.Title, Text: rep.Text}
+	for _, c := range rep.Comparisons {
+		out.Comparisons = append(out.Comparisons, ComparisonRow(c))
+	}
+	return out
+}
