@@ -1,0 +1,254 @@
+// JSON output mode: every subcommand can emit its result as a single
+// machine-readable JSON document on stdout instead of rendered text. The
+// envelope and every field below are a stable, versioned contract
+// documented in OBSERVABILITY.md — bump schemaVersion on any breaking
+// change (renamed/removed field or changed meaning; additions are
+// backward compatible and do not bump).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hrmsim"
+	"hrmsim/internal/obsv"
+	"hrmsim/internal/stats"
+)
+
+// schemaVersion identifies the JSON result schema emitted by -json.
+const schemaVersion = 1
+
+// envelope wraps every -json result.
+type envelope struct {
+	SchemaVersion int    `json:"schema_version"`
+	Tool          string `json:"tool"`
+	Command       string `json:"command"`
+	Result        any    `json:"result"`
+	// Metrics holds the obsv snapshot of instrumented commands
+	// (characterize), mirroring what kvserve serves at /metrics.
+	Metrics *obsv.Snapshot `json:"metrics,omitempty"`
+}
+
+// emitJSON writes one indented envelope to stdout.
+func emitJSON(command string, result any, metrics *obsv.Snapshot) error {
+	b, err := json.MarshalIndent(envelope{
+		SchemaVersion: schemaVersion,
+		Tool:          "hrmsim",
+		Command:       command,
+		Result:        result,
+		Metrics:       metrics,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding %s result: %w", command, err)
+	}
+	_, err = fmt.Fprintln(os.Stdout, string(b))
+	return err
+}
+
+// characterizeJSON is the `characterize -json` result.
+type characterizeJSON struct {
+	App                     string         `json:"app"`
+	Error                   string         `json:"error"`
+	Region                  string         `json:"region"` // "" = all regions
+	Trials                  int            `json:"trials"`
+	CrashProbability        float64        `json:"crash_probability"`
+	CrashCILow              float64        `json:"crash_ci_low"`
+	CrashCIHigh             float64        `json:"crash_ci_high"`
+	ToleratedProbability    float64        `json:"tolerated_probability"`
+	IncorrectPerBillion     float64        `json:"incorrect_per_billion"`
+	MaxIncorrectPerBillion  float64        `json:"max_incorrect_per_billion"`
+	Outcomes                map[string]int `json:"outcomes"`
+	CrashMinutes            []float64      `json:"crash_minutes"`
+	IncorrectMinutes        []float64      `json:"incorrect_minutes"`
+	AllIncorrectMinutes     []float64      `json:"all_incorrect_minutes"`
+	CrashMinutesSummary     *stats.Summary `json:"crash_minutes_summary,omitempty"`
+	IncorrectMinutesSummary *stats.Summary `json:"incorrect_minutes_summary,omitempty"`
+}
+
+// summarize returns a Summary pointer, or nil for an empty sample.
+func summarize(xs []float64) *stats.Summary {
+	s, err := stats.Summarize(xs)
+	if err != nil {
+		return nil
+	}
+	return &s
+}
+
+// nonNil returns xs, or an empty (non-null in JSON) slice.
+func nonNil(xs []float64) []float64 {
+	if xs == nil {
+		return []float64{}
+	}
+	return xs
+}
+
+func toCharacterizeJSON(c *hrmsim.Characterization) characterizeJSON {
+	return characterizeJSON{
+		App:                     string(c.App),
+		Error:                   string(c.Error),
+		Region:                  string(c.Region),
+		Trials:                  c.Trials,
+		CrashProbability:        c.CrashProbability,
+		CrashCILow:              c.CrashCILow,
+		CrashCIHigh:             c.CrashCIHigh,
+		ToleratedProbability:    c.ToleratedProbability,
+		IncorrectPerBillion:     c.IncorrectPerBillion,
+		MaxIncorrectPerBillion:  c.MaxIncorrectPerBillion,
+		Outcomes:                c.Outcomes,
+		CrashMinutes:            nonNil(c.CrashMinutes),
+		IncorrectMinutes:        nonNil(c.IncorrectMinutes),
+		AllIncorrectMinutes:     nonNil(c.AllIncorrectMinutes),
+		CrashMinutesSummary:     summarize(c.CrashMinutes),
+		IncorrectMinutesSummary: summarize(c.IncorrectMinutes),
+	}
+}
+
+// profileJSON is the `profile -json` result.
+type profileJSON struct {
+	App           string              `json:"app"`
+	WindowMinutes float64             `json:"window_minutes"`
+	Regions       []regionProfileJSON `json:"regions"`
+}
+
+type regionProfileJSON struct {
+	Region              string    `json:"region"`
+	UsedBytes           int       `json:"used_bytes"`
+	Watchpoints         int       `json:"watchpoints"`
+	MeanSafeRatio       float64   `json:"mean_safe_ratio"`
+	SafeRatios          []float64 `json:"safe_ratios"`
+	ImplicitRecoverable float64   `json:"implicit_recoverable"`
+	ExplicitRecoverable float64   `json:"explicit_recoverable"`
+}
+
+func toProfileJSON(rep *hrmsim.AccessProfileReport) profileJSON {
+	out := profileJSON{
+		App:           string(rep.App),
+		WindowMinutes: rep.WindowMinutes,
+		Regions:       []regionProfileJSON{},
+	}
+	for _, r := range rep.Regions {
+		out.Regions = append(out.Regions, regionProfileJSON{
+			Region:              r.Region,
+			UsedBytes:           r.UsedBytes,
+			Watchpoints:         r.Watchpoints,
+			MeanSafeRatio:       r.MeanSafeRatio,
+			SafeRatios:          nonNil(r.SafeRatios),
+			ImplicitRecoverable: r.ImplicitRecoverable,
+			ExplicitRecoverable: r.ExplicitRecoverable,
+		})
+	}
+	return out
+}
+
+// designRowJSON is one design point in `designspace -json` / `plan -json`.
+type designRowJSON struct {
+	Name                string  `json:"name"`
+	MemorySavings       float64 `json:"memory_savings"`
+	MemorySavingsLo     float64 `json:"memory_savings_lo"`
+	MemorySavingsHi     float64 `json:"memory_savings_hi"`
+	ServerSavings       float64 `json:"server_savings"`
+	ServerSavingsLo     float64 `json:"server_savings_lo"`
+	ServerSavingsHi     float64 `json:"server_savings_hi"`
+	CrashesPerMonth     float64 `json:"crashes_per_month"`
+	Availability        float64 `json:"availability"`
+	IncorrectPerMillion float64 `json:"incorrect_per_million"`
+	MeetsTarget         bool    `json:"meets_target"`
+}
+
+func toDesignRowJSON(r hrmsim.DesignRow) designRowJSON {
+	return designRowJSON{
+		Name:                r.Name,
+		MemorySavings:       r.MemorySavings,
+		MemorySavingsLo:     r.MemorySavingsLo,
+		MemorySavingsHi:     r.MemorySavingsHi,
+		ServerSavings:       r.ServerSavings,
+		ServerSavingsLo:     r.ServerSavingsLo,
+		ServerSavingsHi:     r.ServerSavingsHi,
+		CrashesPerMonth:     r.CrashesPerMonth,
+		Availability:        r.Availability,
+		IncorrectPerMillion: r.IncorrectPerMillion,
+		MeetsTarget:         r.MeetsTarget,
+	}
+}
+
+// designspaceJSON is the `designspace -json` result.
+type designspaceJSON struct {
+	Rows []designRowJSON `json:"rows"`
+}
+
+// planJSON is the `plan -json` result.
+type planJSON struct {
+	TargetAvailability float64           `json:"target_availability"`
+	ErrorsPerMonth     float64           `json:"errors_per_month"`
+	Considered         int               `json:"considered"`
+	Feasible           int               `json:"feasible"`
+	Best               designRowJSON     `json:"best"`
+	BestMapping        map[string]string `json:"best_mapping"`
+}
+
+// tolerableJSON is the `tolerable -json` result.
+type tolerableJSON struct {
+	Rows []tolerableRowJSON `json:"rows"`
+}
+
+type tolerableRowJSON struct {
+	Application      string              `json:"application"`
+	CrashProbability float64             `json:"crash_probability"`
+	Targets          []tolerableCellJSON `json:"targets"`
+}
+
+type tolerableCellJSON struct {
+	AvailabilityTarget      float64 `json:"availability_target"`
+	TolerableErrorsPerMonth float64 `json:"tolerable_errors_per_month"`
+}
+
+// lifetimeJSON is the `lifetime -json` result.
+type lifetimeJSON struct {
+	Protection          string  `json:"protection"`
+	ErrorsPerMonth      float64 `json:"errors_per_month"`
+	Hours               int     `json:"hours"`
+	ErrorsInjected      int     `json:"errors_injected"`
+	Crashes             int     `json:"crashes"`
+	DowntimeMinutes     float64 `json:"downtime_minutes"`
+	Availability        float64 `json:"availability"`
+	Requests            int     `json:"requests"`
+	Incorrect           int     `json:"incorrect"`
+	IncorrectPerMillion float64 `json:"incorrect_per_million"`
+	ScrubPasses         int     `json:"scrub_passes"`
+	ScrubCorrected      int     `json:"scrub_corrected"`
+}
+
+// tablesJSON is the `tables -json` result.
+type tablesJSON struct {
+	Experiments []experimentJSON `json:"experiments"`
+}
+
+type experimentJSON struct {
+	ID          string           `json:"id"`
+	Title       string           `json:"title"`
+	Text        string           `json:"text"`
+	Comparisons []comparisonJSON `json:"comparisons"`
+}
+
+type comparisonJSON struct {
+	Metric   string `json:"metric"`
+	Paper    string `json:"paper"`
+	Measured string `json:"measured"`
+	Note     string `json:"note,omitempty"`
+}
+
+func toExperimentJSON(rep *hrmsim.ExperimentReport) experimentJSON {
+	out := experimentJSON{
+		ID:          rep.ID,
+		Title:       rep.Title,
+		Text:        rep.Text,
+		Comparisons: []comparisonJSON{},
+	}
+	for _, c := range rep.Comparisons {
+		out.Comparisons = append(out.Comparisons, comparisonJSON{
+			Metric: c.Metric, Paper: c.Paper, Measured: c.Measured, Note: c.Note,
+		})
+	}
+	return out
+}

@@ -12,6 +12,12 @@
 //	hrmsim tolerable
 //	hrmsim lifetime -protection secded+scrub -errors 200000 -hours 24
 //	hrmsim tables [-t fig3] [-trials 400]
+//
+// Every subcommand accepts -json, which replaces the rendered text on
+// stdout with one machine-readable JSON document under the versioned
+// schema documented in OBSERVABILITY.md. The campaign-backed subcommands
+// (characterize, tables) also accept -progress, which reports live trial
+// completion on stderr.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"sort"
 
 	"hrmsim"
+	"hrmsim/internal/obsv"
 	"hrmsim/internal/textplot"
 )
 
@@ -72,7 +79,32 @@ Subcommands:
   lifetime      simulate continuous operation under an error arrival process
   tables        regenerate the paper's tables and figures
 
+Common flags:
+  -json         emit one machine-readable JSON document (schema: OBSERVABILITY.md)
+  -progress     report live trial completion on stderr (characterize, tables)
+
 Run 'hrmsim <subcommand> -h' for flags.`)
+}
+
+// progressFunc returns a core campaign Progress hook that rewrites one
+// stderr status line, throttled to 5% steps so heavy campaigns are not
+// slowed by terminal writes. Core serializes the calls.
+func progressFunc(label string) func(done, total int) {
+	last := -1
+	return func(done, total int) {
+		step := total / 20
+		if step == 0 {
+			step = 1
+		}
+		if done != total && done/step == last {
+			return
+		}
+		last = done / step
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials (%d%%)", label, done, total, 100*done/total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
 }
 
 // sizeFlag parses a workload size.
@@ -97,6 +129,8 @@ func cmdCharacterize(args []string) error {
 	trials := fs.Int("trials", 400, "injection trials")
 	seed := fs.Int64("seed", 1, "random seed")
 	size := fs.String("size", "medium", "workload size: small|medium|large")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON (schema: OBSERVABILITY.md)")
+	progress := fs.Bool("progress", false, "report live trial completion on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,16 +138,29 @@ func cmdCharacterize(args []string) error {
 	if err != nil {
 		return err
 	}
-	c, err := hrmsim.Characterize(hrmsim.CharacterizeConfig{
+	cfg := hrmsim.CharacterizeConfig{
 		App:    hrmsim.App(*app),
 		Error:  hrmsim.ErrorType(*errType),
 		Region: hrmsim.Region(*region),
 		Trials: *trials,
 		Seed:   *seed,
 		Size:   sz,
-	})
+	}
+	if *progress {
+		cfg.Progress = progressFunc("characterize")
+	}
+	var reg *obsv.Registry
+	if *jsonOut {
+		reg = obsv.NewRegistry()
+		cfg.Metrics = reg
+	}
+	c, err := hrmsim.Characterize(cfg)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		snap := reg.Snapshot()
+		return emitJSON("characterize", toCharacterizeJSON(c), &snap)
 	}
 	regionLabel := string(c.Region)
 	if regionLabel == "" {
@@ -146,6 +193,7 @@ func cmdProfile(args []string) error {
 	watch := fs.Int("watchpoints", 600, "sampled addresses")
 	seed := fs.Int64("seed", 1, "random seed")
 	size := fs.String("size", "medium", "workload size: small|medium|large")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON (schema: OBSERVABILITY.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -161,6 +209,9 @@ func cmdProfile(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return emitJSON("profile", toProfileJSON(rep), nil)
 	}
 	fmt.Printf("Access profile: %s (%.1f virtual minutes observed)\n\n", rep.App, rep.WindowMinutes)
 	t := &textplot.Table{
@@ -180,12 +231,20 @@ func cmdProfile(args []string) error {
 
 func cmdDesignSpace(args []string) error {
 	fs := flag.NewFlagSet("designspace", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the result as JSON (schema: OBSERVABILITY.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rows, err := hrmsim.EvaluateTable6(hrmsim.PaperWebSearchVulnerability())
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		out := designspaceJSON{Rows: []designRowJSON{}}
+		for _, r := range rows {
+			out.Rows = append(out.Rows, toDesignRowJSON(r))
+		}
+		return emitJSON("designspace", out, nil)
 	}
 	fmt.Println(renderDesignRows("Table 6 design points (paper WebSearch inputs)", rows))
 	return nil
@@ -222,6 +281,7 @@ func cmdPlan(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
 	target := fs.Float64("target", 0.999, "single server availability target")
 	errors := fs.Float64("errors", 2000, "memory errors per server per month")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON (schema: OBSERVABILITY.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -232,6 +292,16 @@ func cmdPlan(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return emitJSON("plan", planJSON{
+			TargetAvailability: *target,
+			ErrorsPerMonth:     *errors,
+			Considered:         res.Considered,
+			Feasible:           res.Feasible,
+			Best:               toDesignRowJSON(res.Best),
+			BestMapping:        res.BestMapping,
+		}, nil)
 	}
 	fmt.Printf("Design-space search: %d points considered, %d feasible at %.3f%% availability\n\n",
 		res.Considered, res.Feasible, *target*100)
@@ -250,24 +320,40 @@ func cmdPlan(args []string) error {
 
 func cmdTolerable(args []string) error {
 	fs := flag.NewFlagSet("tolerable", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the result as JSON (schema: OBSERVABILITY.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	probs := hrmsim.PaperCrashProbabilities()
+	targets := []float64{0.9999, 0.999, 0.99}
+	out := tolerableJSON{Rows: []tolerableRowJSON{}}
 	t := &textplot.Table{
 		Title:   "Tolerable memory errors/month per availability target (Fig. 8)",
 		Headers: []string{"Application", "Crash prob/error", "99.99%", "99.90%", "99.00%"},
 	}
 	for _, app := range []string{"WebSearch", "Memcached", "GraphLab"} {
 		row := []string{app, fmt.Sprintf("%.2f%%", probs[app]*100)}
-		for _, target := range []float64{0.9999, 0.999, 0.99} {
+		jr := tolerableRowJSON{
+			Application:      app,
+			CrashProbability: probs[app],
+			Targets:          []tolerableCellJSON{},
+		}
+		for _, target := range targets {
 			tol, err := hrmsim.Tolerable(probs[app], target)
 			if err != nil {
 				return err
 			}
 			row = append(row, fmt.Sprintf("%.0f", tol))
+			jr.Targets = append(jr.Targets, tolerableCellJSON{
+				AvailabilityTarget:      target,
+				TolerableErrorsPerMonth: tol,
+			})
 		}
 		t.AddRow(row...)
+		out.Rows = append(out.Rows, jr)
+	}
+	if *jsonOut {
+		return emitJSON("tolerable", out, nil)
 	}
 	fmt.Println(t.Render())
 	return nil
@@ -280,10 +366,16 @@ func cmdTables(args []string) error {
 	trials := fs.Int("trials", 400, "injection trials per campaign cell")
 	seed := fs.Int64("seed", 1, "random seed")
 	ext := fs.Bool("ext", false, "also run the extension experiments")
+	jsonOut := fs.Bool("json", false, "emit the results as JSON (schema: OBSERVABILITY.md)")
+	progress := fs.Bool("progress", false, "report live trial completion on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	lab, err := hrmsim.NewLab(hrmsim.LabConfig{Trials: *trials, Seed: *seed})
+	lcfg := hrmsim.LabConfig{Trials: *trials, Seed: *seed}
+	if *progress {
+		lcfg.Progress = progressFunc("tables")
+	}
+	lab, err := hrmsim.NewLab(lcfg)
 	if err != nil {
 		return err
 	}
@@ -294,10 +386,15 @@ func cmdTables(args []string) error {
 	if *id != "" {
 		ids = []string{*id}
 	}
+	out := tablesJSON{Experiments: []experimentJSON{}}
 	for _, x := range ids {
 		rep, err := lab.Run(x)
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			out.Experiments = append(out.Experiments, toExperimentJSON(rep))
+			continue
 		}
 		fmt.Printf("==== %s: %s ====\n\n%s\n", rep.ID, rep.Title, rep.Text)
 		if len(rep.Comparisons) > 0 {
@@ -311,6 +408,9 @@ func cmdTables(args []string) error {
 			fmt.Println()
 		}
 	}
+	if *jsonOut {
+		return emitJSON("tables", out, nil)
+	}
 	return nil
 }
 
@@ -322,6 +422,7 @@ func cmdLifetime(args []string) error {
 	hours := fs.Int("hours", 24, "simulated hours of operation")
 	recovery := fs.Int("recovery", 10, "minutes of downtime per crash")
 	seed := fs.Int64("seed", 1, "random seed")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON (schema: OBSERVABILITY.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -335,6 +436,22 @@ func cmdLifetime(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return emitJSON("lifetime", lifetimeJSON{
+			Protection:          *protection,
+			ErrorsPerMonth:      *errors,
+			Hours:               *hours,
+			ErrorsInjected:      res.ErrorsInjected,
+			Crashes:             res.Crashes,
+			DowntimeMinutes:     res.DowntimeMinutes,
+			Availability:        res.Availability,
+			Requests:            res.Requests,
+			Incorrect:           res.Incorrect,
+			IncorrectPerMillion: res.IncorrectPerMillion,
+			ScrubPasses:         res.ScrubPasses,
+			ScrubCorrected:      res.ScrubCorrected,
+		}, nil)
 	}
 	fmt.Printf("Lifetime simulation: websearch, %s protection, %.0f errors/month, %dh\n\n",
 		*protection, *errors, *hours)

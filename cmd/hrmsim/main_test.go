@@ -1,8 +1,158 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
 	"testing"
 )
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := fn()
+	_ = w.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v (output %q)", ferr, out)
+	}
+	return out
+}
+
+// decodeEnvelope parses one -json document and checks the envelope
+// contract: schema_version 1, tool hrmsim, the expected command, and a
+// result object.
+func decodeEnvelope(t *testing.T, out, command string) map[string]any {
+	t.Helper()
+	var env map[string]any
+	if err := json.Unmarshal([]byte(out), &env); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if v, ok := env["schema_version"].(float64); !ok || v != float64(schemaVersion) {
+		t.Errorf("schema_version = %v", env["schema_version"])
+	}
+	if env["tool"] != "hrmsim" {
+		t.Errorf("tool = %v", env["tool"])
+	}
+	if env["command"] != command {
+		t.Errorf("command = %v, want %s", env["command"], command)
+	}
+	res, ok := env["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("result is not an object: %v", env["result"])
+	}
+	return res
+}
+
+func TestCharacterizeJSONRoundTrip(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"characterize", "-app", "kvstore", "-size", "small",
+			"-trials", "20", "-json"})
+	})
+	res := decodeEnvelope(t, out, "characterize")
+	for _, key := range []string{"app", "error", "region", "trials",
+		"crash_probability", "crash_ci_low", "crash_ci_high",
+		"tolerated_probability", "incorrect_per_billion",
+		"max_incorrect_per_billion", "outcomes", "crash_minutes",
+		"incorrect_minutes", "all_incorrect_minutes"} {
+		if _, ok := res[key]; !ok {
+			t.Errorf("result missing documented key %q", key)
+		}
+	}
+	if res["app"] != "kvstore" || res["trials"] != float64(20) {
+		t.Errorf("result identity fields: app=%v trials=%v", res["app"], res["trials"])
+	}
+	outcomes, ok := res["outcomes"].(map[string]any)
+	if !ok {
+		t.Fatalf("outcomes: %v", res["outcomes"])
+	}
+	var total float64
+	for _, n := range outcomes {
+		total += n.(float64)
+	}
+	if total != 20 {
+		t.Errorf("outcomes sum to %g, want 20", total)
+	}
+
+	// The instrumented campaign metrics ride along in the envelope.
+	var env struct {
+		Metrics struct {
+			Counters   map[string]int64          `json:"counters"`
+			Histograms map[string]map[string]any `json:"histograms"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(out), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Metrics.Counters["campaign_trials_total"] != 20 {
+		t.Errorf("campaign_trials_total = %d", env.Metrics.Counters["campaign_trials_total"])
+	}
+	if _, ok := env.Metrics.Histograms["campaign_trial_wall_ms"]; !ok {
+		t.Error("campaign_trial_wall_ms histogram missing from metrics")
+	}
+}
+
+func TestAllSubcommandsEmitValidJSON(t *testing.T) {
+	cases := map[string][]string{
+		"profile":     {"profile", "-app", "kvstore", "-size", "small", "-watchpoints", "60", "-json"},
+		"designspace": {"designspace", "-json"},
+		"plan":        {"plan", "-target", "0.999", "-json"},
+		"tolerable":   {"tolerable", "-json"},
+		"lifetime":    {"lifetime", "-hours", "1", "-errors", "50000", "-json"},
+		"tables":      {"tables", "-t", "table1", "-trials", "10", "-json"},
+	}
+	for command, args := range cases {
+		out := captureStdout(t, func() error { return run(args) })
+		res := decodeEnvelope(t, out, command)
+		if len(res) == 0 {
+			t.Errorf("%s: empty result", command)
+		}
+	}
+}
+
+func TestCharacterizeProgressGoesToStderr(t *testing.T) {
+	oldErr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	out := captureStdout(t, func() error {
+		return run([]string{"characterize", "-app", "kvstore", "-size", "small",
+			"-trials", "20", "-json", "-progress"})
+	})
+	_ = w.Close()
+	os.Stderr = oldErr
+	errOut := <-done
+
+	if !strings.Contains(errOut, "characterize: 20/20 trials (100%)") {
+		t.Errorf("progress line missing from stderr: %q", errOut)
+	}
+	// stdout stays pure JSON even with -progress.
+	decodeEnvelope(t, out, "characterize")
+}
 
 func TestRunDispatch(t *testing.T) {
 	if err := run(nil); err == nil {

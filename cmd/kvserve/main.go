@@ -13,24 +13,38 @@
 //
 // Flags select the protection technique, so the same session can be run
 // with -ecc secded to watch the errors disappear.
+//
+// With -metrics-addr, an HTTP observability sidecar serves /metrics (the
+// obsv snapshot, plain text or ?format=json — see OBSERVABILITY.md for
+// every metric name), /healthz, and the standard net/http/pprof handlers
+// under /debug/pprof/. The process shuts down gracefully on SIGINT or
+// SIGTERM: the TCP listener closes, the active connection finishes, and
+// the sidecar drains.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"hrmsim/internal/apps/kvstore"
 	"hrmsim/internal/ecc"
 	"hrmsim/internal/faults"
 	"hrmsim/internal/inject"
+	"hrmsim/internal/obsv"
 	"hrmsim/internal/simmem"
 )
 
@@ -40,6 +54,8 @@ func main() {
 	eccName := flag.String("ecc", "none", "heap protection: none|parity|secded|chipkill")
 	seed := flag.Int64("seed", 1, "random seed")
 	once := flag.Bool("once", false, "serve a single connection then exit (for scripted demos)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics, /healthz, and /debug/pprof on this HTTP address (empty = disabled)")
 	flag.Parse()
 
 	srv, err := newServer(*keys, *eccName, *seed)
@@ -53,26 +69,84 @@ func main() {
 	defer func() { _ = ln.Close() }()
 	log.Printf("kvserve: listening on %s (heap protection: %s, %d keys)", ln.Addr(), *eccName, *keys)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var metrics *http.Server
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("kvserve: metrics listener: %v", err)
+		}
+		metrics = &http.Server{Handler: metricsMux(srv.metrics)}
+		go func() {
+			if err := metrics.Serve(mln); err != nil && err != http.ErrServerClosed {
+				log.Printf("kvserve: metrics: %v", err)
+			}
+		}()
+		log.Printf("kvserve: metrics on http://%s/metrics", mln.Addr())
+	}
+
+	// On SIGINT/SIGTERM (or the -once exit path calling stop), close the
+	// TCP listener so Accept returns; the in-flight connection finishes
+	// its handle loop before main returns.
+	go func() {
+		<-ctx.Done()
+		_ = ln.Close()
+	}()
+
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if ctx.Err() != nil {
+				log.Printf("kvserve: shutting down")
+				break
+			}
 			log.Printf("kvserve: accept: %v", err)
-			return
+			break
 		}
 		srv.handle(conn) // single-threaded: one simulated memory, one server loop
 		if *once {
-			return
+			break
 		}
+	}
+	if metrics != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = metrics.Shutdown(sctx)
 	}
 }
 
-// server wraps one kvstore instance.
+// metricsMux builds the observability sidecar: the obsv snapshot, a
+// liveness probe, and the standard pprof profiling handlers.
+func metricsMux(reg *obsv.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obsv.Handler(reg))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// server wraps one kvstore instance. The protocol loop is single-threaded,
+// but every metric is atomic, so the HTTP sidecar snapshots them safely
+// while requests are in flight.
 type server struct {
-	app      *kvstore.App
-	rng      *rand.Rand
-	ops      uint64
-	injected uint64
-	faults   uint64
+	app *kvstore.App
+	rng *rand.Rand
+
+	metrics *obsv.Registry
+	// Pre-resolved handles (names per OBSERVABILITY.md).
+	ops, gets, sets, hits, misses      *obsv.Counter
+	injected, faultsC, clientErrs      *obsv.Counter
+	opWallUs                           *obsv.Histogram
+	correctedGauge, uncorrectableGauge *obsv.Gauge
 }
 
 func newServer(keys int, eccName string, seed int64) (*server, error) {
@@ -101,7 +175,24 @@ func newServer(keys int, eccName string, seed int64) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{app: app.(*kvstore.App), rng: rand.New(rand.NewSource(seed))}, nil
+	reg := obsv.NewRegistry()
+	s := &server{
+		app:                app.(*kvstore.App),
+		rng:                rand.New(rand.NewSource(seed)),
+		metrics:            reg,
+		ops:                reg.Counter("kvserve_ops_total"),
+		gets:               reg.Counter("kvserve_gets_total"),
+		sets:               reg.Counter("kvserve_sets_total"),
+		hits:               reg.Counter("kvserve_hits_total"),
+		misses:             reg.Counter("kvserve_misses_total"),
+		injected:           reg.Counter("kvserve_injections_total"),
+		faultsC:            reg.Counter("kvserve_faults_total"),
+		clientErrs:         reg.Counter("kvserve_client_errors_total"),
+		opWallUs:           reg.Histogram("kvserve_op_wall_us", obsv.ExpBuckets(1, 4, 10)),
+		correctedGauge:     reg.Gauge("kvserve_ecc_corrected"),
+		uncorrectableGauge: reg.Gauge("kvserve_ecc_uncorrectable"),
+	}
+	return s, nil
 }
 
 // handle serves one connection.
@@ -128,6 +219,19 @@ func (s *server) handle(conn net.Conn) {
 
 // dispatch executes one protocol command.
 func (s *server) dispatch(line string) string {
+	start := time.Now()
+	resp := s.execute(line)
+	s.opWallUs.Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	if strings.HasPrefix(resp, "CLIENT_ERROR") {
+		s.clientErrs.Inc()
+	}
+	c := s.app.Space().Counters()
+	s.correctedGauge.Set(float64(c.Corrected))
+	s.uncorrectableGauge.Set(float64(c.Uncorrectable))
+	return resp
+}
+
+func (s *server) execute(line string) string {
 	parts := strings.Fields(line)
 	s.app.Space().Clock().Advance(time.Millisecond)
 	switch parts[0] {
@@ -139,15 +243,18 @@ func (s *server) dispatch(line string) string {
 		if err != nil {
 			return "CLIENT_ERROR bad key"
 		}
-		s.ops++
+		s.ops.Inc()
+		s.gets.Inc()
 		version, val, err := s.app.Get(key)
 		if err != nil {
 			if simmem.IsFault(err) {
-				s.faults++
+				s.faultsC.Inc()
 				return "SERVER_ERROR memory fault: " + err.Error()
 			}
+			s.misses.Inc()
 			return "MISS"
 		}
+		s.hits.Inc()
 		return fmt.Sprintf("VALUE %d %s", version, hex.EncodeToString(val))
 	case "set":
 		if len(parts) != 3 {
@@ -158,10 +265,11 @@ func (s *server) dispatch(line string) string {
 		if err1 != nil || err2 != nil {
 			return "CLIENT_ERROR bad arguments"
 		}
-		s.ops++
+		s.ops.Inc()
+		s.sets.Inc()
 		if err := s.app.Set(key, uint32(version)); err != nil {
 			if simmem.IsFault(err) {
-				s.faults++
+				s.faultsC.Inc()
 			}
 			return "SERVER_ERROR " + err.Error()
 		}
@@ -180,13 +288,13 @@ func (s *server) dispatch(line string) string {
 		if err != nil {
 			return "SERVER_ERROR " + err.Error()
 		}
-		s.injected++
+		s.injected.Inc()
 		return fmt.Sprintf("INJECTED %s @%#x bit %d",
 			inj.Region.Name(), uint64(inj.Targets[0].Addr), inj.Targets[0].Bits[0])
 	case "stats":
 		c := s.app.Space().Counters()
 		return fmt.Sprintf("STATS ops=%d injected=%d faults=%d corrected=%d uncorrectable=%d",
-			s.ops, s.injected, s.faults, c.Corrected, c.Uncorrectable)
+			s.ops.Value(), s.injected.Value(), s.faultsC.Value(), c.Corrected, c.Uncorrectable)
 	default:
 		return "CLIENT_ERROR unknown command"
 	}

@@ -27,7 +27,14 @@
 //
 //   - the heterogeneous-reliability design-space evaluator: cost,
 //     availability, and reliability models reproducing the paper's
-//     Table 6 and Fig. 8 analyses.
+//     Table 6 and Fig. 8 analyses;
+//
+//   - an observability layer (internal/obsv): campaigns record trial,
+//     outcome, and timing metrics into a registry of atomic counters,
+//     gauges, and histograms, surfaced through the CharacterizeConfig
+//     Progress hook, the hrmsim CLI's -json output (a versioned result
+//     schema), and the kvserve HTTP metrics sidecar. OBSERVABILITY.md
+//     documents every metric name and the JSON contract.
 //
 // The root package is the public API: plain-Go configuration structs and
 // report types wrapping the internal machinery. Start with Characterize

@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"hrmsim"
 )
@@ -18,6 +19,13 @@ func main() {
 		Trials: 200,
 		Size:   hrmsim.SizeSmall,
 		Seed:   42,
+		// Progress is called after every completed trial; printing to
+		// stderr keeps stdout clean for the report below.
+		Progress: func(done, total int) {
+			if done%50 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "trial %d/%d\n", done, total)
+			}
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

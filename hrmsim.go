@@ -12,6 +12,7 @@ import (
 	"hrmsim/internal/core"
 	"hrmsim/internal/faults"
 	"hrmsim/internal/monitor"
+	"hrmsim/internal/obsv"
 	"hrmsim/internal/simmem"
 )
 
@@ -181,6 +182,17 @@ type CharacterizeConfig struct {
 	Size WorkloadSize
 	// Parallelism bounds concurrent trials (default GOMAXPROCS).
 	Parallelism int
+	// Progress, if non-nil, is called after each completed trial with
+	// (finished, total). Calls are serialized; the hook must be cheap.
+	Progress func(done, total int)
+	// Metrics, if non-nil, receives campaign instrumentation (trial,
+	// request, and outcome counters; per-trial wall-clock and
+	// virtual-time histograms) under the metric names documented in
+	// OBSERVABILITY.md. Instrumentation never changes results. The type
+	// lives in an internal package, so this field is settable only from
+	// inside this module (the cmd/ binaries); external users get the
+	// same data from `hrmsim <cmd> -json`.
+	Metrics *obsv.Registry
 }
 
 // Characterization is the result of one campaign: the application's
@@ -247,6 +259,8 @@ func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
 		Trials:      cfg.Trials,
 		Seed:        cfg.Seed,
 		Parallelism: cfg.Parallelism,
+		Progress:    cfg.Progress,
+		Metrics:     cfg.Metrics,
 	}
 	if kind != 0 {
 		ccfg.Filter = func(r *simmem.Region) bool { return r.Kind() == kind }

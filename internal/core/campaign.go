@@ -10,6 +10,7 @@ import (
 	"hrmsim/internal/apps"
 	"hrmsim/internal/faults"
 	"hrmsim/internal/inject"
+	"hrmsim/internal/obsv"
 	"hrmsim/internal/simmem"
 	"hrmsim/internal/stats"
 )
@@ -38,6 +39,17 @@ type CampaignConfig struct {
 	// Golden optionally supplies the expected digests, skipping the
 	// golden run (reuse across campaigns of the same builder).
 	Golden []uint64
+	// Progress, if non-nil, is called after every completed trial with
+	// the number of finished trials and the campaign total. Calls are
+	// serialized, so the hook needs no locking of its own; it must be
+	// cheap, since it sits between parallel trials.
+	Progress func(done, total int)
+	// Metrics, if non-nil, receives campaign instrumentation: trial and
+	// outcome counters plus per-trial wall-clock and virtual-time
+	// histograms. The metric names are documented in OBSERVABILITY.md.
+	// Instrumentation never affects results — campaigns stay
+	// bit-identical with or without it.
+	Metrics *obsv.Registry
 }
 
 // CampaignResult aggregates a campaign.
@@ -104,6 +116,22 @@ func Run(cfg CampaignConfig) (*CampaignResult, error) {
 		par = cfg.Trials
 	}
 
+	m := newCampaignMetrics(cfg.Metrics)
+	var progressMu sync.Mutex
+	done := 0
+	finished := func(tr TrialResult, err error, wall time.Duration) {
+		if err == nil {
+			m.record(tr, wall)
+		}
+		if cfg.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		cfg.Progress(done, cfg.Trials)
+		progressMu.Unlock()
+	}
+
 	results := make([]TrialResult, cfg.Trials)
 	errs := make([]error, cfg.Trials)
 	idxCh := make(chan int)
@@ -113,7 +141,9 @@ func Run(cfg CampaignConfig) (*CampaignResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
+				start := time.Now()
 				results[i], errs[i] = runTrial(cfg, golden, i)
+				finished(results[i], errs[i], time.Since(start))
 			}
 		}()
 	}
@@ -139,6 +169,53 @@ func Run(cfg CampaignConfig) (*CampaignResult, error) {
 		res.counts[tr.Outcome]++
 	}
 	return res, nil
+}
+
+// campaignMetrics holds the pre-resolved metric handles of one campaign
+// (nil receiver = instrumentation off). Names per OBSERVABILITY.md.
+type campaignMetrics struct {
+	trials    *obsv.Counter
+	requests  *obsv.Counter
+	incorrect *obsv.Counter
+	outcomes  map[Outcome]*obsv.Counter
+	wallMs    *obsv.Histogram
+	virtMin   *obsv.Histogram
+}
+
+func newCampaignMetrics(reg *obsv.Registry) *campaignMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &campaignMetrics{
+		trials:    reg.Counter("campaign_trials_total"),
+		requests:  reg.Counter("campaign_requests_total"),
+		incorrect: reg.Counter("campaign_incorrect_responses_total"),
+		outcomes:  make(map[Outcome]*obsv.Counter, len(Outcomes())),
+		// Trial wall-clock cost: 0.25 ms .. ~8 s.
+		wallMs: reg.Histogram("campaign_trial_wall_ms", obsv.ExpBuckets(0.25, 2, 16)),
+		// Post-injection virtual span: 1 min .. ~5.7 days.
+		virtMin: reg.Histogram("campaign_trial_virtual_minutes", obsv.ExpBuckets(1, 2, 14)),
+	}
+	for _, o := range Outcomes() {
+		m.outcomes[o] = reg.Counter("campaign_outcome_" + o.MetricName())
+	}
+	return m
+}
+
+// record adds one completed trial. Safe for concurrent use: every update
+// is a single atomic operation on a pre-resolved handle.
+func (m *campaignMetrics) record(tr TrialResult, wall time.Duration) {
+	if m == nil {
+		return
+	}
+	m.trials.Inc()
+	m.requests.Add(int64(tr.Requests))
+	m.incorrect.Add(int64(tr.Incorrect))
+	m.wallMs.Observe(float64(wall) / float64(time.Millisecond))
+	m.virtMin.Observe((tr.EndedAt - tr.InjectedAt).Minutes())
+	if c, ok := m.outcomes[tr.Outcome]; ok {
+		c.Inc()
+	}
 }
 
 // trialSeed derives a decorrelated per-trial seed (splitmix-style).
@@ -217,6 +294,9 @@ func runTrial(cfg CampaignConfig, golden []uint64, i int) (TrialResult, error) {
 		}
 	}
 	tr.Outcome = classify(crashed, tr.Incorrect, tracker.first)
+	// The run ends at the crash instant or after the final request —
+	// either way, the virtual clock has stopped advancing.
+	tr.EndedAt = as.Clock().Now()
 	return tr, nil
 }
 
@@ -312,21 +392,20 @@ func (r *CampaignResult) OutcomeFractions() map[Outcome]float64 {
 }
 
 // MeanHorizon returns the average virtual run length after injection, used
-// as the Fig. 5a observation horizon.
+// as the Fig. 5a observation horizon: crashed trials are observed until the
+// crash, and every other trial for the span of the whole run (EndedAt −
+// InjectedAt). Trials without an end timestamp (hand-built results from
+// before EndedAt existed) are skipped.
 func (r *CampaignResult) MeanHorizon() time.Duration {
-	if len(r.Trials) == 0 {
-		return 0
-	}
 	var sum time.Duration
+	n := 0
 	for _, tr := range r.Trials {
-		// Approximate: requests served × per-request cost is already
-		// baked into EffectAt/InjectedAt via the virtual clock; for
-		// completed trials use the span of the whole run.
-		if d, ok := tr.TimeToEffect(); ok {
-			sum += d
+		if tr.EndedAt == 0 {
+			continue
 		}
+		sum += tr.EndedAt - tr.InjectedAt
+		n++
 	}
-	n := r.counts[OutcomeCrash] + r.counts[OutcomeIncorrect]
 	if n == 0 {
 		return 0
 	}

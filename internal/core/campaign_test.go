@@ -9,6 +9,7 @@ import (
 	"hrmsim/internal/apps/kvstore"
 	"hrmsim/internal/apps/websearch"
 	"hrmsim/internal/faults"
+	"hrmsim/internal/obsv"
 	"hrmsim/internal/simmem"
 )
 
@@ -260,17 +261,70 @@ func TestTimesToEffectAndOutcomeStrings(t *testing.T) {
 	if got := res.TimesToEffect(OutcomeMaskedLogic); len(got) != 0 {
 		t.Errorf("masked times = %v", got)
 	}
-	if res.MeanHorizon() != 6*time.Minute {
-		t.Errorf("mean horizon = %v", res.MeanHorizon())
-	}
 
-	for _, o := range []Outcome{OutcomeMaskedOverwrite, OutcomeMaskedLogic, OutcomeIncorrect, OutcomeCrash, OutcomeMaskedLatent} {
+	for _, o := range Outcomes() {
 		if o.String() == "" || strings.HasPrefix(o.String(), "outcome(") {
 			t.Errorf("missing name for outcome %d", int(o))
+		}
+		if strings.Contains(o.MetricName(), "-") {
+			t.Errorf("metric name %q not sanitized", o.MetricName())
 		}
 	}
 	if !OutcomeMaskedOverwrite.Tolerated() || OutcomeCrash.Tolerated() || OutcomeIncorrect.Tolerated() {
 		t.Error("Tolerated classification wrong")
+	}
+}
+
+func TestMeanHorizonSpansWholeRun(t *testing.T) {
+	// Pins the documented MeanHorizon semantics: crashed trials are
+	// observed until the crash, completed trials for the span of the
+	// whole run, and every trial contributes — not just crash/incorrect.
+	res := &CampaignResult{
+		Trials: []TrialResult{
+			// Crashed 2 minutes after injection: horizon 2m.
+			{Outcome: OutcomeCrash, InjectedAt: time.Minute,
+				EffectAt: 3 * time.Minute, EndedAt: 3 * time.Minute},
+			// First wrong answer at 11m but the run continued to 21m:
+			// horizon is the full 20m span, not the 10m time-to-effect.
+			{Outcome: OutcomeIncorrect, InjectedAt: time.Minute,
+				EffectAt: 11 * time.Minute, EndedAt: 21 * time.Minute},
+			// Masked trial still contributes its full 14m span.
+			{Outcome: OutcomeMaskedLogic, InjectedAt: time.Minute,
+				EndedAt: 15 * time.Minute},
+			// No end timestamp (legacy literal): skipped.
+			{Outcome: OutcomeIncorrect, InjectedAt: time.Minute,
+				EffectAt: 2 * time.Minute},
+		},
+		counts: map[Outcome]int{OutcomeCrash: 1, OutcomeIncorrect: 2, OutcomeMaskedLogic: 1},
+	}
+	if got := res.MeanHorizon(); got != 12*time.Minute {
+		t.Errorf("mean horizon = %v, want 12m", got)
+	}
+	if got := (&CampaignResult{}).MeanHorizon(); got != 0 {
+		t.Errorf("empty mean horizon = %v", got)
+	}
+}
+
+func TestCampaignSetsEndedAt(t *testing.T) {
+	res, err := Run(CampaignConfig{
+		Builder: wsBuilder(t, 12),
+		Spec:    faults.SingleBitHard,
+		Trials:  30,
+		Seed:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range res.Trials {
+		if tr.EndedAt <= tr.InjectedAt {
+			t.Fatalf("trial %d: EndedAt %v not after InjectedAt %v", i, tr.EndedAt, tr.InjectedAt)
+		}
+		if tr.EffectAt != 0 && tr.EndedAt < tr.EffectAt {
+			t.Fatalf("trial %d: EndedAt %v before EffectAt %v", i, tr.EndedAt, tr.EffectAt)
+		}
+	}
+	if res.MeanHorizon() <= 0 {
+		t.Errorf("mean horizon = %v", res.MeanHorizon())
 	}
 }
 
@@ -340,6 +394,94 @@ func TestAllIncorrectTimes(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Errorf("sample %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCampaignProgressAndMetrics(t *testing.T) {
+	reg := obsv.NewRegistry()
+	var calls []int
+	res, err := Run(CampaignConfig{
+		Builder:     kvBuilder(t, 13),
+		Spec:        faults.SingleBitSoft,
+		Trials:      24,
+		Seed:        5,
+		Parallelism: 4,
+		Progress: func(done, total int) {
+			if total != 24 {
+				t.Errorf("progress total = %d", total)
+			}
+			calls = append(calls, done)
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Progress calls are serialized and strictly increasing 1..Trials.
+	if len(calls) != 24 {
+		t.Fatalf("progress called %d times", len(calls))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress calls not monotonic: %v", calls)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["campaign_trials_total"]; got != 24 {
+		t.Errorf("campaign_trials_total = %d", got)
+	}
+	var outcomeSum int64
+	for _, o := range Outcomes() {
+		n := snap.Counters["campaign_outcome_"+o.MetricName()]
+		if n != int64(res.Count(o)) {
+			t.Errorf("campaign_outcome_%s = %d, want %d", o.MetricName(), n, res.Count(o))
+		}
+		outcomeSum += n
+	}
+	if outcomeSum != 24 {
+		t.Errorf("outcome counters sum to %d", outcomeSum)
+	}
+	var requests, incorrect int64
+	for _, tr := range res.Trials {
+		requests += int64(tr.Requests)
+		incorrect += int64(tr.Incorrect)
+	}
+	if got := snap.Counters["campaign_requests_total"]; got != requests {
+		t.Errorf("campaign_requests_total = %d, want %d", got, requests)
+	}
+	if got := snap.Counters["campaign_incorrect_responses_total"]; got != incorrect {
+		t.Errorf("campaign_incorrect_responses_total = %d, want %d", got, incorrect)
+	}
+	for _, name := range []string{"campaign_trial_wall_ms", "campaign_trial_virtual_minutes"} {
+		h, ok := snap.Histograms[name]
+		if !ok || h.Count != 24 {
+			t.Errorf("%s: %+v", name, h)
+		}
+	}
+}
+
+func TestCampaignMetricsDoNotChangeResults(t *testing.T) {
+	run := func(reg *obsv.Registry) *CampaignResult {
+		res, err := Run(CampaignConfig{
+			Builder: wsBuilder(t, 14),
+			Spec:    faults.SingleBitSoft,
+			Trials:  20,
+			Seed:    6,
+			Metrics: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, instrumented := run(nil), run(obsv.NewRegistry())
+	for i := range plain.Trials {
+		a, b := plain.Trials[i], instrumented.Trials[i]
+		if a.Outcome != b.Outcome || a.Region != b.Region ||
+			a.Incorrect != b.Incorrect || a.EndedAt != b.EndedAt {
+			t.Fatalf("trial %d differs with instrumentation:\n%+v\n%+v", i, a, b)
 		}
 	}
 }

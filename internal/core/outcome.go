@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"hrmsim/internal/simmem"
@@ -40,6 +41,12 @@ const (
 	OutcomeMaskedLatent
 )
 
+// Outcomes lists every taxonomy leaf in declaration order.
+func Outcomes() []Outcome {
+	return []Outcome{OutcomeMaskedOverwrite, OutcomeMaskedLogic,
+		OutcomeIncorrect, OutcomeCrash, OutcomeMaskedLatent}
+}
+
 // String returns the outcome label.
 func (o Outcome) String() string {
 	switch o {
@@ -56,6 +63,13 @@ func (o Outcome) String() string {
 	default:
 		return fmt.Sprintf("outcome(%d)", int(o))
 	}
+}
+
+// MetricName returns the outcome label with dashes replaced by
+// underscores, the form used in obsv metric names (OBSERVABILITY.md),
+// e.g. campaign_outcome_masked_by_overwrite.
+func (o Outcome) MetricName() string {
+	return strings.ReplaceAll(o.String(), "-", "_")
 }
 
 // Tolerated reports whether the outcome leaves the application externally
@@ -151,6 +165,10 @@ type TrialResult struct {
 	IncorrectAt []time.Duration
 	// Requests counts responses served before the trial ended.
 	Requests int
+	// EndedAt is the virtual time the trial stopped: the crash instant
+	// for crashed trials, or the end of the workload otherwise. With
+	// InjectedAt it gives each trial's observation horizon (Fig. 5a).
+	EndedAt time.Duration
 	// CrashReason holds the crash error text, if any.
 	CrashReason string
 }

@@ -34,6 +34,7 @@ func (s *Suite) campaign(app string, spec faults.Spec, kind simmem.RegionKind, t
 		Seed:        s.scale.Seed,
 		Parallelism: s.scale.Parallelism,
 		Golden:      entry.golden,
+		Progress:    s.scale.Progress,
 	}
 	if kind != 0 {
 		k := kind

@@ -33,6 +33,9 @@ type Scale struct {
 	Seed int64
 	// Parallelism caps concurrent trials (0 = GOMAXPROCS).
 	Parallelism int
+	// Progress, if non-nil, is forwarded to every campaign the suite
+	// runs (see core.CampaignConfig.Progress).
+	Progress func(done, total int)
 }
 
 // Quick returns a scale suitable for tests: small but large enough for

@@ -476,6 +476,7 @@ func (s *Suite) ExtCacheMasking() (*Report, error) {
 		ccfg := core.CampaignConfig{
 			Builder: b, Spec: spec, Trials: trials, Seed: s.scale.Seed,
 			Parallelism: s.scale.Parallelism,
+			Progress:    s.scale.Progress,
 			// Inject mid-run: caches only shield errors that arrive
 			// under already-hot lines, which is the realistic case for
 			// a continuously serving node.

@@ -1,0 +1,68 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteText renders the snapshot in the expvar-style plain-text exposition
+// format documented in OBSERVABILITY.md: one `name value` line per counter
+// and gauge, and for each histogram a cumulative `name_bucket{le="..."}`
+// series (Prometheus convention, ending at le="+Inf") followed by
+// `name_sum` and `name_count`. Lines are sorted by metric name, so equal
+// snapshots encode to equal bytes.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			name, formatFloat(h.Sum), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalJSONIndent renders the snapshot as indented JSON. Go's
+// encoding/json sorts map keys, so this too is deterministic.
+func (s Snapshot) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// formatFloat renders a float with the shortest round-trip representation.
+func formatFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

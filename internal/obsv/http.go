@@ -1,0 +1,36 @@
+package obsv
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Handler serves the registry's live snapshot. Plain text (WriteText) by
+// default; JSON when the request has ?format=json or an Accept header
+// preferring application/json. Used by the kvserve -metrics-addr sidecar;
+// the same encoders back `hrmsim -json`.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if wantsJSON(req) {
+			b, err := snap.MarshalJSONIndent()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(append(b, '\n'))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = snap.WriteText(w)
+	})
+}
+
+// wantsJSON reports whether the request asked for the JSON encoding.
+func wantsJSON(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/json")
+}

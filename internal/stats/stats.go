@@ -102,13 +102,15 @@ func WilsonInterval(successes, trials int, level float64) (Proportion, error) {
 }
 
 // Summary holds the standard moments and order statistics of a sample.
+// The JSON field names are part of the `hrmsim -json` result schema
+// (OBSERVABILITY.md) — change them only with a schema_version bump.
 type Summary struct {
-	N      int
-	Mean   float64
-	Std    float64 // sample standard deviation (n-1 denominator)
-	Min    float64
-	Max    float64
-	Median float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"` // sample standard deviation (n-1 denominator)
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
 }
 
 // Summarize computes a Summary of xs. It returns ErrNoData for an empty

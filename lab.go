@@ -52,6 +52,10 @@ type LabConfig struct {
 	Seed int64
 	// Parallelism bounds concurrent trials (default GOMAXPROCS).
 	Parallelism int
+	// Progress, if non-nil, is called after every completed injection
+	// trial of every campaign cell with (finished, total) for that cell.
+	// Calls within one cell are serialized.
+	Progress func(done, total int)
 }
 
 // Lab regenerates the paper's tables and figures. Campaign cells are
@@ -80,6 +84,7 @@ func NewLab(cfg LabConfig) (*Lab, error) {
 		Watchpoints: cfg.Watchpoints,
 		Seed:        cfg.Seed,
 		Parallelism: cfg.Parallelism,
+		Progress:    cfg.Progress,
 	})
 	if err != nil {
 		return nil, err
