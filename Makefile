@@ -1,0 +1,30 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: verify test build fmt vet race bench
+
+# Tier-1 verify (ROADMAP.md): the gate every change must pass.
+verify: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Extended gate: formatting, vet, race detector on the
+# concurrency-sensitive packages.
+fmt:
+	@test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/obsv ./internal/core
+
+# Capture the root benchmark suite as BENCH_<date>.json for
+# perf-trajectory diffing (BENCHTIME=5x make bench for a longer run).
+bench:
+	./scripts/bench.sh

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"hrmsim"
+	"hrmsim/internal/evtrace"
 	"hrmsim/internal/obsv"
 	"hrmsim/internal/stats"
 )
@@ -28,16 +29,50 @@ type envelope struct {
 	// Metrics holds the obsv snapshot of instrumented commands
 	// (characterize), mirroring what kvserve serves at /metrics.
 	Metrics *obsv.Snapshot `json:"metrics,omitempty"`
+	// Trace holds the flight-recorder dumps of traced commands
+	// (characterize): the event tails of every trial that ended in
+	// crash or incorrect-response (schema: OBSERVABILITY.md, "Event
+	// tracing").
+	Trace *traceJSON `json:"trace,omitempty"`
+}
+
+// traceJSON is the envelope's event-tracing section.
+type traceJSON struct {
+	// SchemaVersion is the evtrace event schema version.
+	SchemaVersion int `json:"schema_version"`
+	// FlightRecorderDumps holds the last events of each crash or
+	// incorrect-response trial, in trial order.
+	FlightRecorderDumps []evtrace.Dump `json:"flight_recorder_dumps"`
+	// DumpsSkipped counts qualifying trials beyond the dump budget.
+	DumpsSkipped int `json:"dumps_skipped,omitempty"`
+}
+
+// toTraceJSON converts a flight recorder's retained dumps (nil recorder
+// or no dumps → nil, omitting the envelope field).
+func toTraceJSON(rec *evtrace.Recorder) *traceJSON {
+	if rec == nil {
+		return nil
+	}
+	dumps := rec.Dumps()
+	if len(dumps) == 0 && rec.Skipped() == 0 {
+		return nil
+	}
+	return &traceJSON{
+		SchemaVersion:       evtrace.SchemaVersion,
+		FlightRecorderDumps: dumps,
+		DumpsSkipped:        rec.Skipped(),
+	}
 }
 
 // emitJSON writes one indented envelope to stdout.
-func emitJSON(command string, result any, metrics *obsv.Snapshot) error {
+func emitJSON(command string, result any, metrics *obsv.Snapshot, trace *traceJSON) error {
 	b, err := json.MarshalIndent(envelope{
 		SchemaVersion: schemaVersion,
 		Tool:          "hrmsim",
 		Command:       command,
 		Result:        result,
 		Metrics:       metrics,
+		Trace:         trace,
 	}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("encoding %s result: %w", command, err)

@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"hrmsim"
+	"hrmsim/internal/evtrace"
 	"hrmsim/internal/obsv"
 	"hrmsim/internal/textplot"
 )
@@ -58,6 +60,8 @@ func run(args []string) error {
 		return cmdLifetime(args[1:])
 	case "tables":
 		return cmdTables(args[1:])
+	case "traceview":
+		return cmdTraceview(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -78,6 +82,7 @@ Subcommands:
   tolerable     tolerable error rates per availability target (Fig. 8)
   lifetime      simulate continuous operation under an error arrival process
   tables        regenerate the paper's tables and figures
+  traceview     inspect a JSONL event trace (per-trial timelines + stats)
 
 Common flags:
   -json         emit one machine-readable JSON document (schema: OBSERVABILITY.md)
@@ -87,21 +92,25 @@ Run 'hrmsim <subcommand> -h' for flags.`)
 }
 
 // progressFunc returns a core campaign Progress hook that rewrites one
-// stderr status line, throttled to 5% steps so heavy campaigns are not
-// slowed by terminal writes. Core serializes the calls.
-func progressFunc(label string) func(done, total int) {
+// stderr status line — done/total plus the live wall-clock trial rate
+// and projected time remaining — throttled to 5% steps so heavy
+// campaigns are not slowed by terminal writes. Core serializes the
+// calls.
+func progressFunc(label string) func(hrmsim.ProgressInfo) {
 	last := -1
-	return func(done, total int) {
-		step := total / 20
+	return func(p hrmsim.ProgressInfo) {
+		step := p.Total / 20
 		if step == 0 {
 			step = 1
 		}
-		if done != total && done/step == last {
+		if p.Done != p.Total && p.Done/step == last {
 			return
 		}
-		last = done / step
-		fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials (%d%%)", label, done, total, 100*done/total)
-		if done == total {
+		last = p.Done / step
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials (%d%%) | %.1f trials/s | ETA %s",
+			label, p.Done, p.Total, 100*p.Done/p.Total,
+			p.TrialsPerSec, p.ETA.Round(time.Second))
+		if p.Done == p.Total {
 			fmt.Fprintln(os.Stderr)
 		}
 	}
@@ -131,6 +140,8 @@ func cmdCharacterize(args []string) error {
 	size := fs.String("size", "medium", "workload size: small|medium|large")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON (schema: OBSERVABILITY.md)")
 	progress := fs.Bool("progress", false, "report live trial completion on stderr")
+	traceFile := fs.String("trace", "", "write the per-trial event trace to this file (schema: OBSERVABILITY.md)")
+	traceFormat := fs.String("trace-format", "jsonl", "event trace format: jsonl|chrome (chrome loads in ui.perfetto.dev)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -154,13 +165,43 @@ func cmdCharacterize(args []string) error {
 		reg = obsv.NewRegistry()
 		cfg.Metrics = reg
 	}
+	// Tracing: -trace streams every trial's events to a file; -json
+	// additionally arms the flight recorder, whose crash/incorrect
+	// dumps ride along in the result envelope's "trace" field.
+	var sinks []evtrace.Sink
+	var recorder *evtrace.Recorder
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		switch *traceFormat {
+		case "jsonl":
+			sinks = append(sinks, evtrace.NewJSONLWriter(f))
+		case "chrome":
+			sinks = append(sinks, evtrace.NewChromeWriter(f))
+		default:
+			_ = f.Close()
+			return fmt.Errorf("unknown trace format %q (jsonl|chrome)", *traceFormat)
+		}
+	}
+	if *jsonOut {
+		recorder = evtrace.NewRecorder(0, 0)
+		sinks = append(sinks, recorder)
+	}
+	if len(sinks) > 0 {
+		cfg.Tracer = evtrace.New(evtrace.Options{Metrics: reg}, sinks...)
+	}
 	c, err := hrmsim.Characterize(cfg)
+	if cerr := cfg.Tracer.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
 	if *jsonOut {
 		snap := reg.Snapshot()
-		return emitJSON("characterize", toCharacterizeJSON(c), &snap)
+		return emitJSON("characterize", toCharacterizeJSON(c), &snap, toTraceJSON(recorder))
 	}
 	regionLabel := string(c.Region)
 	if regionLabel == "" {
@@ -211,7 +252,7 @@ func cmdProfile(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON("profile", toProfileJSON(rep), nil)
+		return emitJSON("profile", toProfileJSON(rep), nil, nil)
 	}
 	fmt.Printf("Access profile: %s (%.1f virtual minutes observed)\n\n", rep.App, rep.WindowMinutes)
 	t := &textplot.Table{
@@ -244,7 +285,7 @@ func cmdDesignSpace(args []string) error {
 		for _, r := range rows {
 			out.Rows = append(out.Rows, toDesignRowJSON(r))
 		}
-		return emitJSON("designspace", out, nil)
+		return emitJSON("designspace", out, nil, nil)
 	}
 	fmt.Println(renderDesignRows("Table 6 design points (paper WebSearch inputs)", rows))
 	return nil
@@ -301,7 +342,7 @@ func cmdPlan(args []string) error {
 			Feasible:           res.Feasible,
 			Best:               toDesignRowJSON(res.Best),
 			BestMapping:        res.BestMapping,
-		}, nil)
+		}, nil, nil)
 	}
 	fmt.Printf("Design-space search: %d points considered, %d feasible at %.3f%% availability\n\n",
 		res.Considered, res.Feasible, *target*100)
@@ -353,7 +394,7 @@ func cmdTolerable(args []string) error {
 		out.Rows = append(out.Rows, jr)
 	}
 	if *jsonOut {
-		return emitJSON("tolerable", out, nil)
+		return emitJSON("tolerable", out, nil, nil)
 	}
 	fmt.Println(t.Render())
 	return nil
@@ -409,7 +450,7 @@ func cmdTables(args []string) error {
 		}
 	}
 	if *jsonOut {
-		return emitJSON("tables", out, nil)
+		return emitJSON("tables", out, nil, nil)
 	}
 	return nil
 }
@@ -451,7 +492,7 @@ func cmdLifetime(args []string) error {
 			IncorrectPerMillion: res.IncorrectPerMillion,
 			ScrubPasses:         res.ScrubPasses,
 			ScrubCorrected:      res.ScrubCorrected,
-		}, nil)
+		}, nil, nil)
 	}
 	fmt.Printf("Lifetime simulation: websearch, %s protection, %.0f errors/month, %dh\n\n",
 		*protection, *errors, *hours)

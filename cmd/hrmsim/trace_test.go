@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hrmsim/internal/evtrace"
+)
+
+func TestCharacterizeTraceJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	err := run([]string{"characterize", "-app", "kvstore", "-size", "small",
+		"-trials", "20", "-trace", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	hdr, events, err := evtrace.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.SchemaVersion != evtrace.SchemaVersion {
+		t.Errorf("schema version = %d", hdr.SchemaVersion)
+	}
+	starts := 0
+	for _, ev := range events {
+		if ev.Kind == evtrace.KindTrialStart {
+			starts++
+		}
+	}
+	if starts != 20 {
+		t.Errorf("traced %d trial_start events, want 20", starts)
+	}
+
+	// traceview renders it without error.
+	out := captureStdout(t, func() error {
+		return run([]string{"traceview", "-max-timelines", "2", path})
+	})
+	for _, want := range []string{"Events by kind", "trial_start", "trial 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("traceview output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"traceview", filepath.Join(t.TempDir(), "nope.jsonl")}); err == nil {
+		t.Error("traceview accepted a missing file")
+	}
+}
+
+func TestCharacterizeTraceChromeShape(t *testing.T) {
+	// The acceptance contract: -trace-format chrome produces a JSON array
+	// of trace-event objects, each with name, ph, ts, pid, and tid.
+	path := filepath.Join(t.TempDir(), "out.json")
+	err := run([]string{"characterize", "-app", "kvstore", "-size", "small",
+		"-trials", "20", "-trace", path, "-trace-format", "chrome"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objs []map[string]any
+	if err := json.Unmarshal(b, &objs); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v", err)
+	}
+	if len(objs) == 0 {
+		t.Fatal("chrome trace is empty")
+	}
+	slices := 0
+	for i, o := range objs {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := o[key]; !ok {
+				t.Fatalf("trace object %d missing %q: %v", i, key, o)
+			}
+		}
+		if o["ph"] == "X" {
+			slices++
+		}
+	}
+	if slices != 20 {
+		t.Errorf("chrome trace has %d slices, want one per trial", slices)
+	}
+
+	if err := run([]string{"characterize", "-app", "kvstore", "-size", "small",
+		"-trials", "1", "-trace", filepath.Join(t.TempDir(), "x"),
+		"-trace-format", "protobuf"}); err == nil {
+		t.Error("unknown trace format accepted")
+	}
+}
+
+func TestCharacterizeJSONCarriesFlightRecorderAndTraceMetrics(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"characterize", "-app", "kvstore", "-size", "small",
+			"-trials", "40", "-json"})
+	})
+	res := decodeEnvelope(t, out, "characterize")
+	var env struct {
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+		Trace *struct {
+			SchemaVersion int            `json:"schema_version"`
+			Dumps         []evtrace.Dump `json:"flight_recorder_dumps"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(out), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Metrics.Counters["evtrace_events_total"] == 0 {
+		t.Error("evtrace_events_total missing from -json metrics")
+	}
+
+	outcomes := res["outcomes"].(map[string]any)
+	failures := 0
+	for _, k := range []string{"crash", "incorrect-response"} {
+		if n, ok := outcomes[k].(float64); ok {
+			failures += int(n)
+		}
+	}
+	if failures == 0 {
+		t.Skip("no crash/incorrect trials at this seed; flight recorder has nothing to dump")
+	}
+	if env.Trace == nil {
+		t.Fatalf("%d failing trials but envelope has no trace section", failures)
+	}
+	if env.Trace.SchemaVersion != evtrace.SchemaVersion {
+		t.Errorf("trace schema_version = %d", env.Trace.SchemaVersion)
+	}
+	if len(env.Trace.Dumps) == 0 {
+		t.Fatal("flight_recorder_dumps is empty")
+	}
+	for _, d := range env.Trace.Dumps {
+		if d.Outcome != "crash" && d.Outcome != "incorrect-response" {
+			t.Errorf("dump for non-failing outcome %q", d.Outcome)
+		}
+		if len(d.Events) == 0 {
+			t.Errorf("trial %d dump has no events", d.Trial)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// traceview: offline inspector for JSONL event traces written by
+// `characterize -trace <file>` (schema: OBSERVABILITY.md, "Event
+// tracing"). Renders per-trial timelines, an events-by-kind summary,
+// and the injection-to-first-consumption latency distribution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hrmsim/internal/evtrace"
+	"hrmsim/internal/textplot"
+)
+
+func cmdTraceview(args []string) error {
+	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	trial := fs.Int("trial", -1, "show only this trial's timeline (-1 = summary + first timelines)")
+	maxTimelines := fs.Int("max-timelines", 8, "maximum per-trial timelines to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: hrmsim traceview [-trial N] [-max-timelines N] <trace.jsonl>")
+	}
+	path := fs.Arg(0)
+
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr, events, err := evtrace.ReadJSONL(f)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+
+	byTrial := map[int][]evtrace.Event{}
+	for _, ev := range events {
+		byTrial[ev.Trial] = append(byTrial[ev.Trial], ev)
+	}
+	trials := make([]int, 0, len(byTrial))
+	for id := range byTrial {
+		trials = append(trials, id)
+	}
+	sort.Ints(trials)
+
+	fmt.Printf("%s  schema v%d\n", path, hdr.SchemaVersion)
+	fmt.Printf("%d events across %d trials\n\n", len(events), len(trials))
+
+	if *trial >= 0 {
+		evs, ok := byTrial[*trial]
+		if !ok {
+			return fmt.Errorf("trial %d not present in %s", *trial, path)
+		}
+		printTimeline(*trial, evs)
+		return nil
+	}
+
+	// Events by kind, in schema order.
+	counts := map[evtrace.Kind]int{}
+	for _, ev := range events {
+		counts[ev.Kind]++
+	}
+	var bars []textplot.Bar
+	for _, k := range evtrace.Kinds() {
+		if counts[k] > 0 {
+			bars = append(bars, textplot.Bar{Label: string(k), Value: float64(counts[k])})
+		}
+	}
+	fmt.Println(textplot.BarChart("Events by kind", bars, 40, false))
+
+	// Outcomes across trials.
+	outcomes := map[string]int{}
+	for _, id := range trials {
+		for _, ev := range byTrial[id] {
+			if ev.Kind == evtrace.KindOutcome {
+				outcomes[ev.Outcome]++
+			}
+		}
+	}
+	if len(outcomes) > 0 {
+		names := make([]string, 0, len(outcomes))
+		for o := range outcomes {
+			names = append(names, o)
+		}
+		sort.Strings(names)
+		var obars []textplot.Bar
+		for _, o := range names {
+			obars = append(obars, textplot.Bar{Label: o, Value: float64(outcomes[o])})
+		}
+		fmt.Println(textplot.BarChart("Trial outcomes", obars, 40, false))
+	}
+
+	// Injection-to-first-consumption latency: virtual time from the first
+	// inject event to the first access touching a faulty word (or its ECC
+	// consequence), per trial that consumed the error.
+	var latencies []float64 // minutes
+	for _, id := range trials {
+		var injVT int64 = -1
+		for _, ev := range byTrial[id] {
+			switch ev.Kind {
+			case evtrace.KindInject:
+				if injVT < 0 {
+					injVT = ev.VTNanos
+				}
+			case evtrace.KindAccessFaulty, evtrace.KindECCCorrected, evtrace.KindECCUncorrectable:
+				if injVT >= 0 {
+					latencies = append(latencies, float64(ev.VTNanos-injVT)/60e9)
+					injVT = -2 // stop scanning this trial
+				}
+			}
+			if injVT == -2 {
+				break
+			}
+		}
+	}
+	if len(latencies) > 0 {
+		centers, histCounts := binLatencies(latencies, 10)
+		fmt.Println(textplot.HistogramPlot(
+			fmt.Sprintf("Injection-to-first-consumption latency (virtual minutes, %d trials)", len(latencies)),
+			centers, histCounts, 40))
+	} else {
+		fmt.Println("No injected error was consumed in any traced trial.")
+	}
+
+	// Per-trial timelines (bounded; -trial selects a single one).
+	n := 0
+	for _, id := range trials {
+		if n >= *maxTimelines {
+			fmt.Printf("... %d more trials (use -trial N or -max-timelines)\n", len(trials)-n)
+			break
+		}
+		fmt.Println()
+		printTimeline(id, byTrial[id])
+		n++
+	}
+	return nil
+}
+
+// printTimeline renders one trial's events relative to its trial_start
+// virtual time.
+func printTimeline(id int, evs []evtrace.Event) {
+	var origin int64
+	outcome := ""
+	for _, ev := range evs {
+		if ev.Kind == evtrace.KindTrialStart {
+			origin = ev.VTNanos
+		}
+		if ev.Kind == evtrace.KindOutcome {
+			outcome = ev.Outcome
+		}
+	}
+	fmt.Printf("trial %d  (%d events, outcome: %s)\n", id, len(evs), outcome)
+	for _, ev := range evs {
+		fmt.Println("  " + evtrace.FormatEvent(ev, origin))
+	}
+}
+
+// binLatencies builds a fixed-width histogram over [min, max].
+func binLatencies(xs []float64, bins int) (centers []float64, counts []int) {
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	w := (hi - lo) / float64(bins)
+	counts = make([]int, bins)
+	for i := 0; i < bins; i++ {
+		centers = append(centers, lo+(float64(i)+0.5)*w)
+	}
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	return centers, counts
+}

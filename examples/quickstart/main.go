@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"hrmsim"
 )
@@ -21,9 +22,10 @@ func main() {
 		Seed:   42,
 		// Progress is called after every completed trial; printing to
 		// stderr keeps stdout clean for the report below.
-		Progress: func(done, total int) {
-			if done%50 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "trial %d/%d\n", done, total)
+		Progress: func(p hrmsim.ProgressInfo) {
+			if p.Done%50 == 0 || p.Done == p.Total {
+				fmt.Fprintf(os.Stderr, "trial %d/%d (%.0f trials/s, ETA %s)\n",
+					p.Done, p.Total, p.TrialsPerSec, p.ETA.Round(time.Second))
 			}
 		},
 	})

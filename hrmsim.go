@@ -10,6 +10,7 @@ import (
 	"hrmsim/internal/apps/kvstore"
 	"hrmsim/internal/apps/websearch"
 	"hrmsim/internal/core"
+	"hrmsim/internal/evtrace"
 	"hrmsim/internal/faults"
 	"hrmsim/internal/monitor"
 	"hrmsim/internal/obsv"
@@ -183,8 +184,10 @@ type CharacterizeConfig struct {
 	// Parallelism bounds concurrent trials (default GOMAXPROCS).
 	Parallelism int
 	// Progress, if non-nil, is called after each completed trial with
-	// (finished, total). Calls are serialized; the hook must be cheap.
-	Progress func(done, total int)
+	// the campaign's live progress, including the wall-clock trial rate
+	// and the projected time remaining. Calls are serialized; the hook
+	// must be cheap.
+	Progress func(ProgressInfo)
 	// Metrics, if non-nil, receives campaign instrumentation (trial,
 	// request, and outcome counters; per-trial wall-clock and
 	// virtual-time histograms) under the metric names documented in
@@ -193,6 +196,32 @@ type CharacterizeConfig struct {
 	// inside this module (the cmd/ binaries); external users get the
 	// same data from `hrmsim <cmd> -json`.
 	Metrics *obsv.Registry
+	// Tracer, if non-nil, receives the per-trial event stream (see the
+	// "Event tracing" section of OBSERVABILITY.md). Observational only,
+	// like Metrics, and internal for the same reason: the CLI exposes it
+	// via `hrmsim characterize -trace`. The caller closes the tracer
+	// after Characterize returns.
+	Tracer *evtrace.Tracer
+}
+
+// ProgressInfo reports campaign progress to the Progress hook. Elapsed,
+// TrialsPerSec, and ETA are host wall-clock derived;
+// MeanTrialVirtualMinutes is the mean simulated span of finished trials
+// (from TrialResult.EndedAt).
+type ProgressInfo struct {
+	Done, Total             int
+	Elapsed                 time.Duration
+	TrialsPerSec            float64
+	ETA                     time.Duration
+	MeanTrialVirtualMinutes float64
+}
+
+// coreProgress adapts a public Progress hook to the engine's.
+func coreProgress(hook func(ProgressInfo)) func(core.ProgressInfo) {
+	if hook == nil {
+		return nil
+	}
+	return func(p core.ProgressInfo) { hook(ProgressInfo(p)) }
 }
 
 // Characterization is the result of one campaign: the application's
@@ -259,8 +288,9 @@ func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
 		Trials:      cfg.Trials,
 		Seed:        cfg.Seed,
 		Parallelism: cfg.Parallelism,
-		Progress:    cfg.Progress,
+		Progress:    coreProgress(cfg.Progress),
 		Metrics:     cfg.Metrics,
+		Tracer:      cfg.Tracer,
 	}
 	if kind != 0 {
 		ccfg.Filter = func(r *simmem.Region) bool { return r.Kind() == kind }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hrmsim/internal/apps"
+	"hrmsim/internal/evtrace"
 	"hrmsim/internal/faults"
 	"hrmsim/internal/inject"
 	"hrmsim/internal/obsv"
@@ -40,16 +41,46 @@ type CampaignConfig struct {
 	// golden run (reuse across campaigns of the same builder).
 	Golden []uint64
 	// Progress, if non-nil, is called after every completed trial with
-	// the number of finished trials and the campaign total. Calls are
-	// serialized, so the hook needs no locking of its own; it must be
-	// cheap, since it sits between parallel trials.
-	Progress func(done, total int)
+	// the campaign's live progress (counts, wall-clock rate, projected
+	// time remaining). Calls are serialized, so the hook needs no
+	// locking of its own; it must be cheap, since it sits between
+	// parallel trials.
+	Progress func(ProgressInfo)
 	// Metrics, if non-nil, receives campaign instrumentation: trial and
 	// outcome counters plus per-trial wall-clock and virtual-time
 	// histograms. The metric names are documented in OBSERVABILITY.md.
 	// Instrumentation never affects results — campaigns stay
 	// bit-identical with or without it.
 	Metrics *obsv.Registry
+	// Tracer, if non-nil, receives the per-trial event stream (trial
+	// boundaries, injection, faulty-word accesses, ECC activity,
+	// crashes, outcome classification — see internal/evtrace and the
+	// "Event tracing" section of OBSERVABILITY.md). Like Metrics it is
+	// observational only: campaign results are bit-identical with or
+	// without it, and a nil tracer adds no work and no allocations on
+	// the access hot path. The caller closes the tracer after Run
+	// returns.
+	Tracer *evtrace.Tracer
+}
+
+// ProgressInfo is the payload of the CampaignConfig.Progress hook: how
+// far the campaign has advanced and how fast it is moving. Rates and the
+// ETA are derived from the host wall clock; MeanTrialVirtualMinutes is
+// derived from the trials' virtual spans (TrialResult.EndedAt −
+// InjectedAt).
+type ProgressInfo struct {
+	// Done and Total count completed trials and the campaign size.
+	Done, Total int
+	// Elapsed is the host wall time since the campaign started.
+	Elapsed time.Duration
+	// TrialsPerSec is the completed-trial throughput (Done/Elapsed).
+	TrialsPerSec float64
+	// ETA is the projected wall time remaining at the current rate
+	// (zero when Done == Total).
+	ETA time.Duration
+	// MeanTrialVirtualMinutes is the mean simulated span of the
+	// finished trials, in virtual minutes.
+	MeanTrialVirtualMinutes float64
 }
 
 // CampaignResult aggregates a campaign.
@@ -117,8 +148,10 @@ func Run(cfg CampaignConfig) (*CampaignResult, error) {
 	}
 
 	m := newCampaignMetrics(cfg.Metrics)
+	start := time.Now()
 	var progressMu sync.Mutex
 	done := 0
+	var virtSum time.Duration
 	finished := func(tr TrialResult, err error, wall time.Duration) {
 		if err == nil {
 			m.record(tr, wall)
@@ -128,7 +161,22 @@ func Run(cfg CampaignConfig) (*CampaignResult, error) {
 		}
 		progressMu.Lock()
 		done++
-		cfg.Progress(done, cfg.Trials)
+		if err == nil {
+			virtSum += tr.EndedAt - tr.InjectedAt
+		}
+		info := ProgressInfo{
+			Done:                    done,
+			Total:                   cfg.Trials,
+			Elapsed:                 time.Since(start),
+			MeanTrialVirtualMinutes: virtSum.Minutes() / float64(done),
+		}
+		if info.Elapsed > 0 {
+			info.TrialsPerSec = float64(done) / info.Elapsed.Seconds()
+		}
+		if rem := cfg.Trials - done; rem > 0 && info.TrialsPerSec > 0 {
+			info.ETA = time.Duration(float64(rem) / info.TrialsPerSec * float64(time.Second))
+		}
+		cfg.Progress(info)
 		progressMu.Unlock()
 	}
 
@@ -237,6 +285,8 @@ func runTrial(cfg CampaignConfig, golden []uint64, i int) (TrialResult, error) {
 		return TrialResult{}, fmt.Errorf("building app: %w", err)
 	}
 	as := app.Space()
+	tt := cfg.Tracer.Trial(i)
+	traceTrialStart(tt, as)
 
 	// Warm up (pre-injection requests must match golden exactly).
 	for q := 0; q < cfg.Warmup; q++ {
@@ -260,6 +310,7 @@ func runTrial(cfg CampaignConfig, golden []uint64, i int) (TrialResult, error) {
 	}
 	tracker := newAccessTracker(addrs)
 	as.AddAccessObserver(tracker)
+	traceInjection(tt, as, inj, addrs)
 
 	tr := TrialResult{
 		Region:     inj.Region.Name(),
@@ -280,6 +331,13 @@ func runTrial(cfg CampaignConfig, golden []uint64, i int) (TrialResult, error) {
 			if tr.EffectAt == 0 {
 				tr.EffectAt = as.Clock().Now()
 			}
+			if tt != nil {
+				tt.Emit(evtrace.Event{
+					Kind:    evtrace.KindCrash,
+					VTNanos: int64(as.Clock().Now()),
+					Detail:  tr.CrashReason,
+				})
+			}
 			break
 		}
 		tr.Requests++
@@ -297,6 +355,7 @@ func runTrial(cfg CampaignConfig, golden []uint64, i int) (TrialResult, error) {
 	// The run ends at the crash instant or after the final request —
 	// either way, the virtual clock has stopped advancing.
 	tr.EndedAt = as.Clock().Now()
+	traceTrialEnd(tt, tr)
 	return tr, nil
 }
 

@@ -401,17 +401,22 @@ func TestAllIncorrectTimes(t *testing.T) {
 func TestCampaignProgressAndMetrics(t *testing.T) {
 	reg := obsv.NewRegistry()
 	var calls []int
+	var last ProgressInfo
 	res, err := Run(CampaignConfig{
 		Builder:     kvBuilder(t, 13),
 		Spec:        faults.SingleBitSoft,
 		Trials:      24,
 		Seed:        5,
 		Parallelism: 4,
-		Progress: func(done, total int) {
-			if total != 24 {
-				t.Errorf("progress total = %d", total)
+		Progress: func(p ProgressInfo) {
+			if p.Total != 24 {
+				t.Errorf("progress total = %d", p.Total)
 			}
-			calls = append(calls, done)
+			if p.TrialsPerSec < 0 || p.ETA < 0 || p.Elapsed < 0 {
+				t.Errorf("negative progress rate fields: %+v", p)
+			}
+			calls = append(calls, p.Done)
+			last = p
 		},
 		Metrics: reg,
 	})
@@ -426,6 +431,13 @@ func TestCampaignProgressAndMetrics(t *testing.T) {
 		if d != i+1 {
 			t.Fatalf("progress calls not monotonic: %v", calls)
 		}
+	}
+	// The final call has no remaining work and real per-trial averages.
+	if last.ETA != 0 {
+		t.Errorf("final ETA = %v, want 0", last.ETA)
+	}
+	if last.MeanTrialVirtualMinutes <= 0 {
+		t.Errorf("final MeanTrialVirtualMinutes = %g", last.MeanTrialVirtualMinutes)
 	}
 
 	snap := reg.Snapshot()

@@ -1,0 +1,320 @@
+// Package evtrace is the per-trial event-tracing layer: a low-overhead
+// recorder of typed, timestamped events covering the whole life of an
+// injection trial — injection, accesses to the faulty word, ECC
+// correction/detection, software responses, crashes, and the final Fig. 1
+// outcome classification. It turns the causal chain behind every trial's
+// classification (which internal/core otherwise collapses into one
+// TrialResult) into an inspectable, machine-readable stream.
+//
+// Architecture: campaigns run trials on parallel workers, so events are
+// buffered per trial (a TrialTracer is used by exactly one goroutine) and
+// delivered to sinks one whole trial at a time, in ascending trial order
+// regardless of completion order. Given a deterministic campaign, the
+// delivered stream is therefore byte-identical across runs and
+// parallelism levels — host wall-clock readings are segregated into
+// fields named "wall_*" so consumers can strip them when diffing.
+//
+// Three sinks ship with the package: a JSONL writer (streaming, versioned
+// schema, reloadable with ReadJSONL), a Chrome trace-event exporter whose
+// output loads in ui.perfetto.dev (one track per trial, outcome-colored
+// slices), and a flight recorder that retains the last events of trials
+// ending in crash or incorrect-response. Tracing is observational only:
+// it never influences trial scheduling, seeding, or outcomes, and the
+// nil-tracer path costs nothing on the access hot path.
+package evtrace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hrmsim/internal/obsv"
+)
+
+// SchemaVersion identifies the event schema. Renaming or removing a
+// field, changing a field's meaning or unit, or changing an event kind's
+// semantics bumps this number; additions do not (OBSERVABILITY.md).
+const SchemaVersion = 1
+
+// Stream is the stream identifier written into every JSONL header.
+const Stream = "hrmsim-evtrace"
+
+// Kind names an event type.
+type Kind string
+
+// Event kinds, in the rough order they occur within a trial.
+const (
+	// KindTrialStart opens a trial (carries the host wall clock).
+	KindTrialStart Kind = "trial_start"
+	// KindInject is one corrupted byte (one event per injection target).
+	KindInject Kind = "inject"
+	// KindAccessFaulty is an application load/store overlapping an
+	// injected byte — the consumption signal of the paper's taxonomy.
+	KindAccessFaulty Kind = "access_faulty"
+	// KindECCCorrected is a corrected-error decode event.
+	KindECCCorrected Kind = "ecc_corrected"
+	// KindECCUncorrectable is a detected-but-uncorrectable decode event
+	// (before any software response runs).
+	KindECCUncorrectable Kind = "ecc_uncorrectable"
+	// KindSWResponse is a software response (MC handler) that repaired an
+	// uncorrectable error.
+	KindSWResponse Kind = "sw_response"
+	// KindCrash is the crash instant, with the crash reason.
+	KindCrash Kind = "crash"
+	// KindOutcome is the final Fig. 1 classification of the trial.
+	KindOutcome Kind = "outcome"
+	// KindTrialEnd closes a trial (carries the host wall clock and the
+	// dropped-event count).
+	KindTrialEnd Kind = "trial_end"
+)
+
+// Kinds lists every event kind in within-trial order.
+func Kinds() []Kind {
+	return []Kind{KindTrialStart, KindInject, KindAccessFaulty,
+		KindECCCorrected, KindECCUncorrectable, KindSWResponse,
+		KindCrash, KindOutcome, KindTrialEnd}
+}
+
+// bulk reports whether the kind can recur without bound within one trial
+// (every access to a hot faulty word emits one event). Bulk kinds are
+// subject to the per-trial event cap; structural kinds are always kept.
+func (k Kind) bulk() bool {
+	switch k {
+	case KindAccessFaulty, KindECCCorrected, KindECCUncorrectable, KindSWResponse:
+		return true
+	}
+	return false
+}
+
+// Event is one trace record. Virtual time (the simulated clock) drives
+// every analytical field; the only host-clock readings are the fields
+// prefixed "wall_", which deterministic-stream comparisons must strip.
+type Event struct {
+	// Trial and Seq identify the event: Seq counts recorded events
+	// within the trial from zero. Both are assigned by TrialTracer.Emit.
+	Trial int `json:"trial"`
+	Seq   int `json:"seq"`
+	// Kind is the event type.
+	Kind Kind `json:"kind"`
+	// VTNanos is the virtual (simulated) time in nanoseconds.
+	VTNanos int64 `json:"vt_ns"`
+	// Addr is the simulated address involved (injection target, accessed
+	// range start, or affected codeword), when the kind has one.
+	Addr uint64 `json:"addr,omitempty"`
+	// Region and RegionKind name the memory region involved.
+	Region     string `json:"region,omitempty"`
+	RegionKind string `json:"region_kind,omitempty"`
+	// Access is "load" or "store" for access_faulty events.
+	Access string `json:"access,omitempty"`
+	// Len is the accessed length in bytes for access_faulty events.
+	Len int `json:"len,omitempty"`
+	// Error labels the injected error type (inject events), e.g.
+	// "single-bit soft".
+	Error string `json:"error,omitempty"`
+	// Bits are the flipped/stuck bit indices (inject events).
+	Bits []int `json:"bits,omitempty"`
+	// Outcome is the Fig. 1 classification string (outcome events).
+	Outcome string `json:"outcome,omitempty"`
+	// Detail carries free-form context: the crash reason, or the
+	// software-response description.
+	Detail string `json:"detail,omitempty"`
+	// Dropped is the number of bulk events the per-trial cap discarded
+	// (trial_end events).
+	Dropped int64 `json:"dropped,omitempty"`
+	// WallUnixNanos is the host wall clock in Unix nanoseconds
+	// (trial_start and trial_end events only). Host time is
+	// nondeterministic by nature; every such field is segregated under
+	// the "wall_" JSON prefix so deterministic comparisons can strip it.
+	WallUnixNanos int64 `json:"wall_unix_ns,omitempty"`
+}
+
+// Sink receives completed trials. Tracer delivers trials in ascending
+// trial order, one call per trial, serialized — sinks need no locking
+// against the tracer. Events within a batch are in emission order.
+type Sink interface {
+	// WriteTrial consumes one trial's recorded events. The slice must
+	// not be retained or modified after the call returns unless the sink
+	// copies it (Recorder copies; writers encode immediately).
+	WriteTrial(trial int, events []Event) error
+	// Close flushes and releases the sink.
+	Close() error
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// PerTrialCap bounds the bulk events (access_faulty, ecc_*,
+	// sw_response) recorded per trial; further bulk events are dropped
+	// and counted. Structural events (trial_start, inject, crash,
+	// outcome, trial_end) are always kept. Default 1024.
+	PerTrialCap int
+	// Metrics, if non-nil, receives the evtrace_events_total and
+	// evtrace_events_dropped_total counters (OBSERVABILITY.md).
+	Metrics *obsv.Registry
+}
+
+// Tracer fans completed trials out to sinks in trial order. A nil *Tracer
+// is a valid no-op: Trial returns a nil *TrialTracer whose methods all
+// no-op, so call sites need no nil checks of their own.
+type Tracer struct {
+	perTrialCap int
+	sinks       []Sink
+	events      *obsv.Counter
+	dropped     *obsv.Counter
+
+	mu      sync.Mutex
+	next    int
+	pending map[int][]Event
+	err     error
+	closed  bool
+}
+
+// DefaultPerTrialCap is the default bulk-event budget per trial.
+const DefaultPerTrialCap = 1024
+
+// New creates a tracer delivering to the given sinks.
+func New(opts Options, sinks ...Sink) *Tracer {
+	if opts.PerTrialCap <= 0 {
+		opts.PerTrialCap = DefaultPerTrialCap
+	}
+	t := &Tracer{
+		perTrialCap: opts.PerTrialCap,
+		sinks:       sinks,
+		pending:     make(map[int][]Event),
+	}
+	if opts.Metrics != nil {
+		t.events = opts.Metrics.Counter("evtrace_events_total")
+		t.dropped = opts.Metrics.Counter("evtrace_events_dropped_total")
+	}
+	return t
+}
+
+// Trial opens the recording handle for one trial. Trial IDs must be the
+// dense range 0..N-1 of the campaign (delivery to sinks waits for the
+// next unseen ID; Close flushes any gaps). Returns nil on a nil tracer.
+func (t *Tracer) Trial(id int) *TrialTracer {
+	if t == nil {
+		return nil
+	}
+	return &TrialTracer{t: t, trial: id}
+}
+
+// completeTrial hands a finished trial's buffer over and flushes every
+// consecutive pending trial to the sinks.
+func (t *Tracer) completeTrial(tt *TrialTracer) {
+	if t.events != nil {
+		t.events.Add(int64(len(tt.events)))
+	}
+	if tt.dropped > 0 && t.dropped != nil {
+		t.dropped.Add(tt.dropped)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pending[tt.trial] = tt.events
+	for {
+		evs, ok := t.pending[t.next]
+		if !ok {
+			return
+		}
+		delete(t.pending, t.next)
+		t.deliverLocked(t.next, evs)
+		t.next++
+	}
+}
+
+// deliverLocked writes one trial to every sink, keeping the first error.
+func (t *Tracer) deliverLocked(trial int, evs []Event) {
+	for _, s := range t.sinks {
+		if err := s.WriteTrial(trial, evs); err != nil && t.err == nil {
+			t.err = fmt.Errorf("evtrace: sink failed on trial %d: %w", trial, err)
+		}
+	}
+}
+
+// Err returns the first sink error observed so far.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close flushes any out-of-order remainder (trials stuck behind a gap
+// after an aborted campaign, delivered in ascending order) and closes
+// every sink. It returns the first error from delivery or closing.
+// Safe on a nil tracer; idempotent.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	rest := make([]int, 0, len(t.pending))
+	for id := range t.pending {
+		rest = append(rest, id)
+	}
+	sort.Ints(rest)
+	for _, id := range rest {
+		t.deliverLocked(id, t.pending[id])
+		delete(t.pending, id)
+	}
+	for _, s := range t.sinks {
+		if err := s.Close(); err != nil && t.err == nil {
+			t.err = fmt.Errorf("evtrace: closing sink: %w", err)
+		}
+	}
+	return t.err
+}
+
+// TrialTracer records one trial's events. It is used by exactly one
+// goroutine (the trial's worker) and hands its buffer to the tracer on
+// Finish. All methods are no-ops on a nil receiver, so the zero-config
+// path needs no branches at call sites.
+type TrialTracer struct {
+	t       *Tracer
+	trial   int
+	bulk    int
+	dropped int64
+	events  []Event
+}
+
+// Emit records one event, stamping Trial and Seq. Bulk kinds beyond the
+// tracer's per-trial cap are dropped and counted instead.
+func (tt *TrialTracer) Emit(ev Event) {
+	if tt == nil {
+		return
+	}
+	if ev.Kind.bulk() {
+		if tt.bulk >= tt.t.perTrialCap {
+			tt.dropped++
+			return
+		}
+		tt.bulk++
+	}
+	ev.Trial = tt.trial
+	ev.Seq = len(tt.events)
+	tt.events = append(tt.events, ev)
+}
+
+// DroppedCount returns how many bulk events the cap has discarded so far
+// (zero on a nil receiver). Trial-end emitters record it on the event.
+func (tt *TrialTracer) DroppedCount() int64 {
+	if tt == nil {
+		return 0
+	}
+	return tt.dropped
+}
+
+// Finish delivers the trial's buffer to the tracer. The TrialTracer must
+// not be used afterwards.
+func (tt *TrialTracer) Finish() {
+	if tt == nil {
+		return
+	}
+	tt.t.completeTrial(tt)
+}

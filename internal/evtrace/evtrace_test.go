@@ -1,0 +1,311 @@
+package evtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hrmsim/internal/obsv"
+)
+
+// collector is a Sink that records delivery order for tests.
+type collector struct {
+	order  []int
+	events map[int][]Event
+	closed bool
+}
+
+func newCollector() *collector { return &collector{events: map[int][]Event{}} }
+
+func (c *collector) WriteTrial(trial int, events []Event) error {
+	c.order = append(c.order, trial)
+	c.events[trial] = append([]Event(nil), events...)
+	return nil
+}
+
+func (c *collector) Close() error { c.closed = true; return nil }
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tt := tr.Trial(0)
+	if tt != nil {
+		t.Fatalf("nil tracer returned non-nil TrialTracer")
+	}
+	tt.Emit(Event{Kind: KindInject})
+	if tt.DroppedCount() != 0 {
+		t.Errorf("nil DroppedCount = %d", tt.DroppedCount())
+	}
+	tt.Finish()
+	if err := tr.Err(); err != nil {
+		t.Errorf("nil Err = %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+}
+
+func TestBulkCapDropsAndCounts(t *testing.T) {
+	reg := obsv.NewRegistry()
+	sink := newCollector()
+	tr := New(Options{PerTrialCap: 3, Metrics: reg}, sink)
+	tt := tr.Trial(0)
+	tt.Emit(Event{Kind: KindTrialStart})
+	tt.Emit(Event{Kind: KindInject})
+	for i := 0; i < 10; i++ {
+		tt.Emit(Event{Kind: KindAccessFaulty, VTNanos: int64(i)})
+	}
+	// Structural events are exempt from the cap even once it is hit.
+	tt.Emit(Event{Kind: KindOutcome, Outcome: "crash"})
+	tt.Emit(Event{Kind: KindTrialEnd, Dropped: tt.DroppedCount()})
+	if got := tt.DroppedCount(); got != 7 {
+		t.Errorf("DroppedCount = %d, want 7", got)
+	}
+	tt.Finish()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := sink.events[0]
+	if len(evs) != 7 { // start + inject + 3 bulk + outcome + end
+		t.Fatalf("recorded %d events, want 7: %+v", len(evs), evs)
+	}
+	for i, ev := range evs {
+		if ev.Trial != 0 || ev.Seq != i {
+			t.Errorf("event %d stamped trial=%d seq=%d", i, ev.Trial, ev.Seq)
+		}
+	}
+	if evs[len(evs)-1].Dropped != 7 {
+		t.Errorf("trial_end dropped = %d", evs[len(evs)-1].Dropped)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["evtrace_events_total"]; got != 7 {
+		t.Errorf("evtrace_events_total = %d", got)
+	}
+	if got := snap.Counters["evtrace_events_dropped_total"]; got != 7 {
+		t.Errorf("evtrace_events_dropped_total = %d", got)
+	}
+}
+
+func TestDeliveryIsAscendingDespiteFinishOrder(t *testing.T) {
+	sink := newCollector()
+	tr := New(Options{}, sink)
+	tts := make([]*TrialTracer, 5)
+	for i := range tts {
+		tts[i] = tr.Trial(i)
+		tts[i].Emit(Event{Kind: KindTrialStart, VTNanos: int64(i)})
+	}
+	// Finish out of order: 3, 1, 4, 0, 2.
+	for _, i := range []int{3, 1, 4, 0, 2} {
+		tts[i].Finish()
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 2, 3, 4}; !reflect.DeepEqual(sink.order, want) {
+		t.Errorf("delivery order %v, want %v", sink.order, want)
+	}
+	if !sink.closed {
+		t.Error("sink not closed")
+	}
+}
+
+func TestCloseFlushesGappedTrials(t *testing.T) {
+	sink := newCollector()
+	tr := New(Options{}, sink)
+	// Trials 2 and 4 finish, trial 0 never does (aborted campaign).
+	for _, i := range []int{4, 2} {
+		tt := tr.Trial(i)
+		tt.Emit(Event{Kind: KindTrialStart})
+		tt.Finish()
+	}
+	if len(sink.order) != 0 {
+		t.Fatalf("delivered %v before Close", sink.order)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{2, 4}; !reflect.DeepEqual(sink.order, want) {
+		t.Errorf("flush order %v, want %v", sink.order, want)
+	}
+}
+
+// emitTrial records a small, fully populated trial.
+func emitTrial(tr *Tracer, id int, outcome string) {
+	tt := tr.Trial(id)
+	tt.Emit(Event{Kind: KindTrialStart, VTNanos: 0, WallUnixNanos: 12345})
+	tt.Emit(Event{Kind: KindInject, VTNanos: 1000, Addr: 0x40, Region: "heap",
+		RegionKind: "heap", Error: "single-bit soft", Bits: []int{3}})
+	tt.Emit(Event{Kind: KindAccessFaulty, VTNanos: 2000, Addr: 0x40,
+		Access: "load", Len: 8})
+	if outcome == "crash" {
+		tt.Emit(Event{Kind: KindCrash, VTNanos: 2500, Detail: "assertion"})
+	}
+	tt.Emit(Event{Kind: KindOutcome, VTNanos: 3000, Outcome: outcome, Region: "heap"})
+	tt.Emit(Event{Kind: KindTrialEnd, VTNanos: 3000, WallUnixNanos: 67890})
+	tt.Finish()
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Options{}, NewJSONLWriter(&buf))
+	emitTrial(tr, 0, "crash")
+	emitTrial(tr, 1, "masked-by-overwrite")
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 1+6+5 {
+		t.Fatalf("stream has %d lines", len(lines))
+	}
+	hdr, events, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.SchemaVersion != SchemaVersion || hdr.Stream != Stream {
+		t.Errorf("header = %+v", hdr)
+	}
+	if len(events) != 11 {
+		t.Fatalf("read %d events", len(events))
+	}
+	inj := events[1]
+	if inj.Kind != KindInject || inj.Addr != 0x40 || inj.Error != "single-bit soft" ||
+		!reflect.DeepEqual(inj.Bits, []int{3}) {
+		t.Errorf("inject event round trip lost fields: %+v", inj)
+	}
+	if events[0].WallUnixNanos != 12345 {
+		t.Errorf("wall clock lost: %+v", events[0])
+	}
+	// Trials in ascending order.
+	for i := 1; i < len(events); i++ {
+		if events[i].Trial < events[i-1].Trial {
+			t.Fatalf("trials out of order at %d: %+v", i, events)
+		}
+	}
+}
+
+func TestReadJSONLRejectsForeignStreams(t *testing.T) {
+	if _, _, err := ReadJSONL(strings.NewReader(`{"stream":"other","schema_version":1}`)); err == nil {
+		t.Error("foreign stream accepted")
+	}
+	newer := fmt.Sprintf(`{"stream":%q,"schema_version":%d}`, Stream, SchemaVersion+1)
+	if _, _, err := ReadJSONL(strings.NewReader(newer)); err == nil {
+		t.Error("newer schema accepted")
+	}
+	if _, _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestRecorderKeepsOnlyFailures(t *testing.T) {
+	rec := NewRecorder(4, 2)
+	tr := New(Options{}, rec)
+	emitTrial(tr, 0, "masked-by-overwrite")
+	emitTrial(tr, 1, "crash")
+	emitTrial(tr, 2, "incorrect-response")
+	emitTrial(tr, 3, "crash") // beyond maxDumps=2
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dumps := rec.Dumps()
+	if len(dumps) != 2 {
+		t.Fatalf("got %d dumps", len(dumps))
+	}
+	if dumps[0].Trial != 1 || dumps[0].Outcome != "crash" {
+		t.Errorf("dump 0 = %+v", dumps[0])
+	}
+	if dumps[1].Trial != 2 || dumps[1].Outcome != "incorrect-response" {
+		t.Errorf("dump 1 = %+v", dumps[1])
+	}
+	if rec.Skipped() != 1 {
+		t.Errorf("skipped = %d", rec.Skipped())
+	}
+	// Trial 1 recorded 6 events; lastN=4 keeps the tail.
+	d := dumps[0]
+	if d.Truncated != 2 || len(d.Events) != 4 {
+		t.Fatalf("dump truncation: truncated=%d events=%d", d.Truncated, len(d.Events))
+	}
+	if d.Events[len(d.Events)-1].Kind != KindTrialEnd {
+		t.Errorf("dump tail does not end with trial_end: %+v", d.Events)
+	}
+}
+
+func TestChromeWriterShape(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Options{}, NewChromeWriter(&buf))
+	emitTrial(tr, 0, "crash")
+	emitTrial(tr, 1, "masked-by-overwrite")
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The acceptance shape: a JSON array of objects, each with name, ph,
+	// ts, pid, and tid.
+	var objs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &objs); err != nil {
+		t.Fatalf("not a JSON array: %v", err)
+	}
+	if len(objs) == 0 {
+		t.Fatal("empty trace")
+	}
+	phs := map[string]int{}
+	for i, o := range objs {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := o[key]; !ok {
+				t.Fatalf("object %d missing %q: %v", i, key, o)
+			}
+		}
+		phs[o["ph"].(string)]++
+	}
+	if phs["M"] < 3 { // process_name + one thread_name per trial
+		t.Errorf("metadata events = %d", phs["M"])
+	}
+	if phs["X"] != 2 {
+		t.Errorf("slices = %d, want one per trial", phs["X"])
+	}
+	if phs["i"] == 0 {
+		t.Error("no instant events")
+	}
+
+	out := buf.String()
+	if !strings.Contains(out, `"cname": "terrible"`) {
+		t.Error("crash slice not colored terrible")
+	}
+	if !strings.Contains(out, `"cname": "good"`) {
+		t.Error("masked slice not colored good")
+	}
+	if !strings.Contains(out, "access_faulty:load") {
+		t.Error("access instant not named by access type")
+	}
+}
+
+func TestChromeColor(t *testing.T) {
+	for outcome, want := range map[string]string{
+		"crash":               "terrible",
+		"incorrect-response":  "bad",
+		"masked-by-overwrite": "good",
+		"masked-by-logic":     "good",
+		"masked-latent":       "grey",
+		"":                    "grey",
+	} {
+		if got := chromeColor(outcome); got != want {
+			t.Errorf("chromeColor(%q) = %q, want %q", outcome, got, want)
+		}
+	}
+}
+
+func TestFormatEvent(t *testing.T) {
+	line := FormatEvent(Event{
+		Kind: KindInject, VTNanos: 2_500_000_000, Addr: 0x80,
+		Region: "heap", Error: "single-bit soft", Bits: []int{5},
+	}, 500_000_000)
+	for _, want := range []string{"+    2.000s", "inject", "addr=0x80",
+		"region=heap", `error="single-bit soft"`, "bits=[5]"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("FormatEvent missing %q in %q", want, line)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package evtrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// StreamHeader is the first line of every JSONL trace stream.
+type StreamHeader struct {
+	SchemaVersion int    `json:"schema_version"`
+	Stream        string `json:"stream"`
+}
+
+// JSONLWriter streams events as JSON Lines: one header line, then one
+// line per event, trials in ascending order. Two runs of the same
+// deterministic campaign produce byte-identical streams modulo the
+// "wall_"-prefixed fields.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	w   io.Writer
+	err error
+}
+
+// NewJSONLWriter creates the sink and writes the stream header. Close
+// flushes, and also closes w when it implements io.Closer.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	jw := &JSONLWriter{bw: bufio.NewWriter(w), w: w}
+	b, _ := json.Marshal(StreamHeader{SchemaVersion: SchemaVersion, Stream: Stream})
+	jw.write(b)
+	return jw
+}
+
+// write emits one line, keeping the first error sticky.
+func (jw *JSONLWriter) write(line []byte) {
+	if jw.err != nil {
+		return
+	}
+	if _, err := jw.bw.Write(line); err != nil {
+		jw.err = err
+		return
+	}
+	jw.err = jw.bw.WriteByte('\n')
+}
+
+// WriteTrial implements Sink.
+func (jw *JSONLWriter) WriteTrial(trial int, events []Event) error {
+	for i := range events {
+		b, err := json.Marshal(&events[i])
+		if err != nil {
+			return err
+		}
+		jw.write(b)
+	}
+	return jw.err
+}
+
+// Close implements Sink.
+func (jw *JSONLWriter) Close() error {
+	if err := jw.bw.Flush(); err != nil && jw.err == nil {
+		jw.err = err
+	}
+	if c, ok := jw.w.(io.Closer); ok {
+		if err := c.Close(); err != nil && jw.err == nil {
+			jw.err = err
+		}
+	}
+	return jw.err
+}
+
+// ReadJSONL parses a JSONL trace stream back into events. It validates
+// the header (stream identity and schema version at most the one this
+// package writes) and preserves event order.
+func ReadJSONL(r io.Reader) (StreamHeader, []Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return StreamHeader{}, nil, err
+		}
+		return StreamHeader{}, nil, fmt.Errorf("evtrace: empty trace stream")
+	}
+	var hdr StreamHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return StreamHeader{}, nil, fmt.Errorf("evtrace: bad stream header: %w", err)
+	}
+	if hdr.Stream != Stream {
+		return hdr, nil, fmt.Errorf("evtrace: not an event trace (stream %q)", hdr.Stream)
+	}
+	if hdr.SchemaVersion > SchemaVersion {
+		return hdr, nil, fmt.Errorf("evtrace: stream schema v%d is newer than supported v%d",
+			hdr.SchemaVersion, SchemaVersion)
+	}
+	var events []Event
+	for line := 2; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return hdr, nil, fmt.Errorf("evtrace: line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	return hdr, events, sc.Err()
+}
+
+// Dump is one flight-recorder capture: the tail of a trial that ended in
+// crash or incorrect-response.
+type Dump struct {
+	// Trial is the trial ID.
+	Trial int `json:"trial"`
+	// Outcome is the Fig. 1 classification that triggered the dump.
+	Outcome string `json:"outcome"`
+	// Dropped is the trial's capped-event count (from its trial_end).
+	Dropped int64 `json:"dropped,omitempty"`
+	// Truncated counts events recorded for the trial but outside the
+	// recorder's last-N window.
+	Truncated int `json:"truncated,omitempty"`
+	// Events are the last recorded events, in emission order.
+	Events []Event `json:"events"`
+}
+
+// dumpOutcomes are the Fig. 1 outcome strings (core.Outcome.String) that
+// trigger a flight-recorder dump: the two externally visible failures.
+var dumpOutcomes = map[string]bool{
+	"crash":              true,
+	"incorrect-response": true,
+}
+
+// Recorder is the flight-recorder sink: for every trial that ends in
+// crash or incorrect-response it retains the last LastN recorded events,
+// up to MaxDumps trials (further qualifying trials are counted, not
+// stored, so pathological campaigns cannot hoard memory).
+type Recorder struct {
+	lastN    int
+	maxDumps int
+	dumps    []Dump
+	skipped  int
+}
+
+// Recorder defaults.
+const (
+	DefaultRecorderLastN = 64
+	DefaultRecorderDumps = 32
+)
+
+// NewRecorder creates a flight recorder keeping the last lastN events of
+// up to maxDumps qualifying trials (non-positive arguments select the
+// defaults).
+func NewRecorder(lastN, maxDumps int) *Recorder {
+	if lastN <= 0 {
+		lastN = DefaultRecorderLastN
+	}
+	if maxDumps <= 0 {
+		maxDumps = DefaultRecorderDumps
+	}
+	return &Recorder{lastN: lastN, maxDumps: maxDumps}
+}
+
+// WriteTrial implements Sink.
+func (r *Recorder) WriteTrial(trial int, events []Event) error {
+	outcome := ""
+	var dropped int64
+	for i := range events {
+		switch events[i].Kind {
+		case KindOutcome:
+			outcome = events[i].Outcome
+		case KindTrialEnd:
+			dropped = events[i].Dropped
+		}
+	}
+	if !dumpOutcomes[outcome] {
+		return nil
+	}
+	if len(r.dumps) >= r.maxDumps {
+		r.skipped++
+		return nil
+	}
+	tail := events
+	truncated := 0
+	if len(tail) > r.lastN {
+		truncated = len(tail) - r.lastN
+		tail = tail[truncated:]
+	}
+	r.dumps = append(r.dumps, Dump{
+		Trial:     trial,
+		Outcome:   outcome,
+		Dropped:   dropped,
+		Truncated: truncated,
+		Events:    append([]Event(nil), tail...),
+	})
+	return nil
+}
+
+// Close implements Sink.
+func (r *Recorder) Close() error { return nil }
+
+// Dumps returns the retained dumps in trial order.
+func (r *Recorder) Dumps() []Dump { return r.dumps }
+
+// Skipped returns how many qualifying trials arrived after the dump
+// budget was exhausted.
+func (r *Recorder) Skipped() int { return r.skipped }
+
+// chromeEvent is one Chrome trace-event object. The exporter emits only
+// fields the format defines: ph "M" metadata records, ph "X" complete
+// slices, and ph "i" instants (ts/dur in microseconds).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Cname string         `json:"cname,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromePid is the single synthetic process every campaign track lives
+// under.
+const chromePid = 1
+
+// ChromeWriter exports a campaign as Chrome trace-event JSON (the array
+// form), loadable in ui.perfetto.dev or chrome://tracing: one thread
+// track per trial on the virtual-time axis, an outcome-colored slice
+// spanning injection to trial end, and instant markers for injection,
+// faulty-word accesses, ECC activity, and crashes.
+type ChromeWriter struct {
+	w      io.Writer
+	events []chromeEvent
+}
+
+// NewChromeWriter creates the exporter. The JSON document is written on
+// Close (the format is one array, so it cannot stream); Close also
+// closes w when it implements io.Closer.
+func NewChromeWriter(w io.Writer) *ChromeWriter {
+	cw := &ChromeWriter{w: w}
+	cw.events = append(cw.events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": "hrmsim campaign"},
+	})
+	return cw
+}
+
+// chromeColor maps a Fig. 1 outcome onto a Chrome trace cname.
+func chromeColor(outcome string) string {
+	switch outcome {
+	case "crash":
+		return "terrible"
+	case "incorrect-response":
+		return "bad"
+	case "masked-by-overwrite", "masked-by-logic":
+		return "good"
+	default: // masked-latent and anything unknown
+		return "grey"
+	}
+}
+
+// usec converts virtual nanoseconds to trace microseconds.
+func usec(vtNanos int64) float64 { return float64(vtNanos) / 1e3 }
+
+// WriteTrial implements Sink.
+func (cw *ChromeWriter) WriteTrial(trial int, events []Event) error {
+	var start, end int64
+	outcome, region := "", ""
+	haveStart := false
+	for i := range events {
+		ev := &events[i]
+		if ev.VTNanos > end {
+			end = ev.VTNanos
+		}
+		switch ev.Kind {
+		case KindTrialStart:
+			start, haveStart = ev.VTNanos, true
+		case KindOutcome:
+			outcome = ev.Outcome
+			if region == "" {
+				region = ev.Region
+			}
+		case KindInject:
+			if region == "" {
+				region = ev.Region
+			}
+		}
+	}
+	if !haveStart && len(events) > 0 {
+		start = events[0].VTNanos
+	}
+	label := fmt.Sprintf("trial %d", trial)
+	if outcome != "" {
+		label += " [" + outcome + "]"
+	}
+	cw.events = append(cw.events, chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: chromePid, Tid: trial,
+		Args: map[string]any{"name": label},
+	})
+	name := outcome
+	if name == "" {
+		name = "trial"
+	}
+	cw.events = append(cw.events, chromeEvent{
+		Name: name, Cat: "trial", Ph: "X",
+		TS: usec(start), Dur: usec(end - start),
+		Pid: chromePid, Tid: trial, Cname: chromeColor(outcome),
+		Args: map[string]any{"outcome": outcome, "region": region, "trial": trial},
+	})
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case KindTrialStart, KindTrialEnd, KindOutcome:
+			continue
+		}
+		args := map[string]any{}
+		if ev.Addr != 0 {
+			args["addr"] = fmt.Sprintf("0x%x", ev.Addr)
+		}
+		if ev.Access != "" {
+			args["access"] = ev.Access
+		}
+		if ev.Error != "" {
+			args["error"] = ev.Error
+		}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		if ev.Region != "" {
+			args["region"] = ev.Region
+		}
+		name := string(ev.Kind)
+		if ev.Kind == KindAccessFaulty {
+			name = "access_faulty:" + ev.Access
+		}
+		cw.events = append(cw.events, chromeEvent{
+			Name: name, Cat: string(ev.Kind), Ph: "i",
+			TS: usec(ev.VTNanos), Pid: chromePid, Tid: trial,
+			Scope: "t", Args: args,
+		})
+	}
+	return nil
+}
+
+// Close implements Sink: it writes the whole trace-event array.
+func (cw *ChromeWriter) Close() error {
+	b, err := json.MarshalIndent(cw.events, "", " ")
+	if err == nil {
+		_, err = cw.w.Write(append(b, '\n'))
+	}
+	if c, ok := cw.w.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// FormatEvent renders one event as a human-readable timeline line
+// relative to a trial-local origin (usually the trial_start virtual
+// time), used by `hrmsim traceview`.
+func FormatEvent(ev Event, originNanos int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%9.3fs  %-17s", float64(ev.VTNanos-originNanos)/1e9, ev.Kind)
+	if ev.Addr != 0 {
+		fmt.Fprintf(&b, " addr=0x%x", ev.Addr)
+	}
+	if ev.Region != "" {
+		fmt.Fprintf(&b, " region=%s", ev.Region)
+	}
+	if ev.Access != "" {
+		fmt.Fprintf(&b, " %s(%dB)", ev.Access, ev.Len)
+	}
+	if ev.Error != "" {
+		fmt.Fprintf(&b, " error=%q bits=%v", ev.Error, ev.Bits)
+	}
+	if ev.Outcome != "" {
+		fmt.Fprintf(&b, " outcome=%s", ev.Outcome)
+	}
+	if ev.Detail != "" {
+		fmt.Fprintf(&b, " detail=%q", ev.Detail)
+	}
+	if ev.Dropped > 0 {
+		fmt.Fprintf(&b, " dropped=%d", ev.Dropped)
+	}
+	return b.String()
+}

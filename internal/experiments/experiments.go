@@ -35,7 +35,7 @@ type Scale struct {
 	Parallelism int
 	// Progress, if non-nil, is forwarded to every campaign the suite
 	// runs (see core.CampaignConfig.Progress).
-	Progress func(done, total int)
+	Progress func(core.ProgressInfo)
 }
 
 // Quick returns a scale suitable for tests: small but large enough for

@@ -48,6 +48,12 @@ const (
 	// ECCUncorrectable is a detected-but-uncorrectable error on a load
 	// (before any software response runs).
 	ECCUncorrectable
+	// ECCRecovered is an uncorrectable error repaired by the region's
+	// MCHandler (software response): the post-recovery retry decoded
+	// cleanly. It always follows an ECCUncorrectable event for the same
+	// word. Observers that only care about hardware corrections (e.g.
+	// page retirement) ignore it.
+	ECCRecovered
 )
 
 // ECCEvent describes a detection/correction event in a protected region.

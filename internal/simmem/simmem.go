@@ -491,6 +491,7 @@ func (as *AddressSpace) handleUncorrectable(r *Region, wo int, word, check []byt
 		return v, &Fault{Kind: FaultMachineCheck, Addr: addr}
 	}
 	as.counters.Recovered++
+	as.notifyECC(ECCEvent{Kind: ECCRecovered, Addr: addr, Time: as.clock.Now(), Region: r})
 	return v, nil
 }
 

@@ -53,9 +53,9 @@ type LabConfig struct {
 	// Parallelism bounds concurrent trials (default GOMAXPROCS).
 	Parallelism int
 	// Progress, if non-nil, is called after every completed injection
-	// trial of every campaign cell with (finished, total) for that cell.
-	// Calls within one cell are serialized.
-	Progress func(done, total int)
+	// trial of every campaign cell with that cell's live progress
+	// (counts, trial rate, ETA). Calls within one cell are serialized.
+	Progress func(ProgressInfo)
 }
 
 // Lab regenerates the paper's tables and figures. Campaign cells are
@@ -84,7 +84,7 @@ func NewLab(cfg LabConfig) (*Lab, error) {
 		Watchpoints: cfg.Watchpoints,
 		Seed:        cfg.Seed,
 		Parallelism: cfg.Parallelism,
-		Progress:    cfg.Progress,
+		Progress:    coreProgress(cfg.Progress),
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Capture the root benchmark suite (bench_test.go) as a dated JSON file,
+# so performance trajectories can be diffed across commits:
+#
+#   scripts/bench.sh              # writes BENCH_YYYY-MM-DD.json
+#   BENCHTIME=5x scripts/bench.sh # faster capture for smoke runs
+#   OUT=custom.json scripts/bench.sh
+#
+# The output is `go test -json` event stream: one JSON object per line,
+# with benchmark results in the Output fields of hrmsim's package events
+# (jq '.Output | select(. != null)' extracts them).
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
+
+echo "benchmarking (benchtime $BENCHTIME) -> $OUT" >&2
+go test -json -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . >"$OUT"
+echo "wrote $OUT" >&2
