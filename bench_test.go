@@ -2,6 +2,9 @@ package hrmsim
 
 import (
 	"testing"
+
+	"hrmsim/internal/core"
+	"hrmsim/internal/faults"
 )
 
 // benchLab builds a lab at benchmark scale. Campaign cells are cached
@@ -105,6 +108,54 @@ func BenchmarkCharacterizeTrial(b *testing.B) {
 				}
 				_ = c
 			}
+		})
+	}
+}
+
+// BenchmarkCampaignLifecycle compares the two trial-provisioning
+// lifecycles on a Fig. 3-style WebSearch soft-error campaign with a
+// warmed-up service (90% of the workload precedes injection, as when
+// characterizing errors that strike a long-running process). The fresh
+// lifecycle rebuilds and re-serves the warmup prefix every trial; the
+// snapshot lifecycle pays build + warmup once per worker and rolls the
+// instance back per trial. Campaign results are bit-identical between
+// the two (TestSnapshotLifecycleMatchesFreshBuild); only trials/s moves.
+func BenchmarkCampaignLifecycle(b *testing.B) {
+	builder, err := NewBuilder(AppWebSearch, SizeMedium, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden, err := core.GoldenRun(builder)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warmup := len(golden) * 9 / 10
+	const trials = 16
+	for _, tc := range []struct {
+		name string
+		lc   core.Lifecycle
+	}{
+		{"fresh", core.LifecycleFresh},
+		{"snapshot", core.LifecycleSnapshot},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(core.CampaignConfig{
+					Builder:     builder,
+					Lifecycle:   tc.lc,
+					Spec:        faults.SingleBitSoft,
+					Trials:      trials,
+					Seed:        1,
+					Warmup:      warmup,
+					Parallelism: 1,
+					Golden:      golden,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(trials*b.N)/b.Elapsed().Seconds(), "trials/s")
 		})
 	}
 }

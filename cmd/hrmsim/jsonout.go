@@ -87,6 +87,7 @@ type characterizeJSON struct {
 	Error                   string         `json:"error"`
 	Region                  string         `json:"region"` // "" = all regions
 	Trials                  int            `json:"trials"`
+	Parallelism             int            `json:"parallelism"`
 	CrashProbability        float64        `json:"crash_probability"`
 	CrashCILow              float64        `json:"crash_ci_low"`
 	CrashCIHigh             float64        `json:"crash_ci_high"`
@@ -124,6 +125,7 @@ func toCharacterizeJSON(c *hrmsim.Characterization) characterizeJSON {
 		Error:                   string(c.Error),
 		Region:                  string(c.Region),
 		Trials:                  c.Trials,
+		Parallelism:             c.Parallelism,
 		CrashProbability:        c.CrashProbability,
 		CrashCILow:              c.CrashCILow,
 		CrashCIHigh:             c.CrashCIHigh,

@@ -138,6 +138,7 @@ func cmdCharacterize(args []string) error {
 	trials := fs.Int("trials", 400, "injection trials")
 	seed := fs.Int64("seed", 1, "random seed")
 	size := fs.String("size", "medium", "workload size: small|medium|large")
+	parallelism := fs.Int("parallelism", 0, "concurrent trial workers (0 = GOMAXPROCS); results are identical at any value")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON (schema: OBSERVABILITY.md)")
 	progress := fs.Bool("progress", false, "report live trial completion on stderr")
 	traceFile := fs.String("trace", "", "write the per-trial event trace to this file (schema: OBSERVABILITY.md)")
@@ -150,12 +151,13 @@ func cmdCharacterize(args []string) error {
 		return err
 	}
 	cfg := hrmsim.CharacterizeConfig{
-		App:    hrmsim.App(*app),
-		Error:  hrmsim.ErrorType(*errType),
-		Region: hrmsim.Region(*region),
-		Trials: *trials,
-		Seed:   *seed,
-		Size:   sz,
+		App:         hrmsim.App(*app),
+		Error:       hrmsim.ErrorType(*errType),
+		Region:      hrmsim.Region(*region),
+		Trials:      *trials,
+		Seed:        *seed,
+		Size:        sz,
+		Parallelism: *parallelism,
 	}
 	if *progress {
 		cfg.Progress = progressFunc("characterize")

@@ -3,6 +3,7 @@ package hrmsim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"hrmsim/internal/apps"
@@ -231,6 +232,11 @@ type Characterization struct {
 	Error  ErrorType
 	Region Region
 	Trials int
+	// Parallelism is the effective number of concurrent trial workers
+	// the campaign ran with (the resolved value, never zero). It does
+	// not affect results — campaigns are bit-identical at any
+	// parallelism — only wall-clock cost.
+	Parallelism int
 	// CrashProbability is P(crash | one injected error), with a 90%
 	// Wilson confidence interval.
 	CrashProbability        float64
@@ -308,11 +314,19 @@ func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
 		return nil, err
 	}
 	mean, max := res.IncorrectPerBillion()
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > cfg.Trials {
+		par = cfg.Trials
+	}
 	out := &Characterization{
 		App:                    cfg.App,
 		Error:                  cfg.Error,
 		Region:                 cfg.Region,
 		Trials:                 cfg.Trials,
+		Parallelism:            par,
 		CrashProbability:       crash.P,
 		CrashCILow:             crash.Lo,
 		CrashCIHigh:            crash.Hi,

@@ -54,6 +54,34 @@ type Builder interface {
 	Build() (App, error)
 }
 
+// SnapshotApp is an App that supports the build-once, restore-per-trial
+// lifecycle: Snapshot captures the instance's complete state (simulated
+// memory via simmem.Snapshot plus any host-side mutable state — stack
+// depth, allocator bookkeeping), and Reset rolls everything back so the
+// instance is indistinguishable from a fresh Build at the captured
+// point. The campaign engine snapshots once per worker and resets
+// before every trial.
+type SnapshotApp interface {
+	App
+	// Snapshot captures the current state as the reset point,
+	// superseding any previous capture.
+	Snapshot() error
+	// Reset restores the captured state, returning the number of
+	// simulated pages rolled back. It fails if Snapshot was never
+	// called.
+	Reset() (dirtyPages int, err error)
+}
+
+// SnapshotBuilder is the optional snapshot capability of a Builder.
+// Builders that implement it let campaigns reuse one instance across
+// trials; the engine type-asserts and falls back to per-trial Build
+// otherwise.
+type SnapshotBuilder interface {
+	Builder
+	// BuildSnapshot materializes a fresh snapshot-capable instance.
+	BuildSnapshot() (SnapshotApp, error)
+}
+
 // Crash-worthy application errors. Memory faults (simmem.Fault) are the
 // third member of this family.
 var (

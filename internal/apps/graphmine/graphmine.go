@@ -174,9 +174,48 @@ type App struct {
 	outdegOff    int
 	scoreAOff    int
 	scoreBOff    int
+
+	// Snapshot state (apps.SnapshotApp): memory capture plus stack
+	// depth — the layout offsets above are immutable after Build.
+	snapMem *simmem.Snapshot
+	snapSP  int
 }
 
 var _ apps.App = (*App)(nil)
+var _ apps.SnapshotApp = (*App)(nil)
+
+// BuildSnapshot implements apps.SnapshotBuilder.
+func (b *Builder) BuildSnapshot() (apps.SnapshotApp, error) {
+	app, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return app.(*App), nil
+}
+
+var _ apps.SnapshotBuilder = (*Builder)(nil)
+
+// Snapshot implements apps.SnapshotApp.
+func (a *App) Snapshot() error {
+	a.snapMem = a.as.Snapshot()
+	a.snapSP = a.stack.Depth()
+	return nil
+}
+
+// Reset implements apps.SnapshotApp.
+func (a *App) Reset() (int, error) {
+	if a.snapMem == nil {
+		return 0, fmt.Errorf("graphmine: Reset before Snapshot")
+	}
+	n, err := a.snapMem.Restore()
+	if err != nil {
+		return 0, fmt.Errorf("graphmine: %w", err)
+	}
+	if err := a.stack.Rewind(a.snapSP); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
 
 // Build implements apps.Builder.
 func (b *Builder) Build() (apps.App, error) {

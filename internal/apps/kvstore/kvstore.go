@@ -115,9 +115,17 @@ type App struct {
 	stack   *simmem.Stack
 	ops     []trace.KVOp
 	buckets simmem.Addr // bucket array base
+
+	// Snapshot state (apps.SnapshotApp): memory capture plus the
+	// host-side mutable state — allocator bookkeeping (SET-miss inserts
+	// allocate) and stack depth.
+	snapMem   *simmem.Snapshot
+	snapArena *simmem.ArenaMark
+	snapSP    int
 }
 
 var _ apps.App = (*App)(nil)
+var _ apps.SnapshotApp = (*App)(nil)
 
 // Build implements apps.Builder.
 func (b *Builder) Build() (apps.App, error) {
@@ -217,6 +225,43 @@ func (a *App) insert(key uint64, version uint32) error {
 		return err
 	}
 	return a.as.StoreU64(slot, uint64(addr))
+}
+
+// BuildSnapshot implements apps.SnapshotBuilder.
+func (b *Builder) BuildSnapshot() (apps.SnapshotApp, error) {
+	app, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return app.(*App), nil
+}
+
+var _ apps.SnapshotBuilder = (*Builder)(nil)
+
+// Snapshot implements apps.SnapshotApp. Region used marks are restored
+// by the memory snapshot; the arena mark covers the allocator's
+// host-side free lists and size map.
+func (a *App) Snapshot() error {
+	a.snapMem = a.as.Snapshot()
+	a.snapArena = a.arena.Mark()
+	a.snapSP = a.stack.Depth()
+	return nil
+}
+
+// Reset implements apps.SnapshotApp.
+func (a *App) Reset() (int, error) {
+	if a.snapMem == nil {
+		return 0, fmt.Errorf("kvstore: Reset before Snapshot")
+	}
+	n, err := a.snapMem.Restore()
+	if err != nil {
+		return 0, fmt.Errorf("kvstore: %w", err)
+	}
+	a.arena.Rewind(a.snapArena)
+	if err := a.stack.Rewind(a.snapSP); err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
 // Name implements apps.App.

@@ -156,9 +156,16 @@ type App struct {
 	privateUsed int
 	snippetsOff int
 	cacheOff    int
+
+	// Snapshot state (apps.SnapshotApp): the memory capture plus the
+	// only host-side mutable state, the stack depth. The layout offsets
+	// above are immutable after Build.
+	snapMem *simmem.Snapshot
+	snapSP  int
 }
 
 var _ apps.App = (*App)(nil)
+var _ apps.SnapshotApp = (*App)(nil)
 
 // Build implements apps.Builder.
 func (b *Builder) Build() (apps.App, error) {
@@ -285,6 +292,39 @@ func (b *Builder) Build() (apps.App, error) {
 	}
 	heap.SetUsed(heapUsed)
 	return app, nil
+}
+
+// BuildSnapshot implements apps.SnapshotBuilder.
+func (b *Builder) BuildSnapshot() (apps.SnapshotApp, error) {
+	app, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return app.(*App), nil
+}
+
+var _ apps.SnapshotBuilder = (*Builder)(nil)
+
+// Snapshot implements apps.SnapshotApp.
+func (a *App) Snapshot() error {
+	a.snapMem = a.as.Snapshot()
+	a.snapSP = a.stack.Depth()
+	return nil
+}
+
+// Reset implements apps.SnapshotApp.
+func (a *App) Reset() (int, error) {
+	if a.snapMem == nil {
+		return 0, fmt.Errorf("websearch: Reset before Snapshot")
+	}
+	n, err := a.snapMem.Restore()
+	if err != nil {
+		return 0, fmt.Errorf("websearch: %w", err)
+	}
+	if err := a.stack.Rewind(a.snapSP); err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
 // Name implements apps.App.

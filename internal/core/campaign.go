@@ -16,12 +16,50 @@ import (
 	"hrmsim/internal/stats"
 )
 
+// Lifecycle selects how a campaign provisions the application instance
+// each trial runs on.
+type Lifecycle int
+
+const (
+	// LifecycleAuto reuses one instance per worker via
+	// snapshot/restore when the builder implements
+	// apps.SnapshotBuilder, and falls back to a fresh build per trial
+	// otherwise. This is the zero-value default.
+	LifecycleAuto Lifecycle = iota
+	// LifecycleFresh forces a fresh Build (and warmup) per trial —
+	// the paper's literal Fig. 2 loop. Useful as the reference side of
+	// equivalence tests and benchmarks.
+	LifecycleFresh
+	// LifecycleSnapshot requires snapshot support; Run fails if the
+	// builder does not implement apps.SnapshotBuilder.
+	LifecycleSnapshot
+)
+
+// String returns the lifecycle name.
+func (l Lifecycle) String() string {
+	switch l {
+	case LifecycleAuto:
+		return "auto"
+	case LifecycleFresh:
+		return "fresh"
+	case LifecycleSnapshot:
+		return "snapshot"
+	default:
+		return fmt.Sprintf("lifecycle(%d)", int(l))
+	}
+}
+
 // CampaignConfig describes one error-injection campaign: N independent
 // trials of the Fig. 2 loop (restart app → inject → run client workload →
 // compare against expected output).
 type CampaignConfig struct {
 	// Builder constructs one fresh application instance per trial.
 	Builder apps.Builder
+	// Lifecycle selects fresh-build-per-trial versus
+	// build-once/snapshot/restore (default LifecycleAuto). The two
+	// paths produce bit-identical CampaignResults; snapshotting only
+	// changes the wall-clock cost of step 1 of the loop.
+	Lifecycle Lifecycle
 	// Spec is the error type to inject.
 	Spec faults.Spec
 	// Trials is the number of injection experiments.
@@ -146,6 +184,21 @@ func Run(cfg CampaignConfig) (*CampaignResult, error) {
 	if par > cfg.Trials {
 		par = cfg.Trials
 	}
+	sb, snapshotOK := cfg.Builder.(apps.SnapshotBuilder)
+	useSnapshot := false
+	switch cfg.Lifecycle {
+	case LifecycleAuto:
+		useSnapshot = snapshotOK
+	case LifecycleFresh:
+	case LifecycleSnapshot:
+		if !snapshotOK {
+			return nil, fmt.Errorf("core: lifecycle snapshot requires an apps.SnapshotBuilder; %s builder does not implement it",
+				cfg.Builder.AppName())
+		}
+		useSnapshot = true
+	default:
+		return nil, fmt.Errorf("core: unknown lifecycle %d", int(cfg.Lifecycle))
+	}
 
 	m := newCampaignMetrics(cfg.Metrics)
 	start := time.Now()
@@ -188,9 +241,26 @@ func Run(cfg CampaignConfig) (*CampaignResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker keeps one snapshot-capable instance alive
+			// across all the trials it drains; the build + warmup cost
+			// is paid once per worker instead of once per trial.
+			var sess *snapshotSession
 			for i := range idxCh {
 				start := time.Now()
-				results[i], errs[i] = runTrial(cfg, golden, i)
+				if useSnapshot {
+					if sess == nil {
+						var err error
+						sess, err = newSnapshotSession(sb, golden, cfg.Warmup)
+						if err != nil {
+							errs[i] = err
+							finished(TrialResult{}, err, time.Since(start))
+							continue
+						}
+					}
+					results[i], errs[i] = sess.runTrial(cfg, golden, m, i)
+				} else {
+					results[i], errs[i] = runTrial(cfg, golden, i)
+				}
 				finished(results[i], errs[i], time.Since(start))
 			}
 		}()
@@ -222,12 +292,14 @@ func Run(cfg CampaignConfig) (*CampaignResult, error) {
 // campaignMetrics holds the pre-resolved metric handles of one campaign
 // (nil receiver = instrumentation off). Names per OBSERVABILITY.md.
 type campaignMetrics struct {
-	trials    *obsv.Counter
-	requests  *obsv.Counter
-	incorrect *obsv.Counter
-	outcomes  map[Outcome]*obsv.Counter
-	wallMs    *obsv.Histogram
-	virtMin   *obsv.Histogram
+	trials     *obsv.Counter
+	requests   *obsv.Counter
+	incorrect  *obsv.Counter
+	restores   *obsv.Counter
+	outcomes   map[Outcome]*obsv.Counter
+	wallMs     *obsv.Histogram
+	virtMin    *obsv.Histogram
+	dirtyPages *obsv.Histogram
 }
 
 func newCampaignMetrics(reg *obsv.Registry) *campaignMetrics {
@@ -238,11 +310,14 @@ func newCampaignMetrics(reg *obsv.Registry) *campaignMetrics {
 		trials:    reg.Counter("campaign_trials_total"),
 		requests:  reg.Counter("campaign_requests_total"),
 		incorrect: reg.Counter("campaign_incorrect_responses_total"),
+		restores:  reg.Counter("campaign_snapshot_restores_total"),
 		outcomes:  make(map[Outcome]*obsv.Counter, len(Outcomes())),
 		// Trial wall-clock cost: 0.25 ms .. ~8 s.
 		wallMs: reg.Histogram("campaign_trial_wall_ms", obsv.ExpBuckets(0.25, 2, 16)),
 		// Post-injection virtual span: 1 min .. ~5.7 days.
 		virtMin: reg.Histogram("campaign_trial_virtual_minutes", obsv.ExpBuckets(1, 2, 14)),
+		// Pages rolled back per restore: 1 .. 32768.
+		dirtyPages: reg.Histogram("campaign_snapshot_dirty_pages", obsv.ExpBuckets(1, 2, 16)),
 	}
 	for _, o := range Outcomes() {
 		m.outcomes[o] = reg.Counter("campaign_outcome_" + o.MetricName())
@@ -266,6 +341,15 @@ func (m *campaignMetrics) record(tr TrialResult, wall time.Duration) {
 	}
 }
 
+// recordRestore adds one snapshot restore and its rollback size.
+func (m *campaignMetrics) recordRestore(dirtyPages int) {
+	if m == nil {
+		return
+	}
+	m.restores.Inc()
+	m.dirtyPages.Observe(float64(dirtyPages))
+}
+
 // trialSeed derives a decorrelated per-trial seed (splitmix-style).
 func trialSeed(seed int64, i int) int64 {
 	x := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
@@ -277,7 +361,58 @@ func trialSeed(seed int64, i int) int64 {
 	return int64(x)
 }
 
-// runTrial performs one pass of the Fig. 2 loop.
+// snapshotSession is one worker's reusable application instance for the
+// build-once lifecycle: built and warmed up once, snapshotted, then
+// restored before every trial. Sessions are per-worker, never shared.
+type snapshotSession struct {
+	app apps.SnapshotApp
+	// startVT is the virtual clock reading right after build — what a
+	// fresh-build trial would stamp on its trial_start event.
+	startVT time.Duration
+}
+
+// newSnapshotSession builds one instance, replays (and validates) the
+// warmup prefix, and captures the post-warmup state as the reset point.
+func newSnapshotSession(sb apps.SnapshotBuilder, golden []uint64, warmup int) (*snapshotSession, error) {
+	app, err := sb.BuildSnapshot()
+	if err != nil {
+		return nil, fmt.Errorf("building app: %w", err)
+	}
+	startVT := app.Space().Clock().Now()
+	for q := 0; q < warmup; q++ {
+		resp, err := app.Serve(q)
+		if err != nil {
+			return nil, fmt.Errorf("warmup request %d crashed: %w", q, err)
+		}
+		if resp.Digest != golden[q] {
+			return nil, fmt.Errorf("warmup request %d mismatched golden output", q)
+		}
+	}
+	if err := app.Snapshot(); err != nil {
+		return nil, fmt.Errorf("snapshotting app: %w", err)
+	}
+	return &snapshotSession{app: app, startVT: startVT}, nil
+}
+
+// runTrial performs one pass of the Fig. 2 loop against the session's
+// restored instance. The per-trial rng is derived exactly as in the
+// fresh-build path, and restore rolls the instance back to the
+// post-warmup capture, so the trial is bit-identical to a fresh build.
+func (s *snapshotSession) runTrial(cfg CampaignConfig, golden []uint64, m *campaignMetrics, i int) (TrialResult, error) {
+	rng := rand.New(rand.NewSource(trialSeed(cfg.Seed, i)))
+	dirty, err := s.app.Reset()
+	if err != nil {
+		return TrialResult{}, fmt.Errorf("restoring snapshot: %w", err)
+	}
+	m.recordRestore(dirty)
+	tt := cfg.Tracer.Trial(i)
+	traceTrialStartAt(tt, s.startVT)
+	traceRestore(tt, s.app.Space())
+	return injectAndServe(cfg, golden, s.app, rng, tt)
+}
+
+// runTrial performs one pass of the Fig. 2 loop on a freshly built
+// instance.
 func runTrial(cfg CampaignConfig, golden []uint64, i int) (TrialResult, error) {
 	rng := rand.New(rand.NewSource(trialSeed(cfg.Seed, i)))
 	app, err := cfg.Builder.Build()
@@ -298,6 +433,15 @@ func runTrial(cfg CampaignConfig, golden []uint64, i int) (TrialResult, error) {
 			return TrialResult{}, fmt.Errorf("warmup request %d mismatched golden output", q)
 		}
 	}
+	return injectAndServe(cfg, golden, app, rng, tt)
+}
+
+// injectAndServe runs steps 2–5 of the Fig. 2 loop — inject, run the
+// post-warmup client workload, classify — on an already warmed-up
+// instance. It is shared verbatim by the fresh-build and snapshot
+// lifecycles, which is what keeps the two bit-identical.
+func injectAndServe(cfg CampaignConfig, golden []uint64, app apps.App, rng *rand.Rand, tt *evtrace.TrialTracer) (TrialResult, error) {
+	as := app.Space()
 
 	// Inject (Algorithm 1(a)).
 	inj, err := inject.Random(as, rng, cfg.Spec, cfg.Filter)

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hrmsim/internal/apps"
+	"hrmsim/internal/apps/graphmine"
+	"hrmsim/internal/apps/websearch"
+	"hrmsim/internal/faults"
+	"hrmsim/internal/obsv"
+)
+
+func gmBuilder(t *testing.T, seed int64) apps.Builder {
+	t.Helper()
+	cfg := graphmine.DefaultConfig(seed)
+	cfg.Nodes = 256
+	cfg.AvgDeg = 4
+	cfg.Iterations = 2
+	cfg.ChunkNodes = 64
+	cfg.TopK = 20
+	b, err := graphmine.NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// runLifecycle runs one campaign with the given lifecycle and
+// parallelism, sharing a pre-computed golden run.
+func runLifecycle(t *testing.T, b apps.Builder, spec faults.Spec, golden []uint64,
+	lc Lifecycle, par, warmup int) *CampaignResult {
+	t.Helper()
+	res, err := Run(CampaignConfig{
+		Builder:     b,
+		Lifecycle:   lc,
+		Spec:        spec,
+		Trials:      40,
+		Seed:        29,
+		Warmup:      warmup,
+		Parallelism: par,
+		Golden:      golden,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSnapshotLifecycleMatchesFreshBuild pins the tentpole guarantee:
+// for every application, error type, warmup setting, and parallelism
+// level, a snapshot-lifecycle campaign produces trial results deeply
+// identical to the literal build-per-trial Fig. 2 loop — every outcome,
+// region, request count, digest-mismatch count, and virtual timestamp.
+func TestSnapshotLifecycleMatchesFreshBuild(t *testing.T) {
+	builders := map[string]func(*testing.T, int64) apps.Builder{
+		"websearch": wsBuilder,
+		"kvstore":   kvBuilder,
+		"graphmine": gmBuilder,
+	}
+	specs := map[string]faults.Spec{
+		"soft": faults.SingleBitSoft,
+		"hard": faults.SingleBitHard,
+	}
+	for appName, mk := range builders {
+		for specName, spec := range specs {
+			t.Run(appName+"/"+specName, func(t *testing.T) {
+				t.Parallel()
+				b := mk(t, 5)
+				golden, err := GoldenRun(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				warmup := len(golden) / 4
+				fresh := runLifecycle(t, b, spec, golden, LifecycleFresh, 1, warmup)
+				for _, par := range []int{1, 4} {
+					snap := runLifecycle(t, b, spec, golden, LifecycleSnapshot, par, warmup)
+					if !reflect.DeepEqual(fresh.Trials, snap.Trials) {
+						for i := range fresh.Trials {
+							if !reflect.DeepEqual(fresh.Trials[i], snap.Trials[i]) {
+								t.Fatalf("parallelism %d: trial %d diverged:\nfresh:    %+v\nsnapshot: %+v",
+									par, i, fresh.Trials[i], snap.Trials[i])
+							}
+						}
+						t.Fatalf("parallelism %d: trials diverged", par)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotLifecycleMatchesFreshWithCPUCache exercises the cache
+// model across restores: residency and stats must roll back with
+// memory, or error visibility (and therefore outcomes) would drift
+// between the two lifecycles.
+func TestSnapshotLifecycleMatchesFreshWithCPUCache(t *testing.T) {
+	cfg := websearch.DefaultConfig(9)
+	cfg.Docs = 256
+	cfg.Vocab = 128
+	cfg.MinTerms = 4
+	cfg.MaxTerms = 12
+	cfg.Queries = 40
+	cfg.CacheSlots = 32
+	cfg.CacheLines = 64
+	b, err := websearch.NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := GoldenRun(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := runLifecycle(t, b, faults.SingleBitSoft, golden, LifecycleFresh, 1, 10)
+	snap := runLifecycle(t, b, faults.SingleBitSoft, golden, LifecycleSnapshot, 3, 10)
+	if !reflect.DeepEqual(fresh.Trials, snap.Trials) {
+		t.Fatal("cached-app snapshot campaign diverged from fresh builds")
+	}
+}
+
+// freshOnlyBuilder hides a builder's snapshot capability.
+type freshOnlyBuilder struct{ b apps.Builder }
+
+func (f freshOnlyBuilder) AppName() string          { return f.b.AppName() }
+func (f freshOnlyBuilder) Build() (apps.App, error) { return f.b.Build() }
+
+func TestLifecycleSnapshotRequiresSupport(t *testing.T) {
+	b := freshOnlyBuilder{b: wsBuilder(t, 3)}
+	_, err := Run(CampaignConfig{
+		Builder:   b,
+		Lifecycle: LifecycleSnapshot,
+		Spec:      faults.SingleBitSoft,
+		Trials:    2,
+	})
+	if err == nil || !strings.Contains(err.Error(), "SnapshotBuilder") {
+		t.Fatalf("err = %v, want snapshot-support error", err)
+	}
+}
+
+// TestLifecycleAutoFallsBackToFresh: a builder without snapshot support
+// still runs (per-trial builds) under the default lifecycle, and matches
+// the same campaign run on the snapshot-capable builder it wraps.
+func TestLifecycleAutoFallsBackToFresh(t *testing.T) {
+	inner := wsBuilder(t, 3)
+	golden, err := GoldenRun(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := runLifecycle(t, freshOnlyBuilder{b: inner}, faults.SingleBitSoft, golden, LifecycleAuto, 2, 0)
+	snap := runLifecycle(t, inner, faults.SingleBitSoft, golden, LifecycleAuto, 2, 0)
+	if !reflect.DeepEqual(plain.Trials, snap.Trials) {
+		t.Fatal("auto lifecycle results differ between fresh-only and snapshot builders")
+	}
+}
+
+func TestLifecycleString(t *testing.T) {
+	for lc, want := range map[Lifecycle]string{
+		LifecycleAuto:     "auto",
+		LifecycleFresh:    "fresh",
+		LifecycleSnapshot: "snapshot",
+		Lifecycle(9):      "lifecycle(9)",
+	} {
+		if got := lc.String(); got != want {
+			t.Errorf("Lifecycle(%d).String() = %q, want %q", int(lc), got, want)
+		}
+	}
+}
+
+// TestSnapshotMetricsEmitted checks the restore counter and dirty-page
+// histogram reach the registry only on the snapshot path.
+func TestSnapshotMetricsEmitted(t *testing.T) {
+	b := wsBuilder(t, 4)
+	golden, err := GoldenRun(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		lc           Lifecycle
+		wantRestores int64
+	}{
+		{LifecycleSnapshot, 10},
+		{LifecycleFresh, 0},
+	} {
+		reg := obsv.NewRegistry()
+		_, err := Run(CampaignConfig{
+			Builder:     b,
+			Lifecycle:   tc.lc,
+			Spec:        faults.SingleBitSoft,
+			Trials:      10,
+			Seed:        6,
+			Parallelism: 1,
+			Golden:      golden,
+			Metrics:     reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := reg.Snapshot()
+		if got := snap.Counters["campaign_snapshot_restores_total"]; got != tc.wantRestores {
+			t.Errorf("%v: restores = %d, want %d", tc.lc, got, tc.wantRestores)
+		}
+		if tc.lc == LifecycleSnapshot {
+			if got := snap.Histograms["campaign_snapshot_dirty_pages"].Count; got != 10 {
+				t.Errorf("dirty-page histogram count = %d, want 10", got)
+			}
+		}
+	}
+}

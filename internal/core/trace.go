@@ -103,13 +103,36 @@ func traceInjection(tt *evtrace.TrialTracer, as *simmem.AddressSpace, inj inject
 // wall-clock readings are trial_start and trial_end, in the segregated
 // wall_unix_ns field).
 func traceTrialStart(tt *evtrace.TrialTracer, as *simmem.AddressSpace) {
+	traceTrialStartAt(tt, time.Duration(as.Clock().Now()))
+}
+
+// traceTrialStartAt emits the opening event at an explicit virtual time —
+// snapshot-lifecycle trials stamp the post-build reading captured before
+// warmup, so their trial_start matches a fresh build's.
+func traceTrialStartAt(tt *evtrace.TrialTracer, vt time.Duration) {
 	if tt == nil {
 		return
 	}
 	tt.Emit(evtrace.Event{
 		Kind:          evtrace.KindTrialStart,
-		VTNanos:       int64(as.Clock().Now()),
+		VTNanos:       int64(vt),
 		WallUnixNanos: time.Now().UnixNano(),
+	})
+}
+
+// traceRestore emits the snapshot-restore event that opens a
+// snapshot-lifecycle trial: the virtual clock has been rolled back to
+// the post-warmup capture. The rollback size is excluded on purpose —
+// it depends on worker scheduling, and the trace stream must stay
+// identical across parallelism levels (the dirty-page histogram metric
+// carries sizes).
+func traceRestore(tt *evtrace.TrialTracer, as *simmem.AddressSpace) {
+	if tt == nil {
+		return
+	}
+	tt.Emit(evtrace.Event{
+		Kind:    evtrace.KindRestore,
+		VTNanos: int64(as.Clock().Now()),
 	})
 }
 

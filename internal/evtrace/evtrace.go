@@ -46,6 +46,14 @@ type Kind string
 const (
 	// KindTrialStart opens a trial (carries the host wall clock).
 	KindTrialStart Kind = "trial_start"
+	// KindRestore is a snapshot rollback opening a build-once-lifecycle
+	// trial: the instance was reset to its post-warmup capture instead
+	// of rebuilt. (The rollback size is deliberately absent — it
+	// depends on which trial the worker ran previously, and the
+	// delivered stream must stay identical across parallelism levels;
+	// sizes are observable via the campaign_snapshot_dirty_pages
+	// metric instead.)
+	KindRestore Kind = "restore"
 	// KindInject is one corrupted byte (one event per injection target).
 	KindInject Kind = "inject"
 	// KindAccessFaulty is an application load/store overlapping an
@@ -70,7 +78,7 @@ const (
 
 // Kinds lists every event kind in within-trial order.
 func Kinds() []Kind {
-	return []Kind{KindTrialStart, KindInject, KindAccessFaulty,
+	return []Kind{KindTrialStart, KindRestore, KindInject, KindAccessFaulty,
 		KindECCCorrected, KindECCUncorrectable, KindSWResponse,
 		KindCrash, KindOutcome, KindTrialEnd}
 }

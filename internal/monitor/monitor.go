@@ -174,6 +174,32 @@ func (m *Monitor) touch(rec *watchRec, ev simmem.AccessEvent) {
 	}
 }
 
+// ResetTrial implements simmem.TrialResetter: it discards everything
+// accumulated since construction — watchpoint intervals and reference
+// counts, page write/read counters — and restarts the observation window
+// at the clock's current reading. A monitor retained across
+// snapshot-lifecycle trials therefore observes each trial as if freshly
+// installed. The watchpoints and tracked regions themselves stay.
+func (m *Monitor) ResetTrial() {
+	for _, rec := range m.watched {
+		rec.last = 0
+		rec.seen = false
+		rec.safe = 0
+		rec.unsafe = 0
+		rec.loads = 0
+		rec.stores = 0
+	}
+	for _, pt := range m.pages {
+		for i := range pt.writes {
+			pt.writes[i] = 0
+		}
+		for i := range pt.reads {
+			pt.reads[i] = 0
+		}
+	}
+	m.start = m.clock.Now()
+}
+
 // AddressStats summarizes one watched address.
 type AddressStats struct {
 	Addr      simmem.Addr

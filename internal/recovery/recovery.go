@@ -58,6 +58,14 @@ func (p *ParR) HandleMC(as *simmem.AddressSpace, ev simmem.MCEvent) simmem.MCAct
 	return simmem.MCRecovered
 }
 
+// ResetTrial implements simmem.TrialResetter: recovery counters restart
+// at zero so a handler retained across snapshot-lifecycle trials reports
+// per-trial counts, like one freshly constructed at build time.
+func (p *ParR) ResetTrial() {
+	p.Recoveries = 0
+	p.Failures = 0
+}
+
 // ParREscalating first tries a word restore (cheap, fixes soft errors);
 // if the same word faults again — the signature of a stuck-at hard fault —
 // it escalates to replacing the page frame, which models page retirement
@@ -99,6 +107,15 @@ func (p *ParREscalating) HandleMC(as *simmem.AddressSpace, ev simmem.MCEvent) si
 // Recoveries returns the count of word-level recoveries.
 func (p *ParREscalating) Recoveries() int { return p.inner.Recoveries }
 
+// ResetTrial implements simmem.TrialResetter: the seen-word memory that
+// drives escalation (and the counters) belongs to one trial's fault
+// history, so a restore clears it.
+func (p *ParREscalating) ResetTrial() {
+	clear(p.seenWords)
+	p.Escalations = 0
+	p.inner.ResetTrial()
+}
+
 // Retirer implements OS page retirement (Section II-A): when a page
 // accumulates Threshold corrected errors, its frame is replaced — backed
 // regions reload from persistent storage, others lose the page's contents
@@ -125,6 +142,9 @@ func (r *Retirer) ObserveECC(ev simmem.ECCEvent) {
 		}
 	}
 }
+
+// ResetTrial implements simmem.TrialResetter.
+func (r *Retirer) ResetTrial() { r.Retired = 0 }
 
 // Checkpointer periodically flushes a backed region's dirty contents to
 // persistent storage, implementing the paper's assumption that Par+R data
@@ -162,6 +182,14 @@ func (c *Checkpointer) ObserveAccess(ev simmem.AccessEvent) {
 		c.Flushes++
 	}
 	c.last = ev.Time
+}
+
+// ResetTrial implements simmem.TrialResetter: the flush schedule and
+// counter restart from zero, as if the checkpointer were freshly
+// installed — its next observed access re-arms the periodic flush.
+func (c *Checkpointer) ResetTrial() {
+	c.last = 0
+	c.Flushes = 0
 }
 
 // PeriodicScrubber runs a full write-back scrub pass over its regions
@@ -225,6 +253,16 @@ func (s *PeriodicScrubber) ObserveAccess(ev simmem.AccessEvent) {
 		}
 	}
 	s.Passes++
+}
+
+// ResetTrial implements simmem.TrialResetter: the scrub schedule and all
+// pass counters restart from zero.
+func (s *PeriodicScrubber) ResetTrial() {
+	s.last = 0
+	s.Passes = 0
+	s.Corrected = 0
+	s.Uncorrectable = 0
+	s.Retired = 0
 }
 
 // ScrubReport summarizes one scrub pass.

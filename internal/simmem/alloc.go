@@ -78,6 +78,46 @@ func (a *Arena) Free(addr Addr) error {
 	return nil
 }
 
+// ArenaMark is a captured allocator state (Arena.Mark / Arena.Rewind).
+type ArenaMark struct {
+	next  int
+	free  map[int][]Addr
+	sizes map[Addr]int
+}
+
+// Mark captures the allocator's current state so a later Rewind can
+// discard allocations and frees made since — the allocator half of the
+// snapshot/restore trial lifecycle (host-side bookkeeping lives outside
+// the simulated region, so simmem.Snapshot cannot capture it).
+func (a *Arena) Mark() *ArenaMark {
+	m := &ArenaMark{
+		next:  a.next,
+		free:  make(map[int][]Addr, len(a.free)),
+		sizes: make(map[Addr]int, len(a.sizes)),
+	}
+	for sz, list := range a.free {
+		m.free[sz] = append([]Addr(nil), list...)
+	}
+	for addr, sz := range a.sizes {
+		m.sizes[addr] = sz
+	}
+	return m
+}
+
+// Rewind restores the state captured by Mark. The mark stays valid for
+// further rewinds.
+func (a *Arena) Rewind(m *ArenaMark) {
+	a.next = m.next
+	a.free = make(map[int][]Addr, len(m.free))
+	for sz, list := range m.free {
+		a.free[sz] = append([]Addr(nil), list...)
+	}
+	a.sizes = make(map[Addr]int, len(m.sizes))
+	for addr, sz := range m.sizes {
+		a.sizes[addr] = sz
+	}
+}
+
 // Live returns the number of live allocations.
 func (a *Arena) Live() int { return len(a.sizes) }
 
@@ -140,3 +180,14 @@ func (s *Stack) Pop(f Frame) error {
 
 // Depth returns the current stack pointer offset.
 func (s *Stack) Depth() int { return s.sp }
+
+// Rewind forces the stack pointer back to an absolute depth previously
+// observed via Depth, discarding any frames pushed since — the stack
+// half of the snapshot/restore trial lifecycle.
+func (s *Stack) Rewind(depth int) error {
+	if depth < 0 || depth > s.r.size {
+		return fmt.Errorf("simmem: rewind depth %d outside [0,%d]", depth, s.r.size)
+	}
+	s.sp = depth
+	return nil
+}

@@ -93,7 +93,8 @@ type AddressSpace struct {
 	accessObs      []AccessObserver
 	eccObs         []ECCObserver
 	counters       Counters
-	cache          *cache // nil unless EnableCache was called
+	cache          *cache    // nil unless EnableCache was called
+	snap           *Snapshot // active capture (snapshot.go), nil until Snapshot
 }
 
 // New creates an empty address space.
@@ -285,6 +286,11 @@ type Region struct {
 	pages    []*page
 	backing  []byte
 	used     int
+	// Dirty-page tracking for the snapshot layer (snapshot.go): nil
+	// until a snapshot arms it, then a per-page dirtied flag plus the
+	// list of dirtied page indices (what Restore walks).
+	dirty     []bool
+	dirtyList []int
 }
 
 // Name returns the region name.
@@ -447,6 +453,7 @@ func (as *AddressSpace) loadDecoded(r *Region, off int, buf []byte) error {
 		}
 		if verdict == VerdictCorrected {
 			as.counters.Corrected++
+			r.markDirty(wo / ps)
 			p.corrected++
 			as.notifyECC(ECCEvent{Kind: ECCCorrected, Addr: r.base + Addr(wo), Time: as.clock.Now(), Region: r})
 			if as.scrubOnCorrect {
@@ -526,7 +533,9 @@ func (as *AddressSpace) Store(addr Addr, data []byte) error {
 func (r *Region) writeBytes(off int, data []byte) {
 	ps := r.as.pageSize
 	for len(data) > 0 {
-		p := r.pages[off/ps]
+		pi := off / ps
+		r.markDirty(pi)
+		p := r.pages[pi]
 		inPage := off % ps
 		n := copy(p.data[inPage:], data)
 		data = data[n:]
@@ -545,6 +554,7 @@ func (as *AddressSpace) storeEncoded(r *Region, off int, data []byte) error {
 	word := make([]byte, w)
 	check := make([]byte, c)
 	for wo := first; wo < last; wo += w {
+		r.markDirty(wo / ps)
 		p := r.pages[wo/ps]
 		inPage := wo % ps
 		wordIdx := inPage / w
@@ -741,6 +751,7 @@ func (as *AddressSpace) WriteRaw(addr Addr, data []byte) error {
 	for wo := first; wo < last; wo += w {
 		word := wide[wo-first : wo-first+w]
 		r.codec.Encode(word, check)
+		r.markDirty(wo / ps)
 		p := r.pages[wo/ps]
 		inPage := wo % ps
 		c := r.codec.CheckBytes()
@@ -766,6 +777,7 @@ func (as *AddressSpace) FlipBit(addr Addr, bit int) error {
 		return err
 	}
 	off := int(addr - r.base)
+	r.markDirty(off / as.pageSize)
 	p := r.pages[off/as.pageSize]
 	p.data[off%as.pageSize] ^= 1 << bit
 	return nil
@@ -788,6 +800,7 @@ func (as *AddressSpace) FlipCheckBit(addr Addr, bit int) error {
 	}
 	w := r.codec.WordBytes()
 	off := int(addr-r.base) / w * w
+	r.markDirty(off / as.pageSize)
 	p := r.pages[off/as.pageSize]
 	wordIdx := (off % as.pageSize) / w
 	p.check[wordIdx*c+bit/8] ^= 1 << (bit % 8)
@@ -810,6 +823,7 @@ func (as *AddressSpace) StickBit(addr Addr, bit, value int) error {
 		return err
 	}
 	off := int(addr - r.base)
+	r.markDirty(off / as.pageSize)
 	p := r.pages[off/as.pageSize]
 	i := off % as.pageSize
 	mask := byte(1) << bit
@@ -841,6 +855,7 @@ func (r *Region) ReplaceFrame(pageIdx int) error {
 	if pageIdx < 0 || pageIdx >= len(r.pages) {
 		return fmt.Errorf("simmem: page %d out of range [0,%d)", pageIdx, len(r.pages))
 	}
+	r.markDirty(pageIdx)
 	p := r.pages[pageIdx]
 	p.stuckSet = nil
 	p.stuckClr = nil
@@ -878,6 +893,8 @@ func (r *Region) FlushPage(i int) error {
 		return fmt.Errorf("simmem: page %d out of range [0,%d)", i, len(r.pages))
 	}
 	ps := r.as.pageSize
+	// The backing store is snapshotted too, so flushing dirties the page.
+	r.markDirty(i)
 	copy(r.backing[i*ps:(i+1)*ps], r.pages[i].data)
 	return nil
 }
@@ -955,6 +972,7 @@ func (r *Region) ScrubPage(i int, writeBack bool) (corrected, uncorrectable int,
 		switch r.codec.Decode(word, check) {
 		case VerdictCorrected:
 			corrected++
+			r.markDirty(i)
 			p.corrected++
 			if writeBack {
 				copy(p.data[wo:wo+w], word)

@@ -1,0 +1,215 @@
+// Snapshot/restore: capture an address space's pristine state once and
+// roll trials back to it, instead of rebuilding the application per
+// trial. The campaign engine (internal/core) snapshots each worker's
+// instance after build (and warmup) and restores before every injection;
+// because a trial dirties only a handful of pages, Restore touches only
+// the dirty set and is orders of magnitude cheaper than a rebuild.
+//
+// Correctness contract: a restored address space must be
+// indistinguishable — bit for bit, on every subsequent Load/Store/inject
+// path — from one freshly built into the captured state. That covers
+// page data and check storage, stuck-at masks, per-frame corrected /
+// replaced counters, backing stores, allocator high-water marks, the
+// cache model (residency changes error visibility, so lines are restored
+// verbatim, never flushed), the virtual clock, the aggregate counters,
+// and the observer registration lists.
+
+package simmem
+
+import (
+	"fmt"
+	"time"
+)
+
+// TrialResetter is implemented by observers and MC handlers that carry
+// host-side per-trial state (recovery counters, seen-word sets,
+// checkpoint timestamps). Snapshot.Restore invokes it on every retained
+// access observer, ECC observer, and region MC handler so software
+// responses start each trial as fresh as the memory under them.
+type TrialResetter interface {
+	// ResetTrial discards state accumulated since the snapshot was
+	// taken.
+	ResetTrial()
+}
+
+// pageState is the captured per-frame state beyond the data/check bytes.
+type pageState struct {
+	stuckSet  []byte // copy; nil when the frame had no stuck-at faults
+	stuckClr  []byte
+	corrected uint64
+	replaced  int
+}
+
+// regionState is one region's captured state.
+type regionState struct {
+	used    int
+	data    []byte // page data, flattened in page order
+	check   []byte // check storage, flattened (nil when unprotected)
+	backing []byte // backing-store copy (nil when not backed)
+	pages   []pageState
+}
+
+// Snapshot is a captured address-space state. Taking a snapshot arms
+// dirty-page tracking on every mutation path; Restore rolls only the
+// dirtied pages back. One snapshot is active per address space at a
+// time — taking a new one supersedes the old, whose Restore then fails.
+type Snapshot struct {
+	as       *AddressSpace
+	clock    time.Duration
+	counters Counters
+	nAccess  int // observer-list lengths at capture; Restore truncates
+	nECC     int
+	cache    *cache // deep copy (nil when the cache model is off)
+	regions  []regionState
+}
+
+// Snapshot captures the address space's complete state and arms
+// dirty-page tracking for a later Restore.
+func (as *AddressSpace) Snapshot() *Snapshot {
+	s := &Snapshot{
+		as:       as,
+		clock:    as.clock.now,
+		counters: as.counters,
+		nAccess:  len(as.accessObs),
+		nECC:     len(as.eccObs),
+		regions:  make([]regionState, len(as.regions)),
+	}
+	if as.cache != nil {
+		cp := *as.cache
+		cp.lines = make([]cacheLine, len(as.cache.lines))
+		copy(cp.lines, as.cache.lines)
+		s.cache = &cp
+	}
+	ps := as.pageSize
+	for ri, r := range as.regions {
+		rs := &s.regions[ri]
+		rs.used = r.used
+		rs.data = make([]byte, r.size)
+		rs.pages = make([]pageState, len(r.pages))
+		checkPerPage := r.checkPerPage()
+		if checkPerPage > 0 {
+			rs.check = make([]byte, len(r.pages)*checkPerPage)
+		}
+		for pi, p := range r.pages {
+			copy(rs.data[pi*ps:], p.data)
+			if checkPerPage > 0 {
+				copy(rs.check[pi*checkPerPage:], p.check)
+			}
+			st := &rs.pages[pi]
+			st.corrected = p.corrected
+			st.replaced = p.replaced
+			st.stuckSet = cloneBytes(p.stuckSet)
+			st.stuckClr = cloneBytes(p.stuckClr)
+		}
+		rs.backing = cloneBytes(r.backing)
+		// (Re)arm dirty tracking from a clean slate.
+		r.dirty = make([]bool, len(r.pages))
+		r.dirtyList = r.dirtyList[:0]
+	}
+	as.snap = s
+	return s
+}
+
+// Restore rolls the address space back to the captured state, touching
+// only pages dirtied since the capture (or the previous Restore). It
+// returns the number of pages restored. Restoring a superseded snapshot,
+// or one whose address space has since mapped new regions, is an error.
+func (s *Snapshot) Restore() (int, error) {
+	as := s.as
+	if as.snap != s {
+		return 0, fmt.Errorf("simmem: snapshot superseded by a newer capture of this address space")
+	}
+	if len(as.regions) != len(s.regions) {
+		return 0, fmt.Errorf("simmem: %d regions mapped, snapshot captured %d", len(as.regions), len(s.regions))
+	}
+	ps := as.pageSize
+	restored := 0
+	for ri, r := range as.regions {
+		rs := &s.regions[ri]
+		checkPerPage := r.checkPerPage()
+		for _, pi := range r.dirtyList {
+			p := r.pages[pi]
+			copy(p.data, rs.data[pi*ps:(pi+1)*ps])
+			if checkPerPage > 0 {
+				copy(p.check, rs.check[pi*checkPerPage:(pi+1)*checkPerPage])
+			}
+			st := &rs.pages[pi]
+			p.corrected = st.corrected
+			p.replaced = st.replaced
+			p.stuckSet = cloneBytes(st.stuckSet)
+			p.stuckClr = cloneBytes(st.stuckClr)
+			if r.backing != nil {
+				copy(r.backing[pi*ps:(pi+1)*ps], rs.backing[pi*ps:(pi+1)*ps])
+			}
+			r.dirty[pi] = false
+			restored++
+		}
+		r.dirtyList = r.dirtyList[:0]
+		r.used = rs.used
+	}
+	as.clock.now = s.clock
+	as.counters = s.counters
+	// Observers registered after the capture (per-trial trackers and
+	// trace adapters) are dropped; retained ones get a trial reset.
+	as.accessObs = as.accessObs[:s.nAccess]
+	as.eccObs = as.eccObs[:s.nECC]
+	if s.cache != nil && as.cache != nil {
+		copy(as.cache.lines, s.cache.lines)
+		as.cache.hits = s.cache.hits
+		as.cache.misses = s.cache.misses
+		as.cache.writeBacks = s.cache.writeBacks
+	}
+	for _, o := range as.accessObs {
+		if tr, ok := o.(TrialResetter); ok {
+			tr.ResetTrial()
+		}
+	}
+	for _, o := range as.eccObs {
+		if tr, ok := o.(TrialResetter); ok {
+			tr.ResetTrial()
+		}
+	}
+	for _, r := range as.regions {
+		if tr, ok := r.mc.(TrialResetter); ok {
+			tr.ResetTrial()
+		}
+	}
+	return restored, nil
+}
+
+// DirtyPages returns the number of pages currently marked dirty (the
+// work a Restore would do now).
+func (s *Snapshot) DirtyPages() int {
+	n := 0
+	for _, r := range s.as.regions {
+		n += len(r.dirtyList)
+	}
+	return n
+}
+
+// checkPerPage returns the region's per-page check storage size in
+// bytes (zero when unprotected).
+func (r *Region) checkPerPage() int {
+	if r.codec == nil {
+		return 0
+	}
+	return r.as.pageSize / r.codec.WordBytes() * r.codec.CheckBytes()
+}
+
+// markDirty records a mutation of page pi for the active snapshot. The
+// nil check keeps the no-snapshot path free of tracking cost.
+func (r *Region) markDirty(pi int) {
+	if r.dirty == nil || r.dirty[pi] {
+		return
+	}
+	r.dirty[pi] = true
+	r.dirtyList = append(r.dirtyList, pi)
+}
+
+// cloneBytes copies a byte slice, preserving nil.
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
