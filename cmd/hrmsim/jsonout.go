@@ -25,7 +25,11 @@ type envelope struct {
 	SchemaVersion int    `json:"schema_version"`
 	Tool          string `json:"tool"`
 	Command       string `json:"command"`
-	Result        any    `json:"result"`
+	// Interrupted is set when the command was cancelled (SIGINT/SIGTERM)
+	// and the result below is partial — for characterize, the aggregates
+	// over the trials that finished before the interrupt.
+	Interrupted bool `json:"interrupted,omitempty"`
+	Result      any  `json:"result"`
 	// Metrics holds the obsv snapshot of instrumented commands
 	// (characterize), mirroring what kvserve serves at /metrics.
 	Metrics *obsv.Snapshot `json:"metrics,omitempty"`
@@ -65,11 +69,12 @@ func toTraceJSON(rec *evtrace.Recorder) *traceJSON {
 }
 
 // emitJSON writes one indented envelope to stdout.
-func emitJSON(command string, result any, metrics *obsv.Snapshot, trace *traceJSON) error {
+func emitJSON(command string, interrupted bool, result any, metrics *obsv.Snapshot, trace *traceJSON) error {
 	b, err := json.MarshalIndent(envelope{
 		SchemaVersion: schemaVersion,
 		Tool:          "hrmsim",
 		Command:       command,
+		Interrupted:   interrupted,
 		Result:        result,
 		Metrics:       metrics,
 		Trace:         trace,
@@ -95,6 +100,10 @@ type characterizeJSON struct {
 	IncorrectPerBillion     float64        `json:"incorrect_per_billion"`
 	MaxIncorrectPerBillion  float64        `json:"max_incorrect_per_billion"`
 	Outcomes                map[string]int `json:"outcomes"`
+	Interrupted             bool           `json:"interrupted,omitempty"`
+	CompletedTrials         int            `json:"completed_trials"`
+	AbortedTrials           int            `json:"aborted_trials,omitempty"`
+	ResumedTrials           int            `json:"resumed_trials,omitempty"`
 	CrashMinutes            []float64      `json:"crash_minutes"`
 	IncorrectMinutes        []float64      `json:"incorrect_minutes"`
 	AllIncorrectMinutes     []float64      `json:"all_incorrect_minutes"`
@@ -133,6 +142,10 @@ func toCharacterizeJSON(c *hrmsim.Characterization) characterizeJSON {
 		IncorrectPerBillion:     c.IncorrectPerBillion,
 		MaxIncorrectPerBillion:  c.MaxIncorrectPerBillion,
 		Outcomes:                c.Outcomes,
+		Interrupted:             c.Interrupted,
+		CompletedTrials:         c.Completed,
+		AbortedTrials:           c.Aborted,
+		ResumedTrials:           c.Resumed,
 		CrashMinutes:            nonNil(c.CrashMinutes),
 		IncorrectMinutes:        nonNil(c.IncorrectMinutes),
 		AllIncorrectMinutes:     nonNil(c.AllIncorrectMinutes),

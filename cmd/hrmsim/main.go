@@ -21,10 +21,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"hrmsim"
@@ -143,6 +146,10 @@ func cmdCharacterize(args []string) error {
 	progress := fs.Bool("progress", false, "report live trial completion on stderr")
 	traceFile := fs.String("trace", "", "write the per-trial event trace to this file (schema: OBSERVABILITY.md)")
 	traceFormat := fs.String("trace-format", "jsonl", "event trace format: jsonl|chrome (chrome loads in ui.perfetto.dev)")
+	journalPath := fs.String("journal", "", "append one flushed JSONL record per finished trial to this file, so an interrupted campaign can be resumed with -resume (schema: OBSERVABILITY.md)")
+	resumePath := fs.String("resume", "", "skip trials already recorded in this journal (typically the same file as -journal); the merged result is bit-identical to an uninterrupted run")
+	trialTimeout := fs.Duration("trial-timeout", 0, "abort any trial exceeding this wall-clock deadline, recording it as aborted (0 = none)")
+	trialOpBudget := fs.Int64("trial-op-budget", 0, "abort any trial exceeding this many simulated memory operations after injection (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,14 +157,24 @@ func cmdCharacterize(args []string) error {
 	if err != nil {
 		return err
 	}
+	// SIGINT/SIGTERM cancel the campaign context: in-flight trials are
+	// drained and the partial result (marked interrupted) still comes
+	// out, journaled if -journal was given.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cfg := hrmsim.CharacterizeConfig{
-		App:         hrmsim.App(*app),
-		Error:       hrmsim.ErrorType(*errType),
-		Region:      hrmsim.Region(*region),
-		Trials:      *trials,
-		Seed:        *seed,
-		Size:        sz,
-		Parallelism: *parallelism,
+		App:           hrmsim.App(*app),
+		Error:         hrmsim.ErrorType(*errType),
+		Region:        hrmsim.Region(*region),
+		Trials:        *trials,
+		Seed:          *seed,
+		Size:          sz,
+		Parallelism:   *parallelism,
+		Context:       ctx,
+		TrialTimeout:  *trialTimeout,
+		TrialOpBudget: *trialOpBudget,
+		JournalPath:   *journalPath,
+		ResumePath:    *resumePath,
 	}
 	if *progress {
 		cfg.Progress = progressFunc("characterize")
@@ -201,9 +218,17 @@ func cmdCharacterize(args []string) error {
 	if err != nil {
 		return err
 	}
+	if c.Interrupted {
+		hint := ""
+		if *journalPath != "" {
+			hint = fmt.Sprintf("; resume with -resume %s", *journalPath)
+		}
+		fmt.Fprintf(os.Stderr, "characterize: interrupted — %d/%d trials have results%s\n",
+			c.Completed+c.Aborted+c.Resumed, c.Trials, hint)
+	}
 	if *jsonOut {
 		snap := reg.Snapshot()
-		return emitJSON("characterize", toCharacterizeJSON(c), &snap, toTraceJSON(recorder))
+		return emitJSON("characterize", c.Interrupted, toCharacterizeJSON(c), &snap, toTraceJSON(recorder))
 	}
 	regionLabel := string(c.Region)
 	if regionLabel == "" {
@@ -254,7 +279,7 @@ func cmdProfile(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON("profile", toProfileJSON(rep), nil, nil)
+		return emitJSON("profile", false, toProfileJSON(rep), nil, nil)
 	}
 	fmt.Printf("Access profile: %s (%.1f virtual minutes observed)\n\n", rep.App, rep.WindowMinutes)
 	t := &textplot.Table{
@@ -287,7 +312,7 @@ func cmdDesignSpace(args []string) error {
 		for _, r := range rows {
 			out.Rows = append(out.Rows, toDesignRowJSON(r))
 		}
-		return emitJSON("designspace", out, nil, nil)
+		return emitJSON("designspace", false, out, nil, nil)
 	}
 	fmt.Println(renderDesignRows("Table 6 design points (paper WebSearch inputs)", rows))
 	return nil
@@ -337,7 +362,7 @@ func cmdPlan(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON("plan", planJSON{
+		return emitJSON("plan", false, planJSON{
 			TargetAvailability: *target,
 			ErrorsPerMonth:     *errors,
 			Considered:         res.Considered,
@@ -396,7 +421,7 @@ func cmdTolerable(args []string) error {
 		out.Rows = append(out.Rows, jr)
 	}
 	if *jsonOut {
-		return emitJSON("tolerable", out, nil, nil)
+		return emitJSON("tolerable", false, out, nil, nil)
 	}
 	fmt.Println(t.Render())
 	return nil
@@ -452,7 +477,7 @@ func cmdTables(args []string) error {
 		}
 	}
 	if *jsonOut {
-		return emitJSON("tables", out, nil, nil)
+		return emitJSON("tables", false, out, nil, nil)
 	}
 	return nil
 }
@@ -481,7 +506,7 @@ func cmdLifetime(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON("lifetime", lifetimeJSON{
+		return emitJSON("lifetime", false, lifetimeJSON{
 			Protection:          *protection,
 			ErrorsPerMonth:      *errors,
 			Hours:               *hours,

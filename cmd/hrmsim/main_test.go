@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -216,5 +218,60 @@ func TestCmdLifetimeShort(t *testing.T) {
 	}
 	if err := run([]string{"lifetime", "-protection", "asbestos"}); err == nil {
 		t.Error("bad protection accepted")
+	}
+}
+
+// TestCmdCharacterizeJournalResume: the -journal / -resume flags write a
+// trial journal and replay it, with the resumed trial count surfaced in
+// the -json result.
+func TestCmdCharacterizeJournalResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "trials.jsonl")
+	args := []string{"characterize", "-app", "kvstore", "-size", "small",
+		"-trials", "15", "-seed", "7", "-json"}
+
+	out := captureStdout(t, func() error {
+		return run(append(args, "-journal", journal))
+	})
+	base := decodeEnvelope(t, out, "characterize")
+	if base["completed_trials"] != float64(15) {
+		t.Fatalf("completed_trials = %v", base["completed_trials"])
+	}
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+
+	out = captureStdout(t, func() error {
+		return run(append(args, "-resume", journal))
+	})
+	res := decodeEnvelope(t, out, "characterize")
+	if res["resumed_trials"] != float64(15) {
+		t.Errorf("resumed_trials = %v, want 15", res["resumed_trials"])
+	}
+	for _, key := range []string{"crash_probability", "tolerated_probability", "outcomes"} {
+		if !reflect.DeepEqual(res[key], base[key]) {
+			t.Errorf("resumed %s = %v, baseline %v", key, res[key], base[key])
+		}
+	}
+
+	// A mismatched campaign identity is rejected.
+	if err := run([]string{"characterize", "-app", "kvstore", "-size", "small",
+		"-trials", "15", "-seed", "8", "-resume", journal, "-json"}); err == nil {
+		t.Error("resume with a different seed accepted")
+	}
+}
+
+// TestCmdCharacterizeWatchdogFlags: the watchdog flags parse and a
+// generous budget leaves results untouched.
+func TestCmdCharacterizeWatchdogFlags(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"characterize", "-app", "kvstore", "-size", "small",
+			"-trials", "10", "-trial-timeout", "1m", "-trial-op-budget", "1000000000", "-json"})
+	})
+	res := decodeEnvelope(t, out, "characterize")
+	if res["completed_trials"] != float64(10) {
+		t.Errorf("completed_trials = %v, want 10", res["completed_trials"])
+	}
+	if _, ok := res["aborted_trials"]; ok {
+		t.Errorf("aborted_trials = %v, want omitted (zero)", res["aborted_trials"])
 	}
 }

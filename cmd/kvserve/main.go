@@ -78,7 +78,16 @@ func main() {
 		if err != nil {
 			log.Fatalf("kvserve: metrics listener: %v", err)
 		}
-		metrics = &http.Server{Handler: metricsMux(srv.metrics)}
+		// The sidecar is long-lived and unauthenticated, so a slow or
+		// stalled client must not be able to pin a connection (and its
+		// goroutine) forever. No WriteTimeout: pprof profile captures
+		// legitimately stream for tens of seconds.
+		metrics = &http.Server{
+			Handler:           metricsMux(srv.metrics),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			IdleTimeout:       120 * time.Second,
+		}
 		go func() {
 			if err := metrics.Serve(mln); err != nil && err != http.ErrServerClosed {
 				log.Printf("kvserve: metrics: %v", err)

@@ -1,9 +1,12 @@
 package hrmsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"hrmsim/internal/apps"
@@ -203,6 +206,30 @@ type CharacterizeConfig struct {
 	// via `hrmsim characterize -trace`. The caller closes the tracer
 	// after Characterize returns.
 	Tracer *evtrace.Tracer
+	// Context, if non-nil, allows interrupting the campaign: on
+	// cancellation the engine stops dispatching trials, drains the
+	// in-flight ones, and Characterize returns the partial result with
+	// Interrupted set (not an error).
+	Context context.Context
+	// TrialTimeout, if positive, aborts any trial exceeding this
+	// wall-clock deadline (recorded as aborted, reason "deadline").
+	TrialTimeout time.Duration
+	// TrialOpBudget, if positive, aborts any trial exceeding this many
+	// simulated memory operations after injection (reason "op_budget").
+	TrialOpBudget int64
+	// MaxRetries bounds retries of transient trial-infrastructure
+	// failures (0 = default, negative = disabled).
+	MaxRetries int
+	// JournalPath, if non-empty, appends one flushed JSONL record per
+	// finished trial to this file so an interrupted campaign can resume.
+	// The file is created with a schema-versioned header identifying the
+	// campaign; re-using a file from a different campaign is an error.
+	JournalPath string
+	// ResumePath, if non-empty, reads a journal written by a previous
+	// interrupted run of this same campaign and skips the trial indices
+	// it records — typically the same file as JournalPath. The merged
+	// result is bit-identical to an uninterrupted run.
+	ResumePath string
 }
 
 // ProgressInfo reports campaign progress to the Progress hook. Elapsed,
@@ -259,6 +286,18 @@ type Characterization struct {
 	// producing wrong answers as it is re-consumed, the paper's
 	// "periodically incorrect" behaviour (Fig. 5a).
 	AllIncorrectMinutes []float64
+	// Interrupted reports that the campaign's context was cancelled
+	// (SIGINT) before every trial ran; the aggregates above cover the
+	// trials that did run.
+	Interrupted bool
+	// Completed, Aborted, and Resumed break down the trials that have
+	// results: ran to Fig. 1 classification, given up by the watchdog or
+	// retry policy (never part of the probability denominators), and
+	// merged from a resume journal instead of re-run. Completed+Aborted
+	// can be less than Trials when Interrupted.
+	Completed int
+	Aborted   int
+	Resumed   int
 }
 
 // Characterize runs an error-injection campaign (the paper's Fig. 2 loop)
@@ -289,31 +328,88 @@ func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
 		return nil, err
 	}
 	ccfg := core.CampaignConfig{
-		Builder:     builder,
-		Spec:        spec,
-		Trials:      cfg.Trials,
-		Seed:        cfg.Seed,
-		Parallelism: cfg.Parallelism,
-		Progress:    coreProgress(cfg.Progress),
-		Metrics:     cfg.Metrics,
-		Tracer:      cfg.Tracer,
+		Builder:       builder,
+		Spec:          spec,
+		Trials:        cfg.Trials,
+		Seed:          cfg.Seed,
+		Parallelism:   cfg.Parallelism,
+		Progress:      coreProgress(cfg.Progress),
+		Metrics:       cfg.Metrics,
+		Tracer:        cfg.Tracer,
+		TrialTimeout:  cfg.TrialTimeout,
+		TrialOpBudget: cfg.TrialOpBudget,
+		MaxRetries:    cfg.MaxRetries,
 	}
 	if kind != 0 {
 		ccfg.Filter = func(r *simmem.Region) bool { return r.Kind() == kind }
 	}
-	res, err := core.Run(ccfg)
-	if err != nil {
-		return nil, err
+
+	// The journal header pins the campaign identity, so resuming against
+	// a journal from a different campaign fails loudly instead of merging
+	// unrelated trial results.
+	meta := core.JournalMeta{
+		App:    string(cfg.App),
+		Error:  string(cfg.Error),
+		Region: string(cfg.Region),
+		Trials: cfg.Trials,
+		Seed:   cfg.Seed,
+		Size:   int64(cfg.Size),
 	}
-	crash, err := res.CrashProbability(0.90)
-	if err != nil {
-		return nil, err
+	if cfg.ResumePath != "" {
+		f, err := os.Open(cfg.ResumePath)
+		if err != nil {
+			return nil, fmt.Errorf("hrmsim: opening resume journal: %w", err)
+		}
+		m, recs, err := core.ReadJournal(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("hrmsim: reading resume journal %s: %w", cfg.ResumePath, err)
+		}
+		if err := m.Matches(meta); err != nil {
+			return nil, fmt.Errorf("hrmsim: resume journal %s belongs to a different campaign: %w", cfg.ResumePath, err)
+		}
+		ccfg.Resume = recs
 	}
-	tol, err := res.ToleratedProbability(0.90)
-	if err != nil {
-		return nil, err
+	var journal *core.Journal
+	if cfg.JournalPath != "" {
+		j, existed, err := core.OpenJournal(cfg.JournalPath, meta)
+		if err != nil {
+			return nil, fmt.Errorf("hrmsim: %w", err)
+		}
+		journal = j
+		if !existed && len(ccfg.Resume) > 0 {
+			// Fresh journal, foreign resume source: copy the resumed
+			// records over so this journal alone describes the whole
+			// campaign.
+			idxs := make([]int, 0, len(ccfg.Resume))
+			for i := range ccfg.Resume {
+				idxs = append(idxs, i)
+			}
+			sort.Ints(idxs)
+			for _, i := range idxs {
+				if err := j.Append(ccfg.Resume[i]); err != nil {
+					j.Close()
+					return nil, fmt.Errorf("hrmsim: copying resumed trials into journal: %w", err)
+				}
+			}
+		}
+		ccfg.Journal = journal
 	}
-	mean, max := res.IncorrectPerBillion()
+
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, runErr := core.RunContext(ctx, ccfg)
+	if journal != nil {
+		if cerr := journal.Close(); cerr != nil && runErr == nil {
+			runErr = fmt.Errorf("hrmsim: trial journal: %w", cerr)
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
 	par := cfg.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -322,21 +418,38 @@ func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
 		par = cfg.Trials
 	}
 	out := &Characterization{
-		App:                    cfg.App,
-		Error:                  cfg.Error,
-		Region:                 cfg.Region,
-		Trials:                 cfg.Trials,
-		Parallelism:            par,
-		CrashProbability:       crash.P,
-		CrashCILow:             crash.Lo,
-		CrashCIHigh:            crash.Hi,
-		ToleratedProbability:   tol.P,
-		IncorrectPerBillion:    mean,
-		MaxIncorrectPerBillion: max,
-		Outcomes:               make(map[string]int),
-		CrashMinutes:           res.TimesToEffect(core.OutcomeCrash),
-		IncorrectMinutes:       res.TimesToEffect(core.OutcomeIncorrect),
-		AllIncorrectMinutes:    res.AllIncorrectTimes(),
+		App:                 cfg.App,
+		Error:               cfg.Error,
+		Region:              cfg.Region,
+		Trials:              cfg.Trials,
+		Parallelism:         par,
+		Outcomes:            make(map[string]int),
+		CrashMinutes:        res.TimesToEffect(core.OutcomeCrash),
+		IncorrectMinutes:    res.TimesToEffect(core.OutcomeIncorrect),
+		AllIncorrectMinutes: res.AllIncorrectTimes(),
+		Interrupted:         res.Interrupted,
+		Completed:           res.Completed(),
+		Aborted:             res.AbortedCount(),
+		Resumed:             res.Resumed,
+	}
+	// The probability estimates need at least one completed trial; an
+	// immediately interrupted (or fully aborted) campaign reports zeros.
+	if out.Completed > 0 {
+		crash, err := res.CrashProbability(0.90)
+		if err != nil {
+			return nil, err
+		}
+		tol, err := res.ToleratedProbability(0.90)
+		if err != nil {
+			return nil, err
+		}
+		mean, max := res.IncorrectPerBillion()
+		out.CrashProbability = crash.P
+		out.CrashCILow = crash.Lo
+		out.CrashCIHigh = crash.Hi
+		out.ToleratedProbability = tol.P
+		out.IncorrectPerBillion = mean
+		out.MaxIncorrectPerBillion = max
 	}
 	for _, o := range []core.Outcome{
 		core.OutcomeMaskedOverwrite, core.OutcomeMaskedLogic,

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"hrmsim/internal/apps"
@@ -99,7 +102,44 @@ type CampaignConfig struct {
 	// the access hot path. The caller closes the tracer after Run
 	// returns.
 	Tracer *evtrace.Tracer
+	// TrialTimeout, if positive, is the per-trial wall-clock watchdog
+	// deadline: a trial still running after this long (a corrupted
+	// pointer driving the application into an unbounded path) is
+	// abandoned and recorded with DispositionAborted /
+	// AbortReasonDeadline. Normal trials are unaffected — the watchdog
+	// never perturbs the Fig. 1 taxonomy of trials that finish in time.
+	TrialTimeout time.Duration
+	// TrialOpBudget, if positive, bounds the simulated memory operations
+	// a trial may perform after injection; exceeding it aborts the trial
+	// with AbortReasonOpBudget. Unlike TrialTimeout it is measured in
+	// virtual work, so it is deterministic: the same trial aborts at the
+	// same operation on every run.
+	TrialOpBudget int64
+	// MaxRetries bounds retries of transient trial-infrastructure
+	// failures (build, warmup, snapshot-restore errors) before the trial
+	// is recorded as aborted with AbortReasonWorkerError. 0 means the
+	// default (DefaultTrialRetries); negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the wall-clock delay before the first retry,
+	// doubling per attempt (default DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// Resume maps trial indices to results recorded by a previous,
+	// interrupted run of the same campaign (see ReadJournal). Those
+	// indices are not re-run; their results are merged in place, which
+	// is bit-identical to running them because trial i's generator
+	// depends only on (Seed, i).
+	Resume map[int]TrialResult
+	// Journal, if non-nil, receives every trial result as it finishes
+	// (flushed per record), so an interrupted campaign can resume.
+	// Resumed trials are not re-journaled.
+	Journal *Journal
 }
+
+// Retry policy defaults (see CampaignConfig.MaxRetries / RetryBackoff).
+const (
+	DefaultTrialRetries = 2
+	DefaultRetryBackoff = 5 * time.Millisecond
+)
 
 // ProgressInfo is the payload of the CampaignConfig.Progress hook: how
 // far the campaign has advanced and how fast it is moving. Rates and the
@@ -127,13 +167,43 @@ type CampaignResult struct {
 	App string
 	// Spec is the injected error type.
 	Spec faults.Spec
-	// Trials holds every trial in order.
+	// Trials holds every trial that has a result — ran this run,
+	// resumed from a journal, or aborted — in ascending Index order.
+	// When the campaign was interrupted this is a prefix-biased subset
+	// of the requested trials.
 	Trials []TrialResult
 	// Golden holds the expected digests (reusable for further
 	// campaigns over the same builder).
 	Golden []uint64
+	// Requested is the configured campaign size (cfg.Trials);
+	// len(Trials) < Requested when the campaign was interrupted.
+	Requested int
+	// Resumed counts trials whose results were merged from
+	// CampaignConfig.Resume instead of being re-run.
+	Resumed int
+	// Interrupted reports that the context was cancelled before every
+	// trial ran; in-flight trials were drained and are included.
+	Interrupted bool
 
 	counts map[Outcome]int
+}
+
+// Completed returns the number of trials that ran to Fig. 1
+// classification. It is the denominator of every probability estimate —
+// aborted trials carry no outcome and must not dilute the statistics.
+func (r *CampaignResult) Completed() int {
+	n := 0
+	for _, tr := range r.Trials {
+		if tr.Disposition == DispositionCompleted {
+			n++
+		}
+	}
+	return n
+}
+
+// AbortedCount returns the number of trials the supervisor gave up on.
+func (r *CampaignResult) AbortedCount() int {
+	return len(r.Trials) - r.Completed()
 }
 
 // GoldenRun executes the full workload on a fresh instance and returns the
@@ -155,8 +225,20 @@ func GoldenRun(b apps.Builder) ([]uint64, error) {
 	return out, nil
 }
 
-// Run executes the campaign.
+// Run executes the campaign to completion (no cancellation).
 func Run(cfg CampaignConfig) (*CampaignResult, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the campaign under a context. Cancelling the
+// context stops dispatching new trials, drains the in-flight ones, and
+// returns the partial result with Interrupted set — never an error —
+// so a SIGINT still yields every finished trial (and, with a Journal,
+// a resumable record of them).
+func RunContext(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Builder == nil {
 		return nil, fmt.Errorf("core: campaign needs a builder")
 	}
@@ -165,6 +247,11 @@ func Run(cfg CampaignConfig) (*CampaignResult, error) {
 	}
 	if err := cfg.Spec.Validate(); err != nil {
 		return nil, err
+	}
+	for i := range cfg.Resume {
+		if i < 0 || i >= cfg.Trials {
+			return nil, fmt.Errorf("core: resume record for trial %d outside [0,%d)", i, cfg.Trials)
+		}
 	}
 	golden := cfg.Golden
 	if golden == nil {
@@ -200,102 +287,42 @@ func Run(cfg CampaignConfig) (*CampaignResult, error) {
 		return nil, fmt.Errorf("core: unknown lifecycle %d", int(cfg.Lifecycle))
 	}
 
-	m := newCampaignMetrics(cfg.Metrics)
-	start := time.Now()
-	var progressMu sync.Mutex
-	done := 0
-	var virtSum time.Duration
-	finished := func(tr TrialResult, err error, wall time.Duration) {
-		if err == nil {
-			m.record(tr, wall)
-		}
-		if cfg.Progress == nil {
-			return
-		}
-		progressMu.Lock()
-		done++
-		if err == nil {
-			virtSum += tr.EndedAt - tr.InjectedAt
-		}
-		info := ProgressInfo{
-			Done:                    done,
-			Total:                   cfg.Trials,
-			Elapsed:                 time.Since(start),
-			MeanTrialVirtualMinutes: virtSum.Minutes() / float64(done),
-		}
-		if info.Elapsed > 0 {
-			info.TrialsPerSec = float64(done) / info.Elapsed.Seconds()
-		}
-		if rem := cfg.Trials - done; rem > 0 && info.TrialsPerSec > 0 {
-			info.ETA = time.Duration(float64(rem) / info.TrialsPerSec * float64(time.Second))
-		}
-		cfg.Progress(info)
-		progressMu.Unlock()
+	maxRetries := cfg.MaxRetries
+	switch {
+	case maxRetries == 0:
+		maxRetries = DefaultTrialRetries
+	case maxRetries < 0:
+		maxRetries = 0
+	}
+	backoff := cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
 	}
 
-	results := make([]TrialResult, cfg.Trials)
-	errs := make([]error, cfg.Trials)
-	idxCh := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Each worker keeps one snapshot-capable instance alive
-			// across all the trials it drains; the build + warmup cost
-			// is paid once per worker instead of once per trial.
-			var sess *snapshotSession
-			for i := range idxCh {
-				start := time.Now()
-				if useSnapshot {
-					if sess == nil {
-						var err error
-						sess, err = newSnapshotSession(sb, golden, cfg.Warmup)
-						if err != nil {
-							errs[i] = err
-							finished(TrialResult{}, err, time.Since(start))
-							continue
-						}
-					}
-					results[i], errs[i] = sess.runTrial(cfg, golden, m, i)
-				} else {
-					results[i], errs[i] = runTrial(cfg, golden, i)
-				}
-				finished(results[i], errs[i], time.Since(start))
-			}
-		}()
+	s := &supervisor{
+		cfg:         cfg,
+		golden:      golden,
+		par:         par,
+		sb:          sb,
+		useSnapshot: useSnapshot,
+		maxRetries:  maxRetries,
+		backoff:     backoff,
+		m:           newCampaignMetrics(cfg.Metrics),
 	}
-	for i := 0; i < cfg.Trials; i++ {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: trial %d: %w", i, err)
-		}
-	}
-
-	res := &CampaignResult{
-		App:    cfg.Builder.AppName(),
-		Spec:   cfg.Spec,
-		Trials: results,
-		Golden: golden,
-		counts: make(map[Outcome]int),
-	}
-	for _, tr := range results {
-		res.counts[tr.Outcome]++
-	}
-	return res, nil
+	return s.run(ctx)
 }
 
 // campaignMetrics holds the pre-resolved metric handles of one campaign
 // (nil receiver = instrumentation off). Names per OBSERVABILITY.md.
 type campaignMetrics struct {
+	reg        *obsv.Registry
 	trials     *obsv.Counter
 	requests   *obsv.Counter
 	incorrect  *obsv.Counter
 	restores   *obsv.Counter
+	retried    *obsv.Counter
+	journal    *obsv.Counter
+	resumeSkip *obsv.Counter
 	outcomes   map[Outcome]*obsv.Counter
 	wallMs     *obsv.Histogram
 	virtMin    *obsv.Histogram
@@ -307,11 +334,15 @@ func newCampaignMetrics(reg *obsv.Registry) *campaignMetrics {
 		return nil
 	}
 	m := &campaignMetrics{
-		trials:    reg.Counter("campaign_trials_total"),
-		requests:  reg.Counter("campaign_requests_total"),
-		incorrect: reg.Counter("campaign_incorrect_responses_total"),
-		restores:  reg.Counter("campaign_snapshot_restores_total"),
-		outcomes:  make(map[Outcome]*obsv.Counter, len(Outcomes())),
+		reg:        reg,
+		trials:     reg.Counter("campaign_trials_total"),
+		requests:   reg.Counter("campaign_requests_total"),
+		incorrect:  reg.Counter("campaign_incorrect_responses_total"),
+		restores:   reg.Counter("campaign_snapshot_restores_total"),
+		retried:    reg.Counter("campaign_trials_retried_total"),
+		journal:    reg.Counter("campaign_journal_records_total"),
+		resumeSkip: reg.Counter("campaign_resume_skipped_total"),
+		outcomes:   make(map[Outcome]*obsv.Counter, len(Outcomes())),
 		// Trial wall-clock cost: 0.25 ms .. ~8 s.
 		wallMs: reg.Histogram("campaign_trial_wall_ms", obsv.ExpBuckets(0.25, 2, 16)),
 		// Post-injection virtual span: 1 min .. ~5.7 days.
@@ -348,6 +379,41 @@ func (m *campaignMetrics) recordRestore(dirtyPages int) {
 	}
 	m.restores.Inc()
 	m.dirtyPages.Observe(float64(dirtyPages))
+}
+
+// recordAbort counts one aborted trial under its reason label. Abort is
+// a cold path, so resolving the labeled counter through the registry
+// (a mutex) per call is fine.
+func (m *campaignMetrics) recordAbort(reason string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(fmt.Sprintf("campaign_trials_aborted_total{reason=%q}", reason)).Inc()
+}
+
+// recordRetry counts one retried trial attempt.
+func (m *campaignMetrics) recordRetry() {
+	if m == nil {
+		return
+	}
+	m.retried.Inc()
+}
+
+// recordJournal counts one appended journal record.
+func (m *campaignMetrics) recordJournal() {
+	if m == nil {
+		return
+	}
+	m.journal.Inc()
+}
+
+// recordResumeSkip counts one trial skipped because a resume journal
+// already held its result.
+func (m *campaignMetrics) recordResumeSkip() {
+	if m == nil {
+		return
+	}
+	m.resumeSkip.Inc()
 }
 
 // trialSeed derives a decorrelated per-trial seed (splitmix-style).
@@ -455,6 +521,17 @@ func injectAndServe(cfg CampaignConfig, golden []uint64, app apps.App, rng *rand
 	tracker := newAccessTracker(addrs)
 	as.AddAccessObserver(tracker)
 	traceInjection(tt, as, inj, addrs)
+	if cfg.TrialOpBudget > 0 {
+		// The budget counts post-injection operations only, and the
+		// observer is attached in the same order on both lifecycles
+		// (fresh observers are truncated by snapshot restore), so a
+		// budget large enough never to fire leaves results bit-identical.
+		as.AddAccessObserver(&opBudgetWatchdog{
+			remaining: cfg.TrialOpBudget,
+			budget:    cfg.TrialOpBudget,
+			tt:        tt,
+		})
+	}
 
 	tr := TrialResult{
 		Region:     inj.Region.Name(),
@@ -472,6 +549,10 @@ func injectAndServe(cfg CampaignConfig, golden []uint64, app apps.App, rng *rand
 			}
 			crashed = true
 			tr.CrashReason = serveErr.Error()
+			var pc *panicCrash
+			if errors.As(serveErr, &pc) {
+				tr.CrashStack = pc.stack
+			}
 			if tr.EffectAt == 0 {
 				tr.EffectAt = as.Clock().Now()
 			}
@@ -480,6 +561,7 @@ func injectAndServe(cfg CampaignConfig, golden []uint64, app apps.App, rng *rand
 					Kind:    evtrace.KindCrash,
 					VTNanos: int64(as.Clock().Now()),
 					Detail:  tr.CrashReason,
+					Stack:   tr.CrashStack,
 				})
 			}
 			break
@@ -504,30 +586,82 @@ func injectAndServe(cfg CampaignConfig, golden []uint64, app apps.App, rng *rand
 }
 
 // serveGuarded converts panics in application code (parsing corrupted
-// bytes) into crash-worthy errors, like a segfault handler would.
+// bytes) into crash-worthy errors, like a segfault handler would, keeping
+// the sanitized panic stack so crash outcomes are debuggable. The
+// watchdog's own abort panic is not an application crash and passes
+// through.
 func serveGuarded(app apps.App, q int) (resp apps.Response, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = apps.Assertf("panic serving request %d: %v", q, r)
+			if ab, ok := r.(*trialAbort); ok {
+				panic(ab)
+			}
+			err = &panicCrash{
+				err:   apps.Assertf("panic serving request %d: %v", q, r),
+				stack: sanitizeStack(debug.Stack()),
+			}
 		}
 	}()
 	return app.Serve(q)
+}
+
+// panicCrash is a crash-worthy error (it wraps apps.ErrAssert) carrying
+// the goroutine stack captured at the recovery point.
+type panicCrash struct {
+	err   error
+	stack string
+}
+
+func (e *panicCrash) Error() string { return e.err.Error() }
+func (e *panicCrash) Unwrap() error { return e.err }
+
+// sanitizeStack reduces a debug.Stack capture to its deterministic core:
+// the frames above the serveGuarded recovery point, with the goroutine
+// header, argument values, and frame offsets stripped. Campaign results
+// must stay bit-identical across lifecycles, parallelism, and resume; a
+// raw stack is not (goroutine ids, pointer arguments, worker frames),
+// but the panicking call chain inside the application is.
+func sanitizeStack(stack []byte) string {
+	var out []string
+	for i, line := range strings.Split(string(stack), "\n") {
+		if i == 0 && strings.HasPrefix(line, "goroutine ") {
+			continue
+		}
+		if !strings.HasPrefix(line, "\t") {
+			// Function line. Below the recovery point the frames depend
+			// on lifecycle and worker scheduling — stop there.
+			if strings.HasPrefix(line, "hrmsim/internal/core.serveGuarded(") {
+				break
+			}
+			// Cut at the argument list — the LAST '(', since method
+			// receivers put one in the frame name: pkg.(*T).M(0x...).
+			if j := strings.LastIndexByte(line, '('); j >= 0 {
+				line = line[:j]
+			}
+		} else if j := strings.LastIndex(line, " +0x"); j >= 0 {
+			// Location line: strip the frame offset.
+			line = line[:j]
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
 }
 
 // Count returns the number of trials with the given outcome.
 func (r *CampaignResult) Count(o Outcome) int { return r.counts[o] }
 
 // CrashProbability estimates P(crash | one injected error) with a Wilson
-// interval at the given confidence level (the paper uses 0.90).
+// interval at the given confidence level (the paper uses 0.90). The
+// denominator is the completed trials — aborted ones carry no outcome.
 func (r *CampaignResult) CrashProbability(level float64) (stats.Proportion, error) {
-	return stats.WilsonInterval(r.counts[OutcomeCrash], len(r.Trials), level)
+	return stats.WilsonInterval(r.counts[OutcomeCrash], r.Completed(), level)
 }
 
 // ToleratedProbability estimates the probability that an error is masked
 // (outcomes 1 and 2.1, plus latent).
 func (r *CampaignResult) ToleratedProbability(level float64) (stats.Proportion, error) {
 	n := r.counts[OutcomeMaskedOverwrite] + r.counts[OutcomeMaskedLogic] + r.counts[OutcomeMaskedLatent]
-	return stats.WilsonInterval(n, len(r.Trials), level)
+	return stats.WilsonInterval(n, r.Completed(), level)
 }
 
 // IncorrectPerBillion returns the mean rate of incorrect responses per
@@ -585,11 +719,15 @@ func (r *CampaignResult) TimesToEffect(o Outcome) []float64 {
 	return out
 }
 
-// OutcomeFractions returns each outcome's share of trials.
+// OutcomeFractions returns each outcome's share of completed trials.
 func (r *CampaignResult) OutcomeFractions() map[Outcome]float64 {
+	completed := r.Completed()
 	out := make(map[Outcome]float64, len(r.counts))
+	if completed == 0 {
+		return out
+	}
 	for o, n := range r.counts {
-		out[o] = float64(n) / float64(len(r.Trials))
+		out[o] = float64(n) / float64(completed)
 	}
 	return out
 }

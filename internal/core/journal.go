@@ -1,0 +1,397 @@
+// The trial journal: an append-only, schema-versioned JSONL record of
+// every finished trial, flushed per record so a killed or interrupted
+// campaign loses at most the trial being written. Because trial i's
+// generator depends only on (Seed, i), replaying a journal through
+// CampaignConfig.Resume and running the remaining indices is
+// bit-identical to an uninterrupted run — the journal is the campaign
+// engine's own "explicit recoverability" checkpoint.
+//
+// Format: one JSON header line (JournalMeta: stream id, schema version,
+// and the campaign identity used to reject resuming a different
+// campaign), then one JSON record per trial. The reader is deliberately
+// tolerant of the failure modes of an interrupted writer: a torn or
+// corrupted trailing line is skipped, and duplicate records for one
+// trial keep the first occurrence, so a resume never double-counts.
+
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"hrmsim/internal/simmem"
+)
+
+// JournalSchemaVersion identifies the journal record schema. Renaming or
+// removing a field, or changing a field's meaning or unit, bumps this
+// number; additions do not.
+const JournalSchemaVersion = 1
+
+// JournalStream is the stream identifier in every journal header.
+const JournalStream = "hrmsim-trial-journal"
+
+// JournalMeta is the journal's header line: the schema version plus the
+// campaign identity, so a resume against the wrong campaign (different
+// seed, size, or error type — whose trial results would be garbage) is
+// rejected instead of silently merged.
+type JournalMeta struct {
+	SchemaVersion int    `json:"schema_version"`
+	Stream        string `json:"stream"`
+	// App, Error, Region, Trials, Seed, Size, and Warmup identify the
+	// campaign. Two journals with equal identity describe the same
+	// deterministic trial sequence.
+	App    string `json:"app"`
+	Error  string `json:"error"`
+	Region string `json:"region,omitempty"`
+	Trials int    `json:"trials"`
+	Seed   int64  `json:"seed"`
+	Size   int64  `json:"size,omitempty"`
+	Warmup int    `json:"warmup,omitempty"`
+}
+
+// Matches reports (as an error) any identity difference between the
+// journal's campaign and the one about to run.
+func (m JournalMeta) Matches(other JournalMeta) error {
+	switch {
+	case m.App != other.App:
+		return fmt.Errorf("journal is for app %q, campaign is %q", m.App, other.App)
+	case m.Error != other.Error:
+		return fmt.Errorf("journal injected %q, campaign injects %q", m.Error, other.Error)
+	case m.Region != other.Region:
+		return fmt.Errorf("journal region filter %q, campaign %q", m.Region, other.Region)
+	case m.Trials != other.Trials:
+		return fmt.Errorf("journal has %d trials, campaign has %d", m.Trials, other.Trials)
+	case m.Seed != other.Seed:
+		return fmt.Errorf("journal seed %d, campaign seed %d", m.Seed, other.Seed)
+	case m.Size != other.Size:
+		return fmt.Errorf("journal size %d, campaign size %d", m.Size, other.Size)
+	case m.Warmup != other.Warmup:
+		return fmt.Errorf("journal warmup %d, campaign warmup %d", m.Warmup, other.Warmup)
+	}
+	return nil
+}
+
+// journalRecord is one journal line. Aborted trials carry the abort
+// fields and no result; completed trials carry the full result with
+// virtual times as integer nanoseconds, so a read-back is bit-identical
+// to the in-memory TrialResult.
+type journalRecord struct {
+	Trial       int               `json:"trial"`
+	Disposition string            `json:"disposition"`
+	AbortReason string            `json:"abort_reason,omitempty"`
+	AbortDetail string            `json:"abort_detail,omitempty"`
+	Result      *journalTrialJSON `json:"result,omitempty"`
+}
+
+type journalTrialJSON struct {
+	Outcome       string  `json:"outcome"`
+	Region        string  `json:"region"`
+	RegionKind    string  `json:"region_kind"`
+	InjectedAtNs  int64   `json:"injected_at_ns"`
+	EffectAtNs    int64   `json:"effect_at_ns,omitempty"`
+	Incorrect     int     `json:"incorrect,omitempty"`
+	IncorrectAtNs []int64 `json:"incorrect_at_ns,omitempty"`
+	Requests      int     `json:"requests"`
+	EndedAtNs     int64   `json:"ended_at_ns"`
+	CrashReason   string  `json:"crash_reason,omitempty"`
+	CrashStack    string  `json:"crash_stack,omitempty"`
+}
+
+func toJournalRecord(tr TrialResult) journalRecord {
+	rec := journalRecord{
+		Trial:       tr.Index,
+		Disposition: tr.Disposition.String(),
+		AbortReason: tr.AbortReason,
+		AbortDetail: tr.AbortDetail,
+	}
+	if tr.Disposition != DispositionCompleted {
+		return rec
+	}
+	j := &journalTrialJSON{
+		Outcome:      tr.Outcome.String(),
+		Region:       tr.Region,
+		RegionKind:   tr.Kind.String(),
+		InjectedAtNs: int64(tr.InjectedAt),
+		EffectAtNs:   int64(tr.EffectAt),
+		Incorrect:    tr.Incorrect,
+		Requests:     tr.Requests,
+		EndedAtNs:    int64(tr.EndedAt),
+		CrashReason:  tr.CrashReason,
+		CrashStack:   tr.CrashStack,
+	}
+	for _, at := range tr.IncorrectAt {
+		j.IncorrectAtNs = append(j.IncorrectAtNs, int64(at))
+	}
+	rec.Result = j
+	return rec
+}
+
+// recordToTrial validates and converts one parsed journal line. A record
+// that does not decode to a well-formed trial (unknown disposition or
+// outcome, missing result) is treated like a corrupted line.
+func recordToTrial(rec journalRecord) (TrialResult, bool) {
+	switch rec.Disposition {
+	case DispositionAborted.String():
+		return TrialResult{
+			Index:       rec.Trial,
+			Disposition: DispositionAborted,
+			AbortReason: rec.AbortReason,
+			AbortDetail: rec.AbortDetail,
+		}, true
+	case DispositionCompleted.String():
+		if rec.Result == nil {
+			return TrialResult{}, false
+		}
+		o, ok := outcomeFromName(rec.Result.Outcome)
+		if !ok {
+			return TrialResult{}, false
+		}
+		k, ok := regionKindFromName(rec.Result.RegionKind)
+		if !ok {
+			return TrialResult{}, false
+		}
+		tr := TrialResult{
+			Index:       rec.Trial,
+			Outcome:     o,
+			Region:      rec.Result.Region,
+			Kind:        k,
+			InjectedAt:  time.Duration(rec.Result.InjectedAtNs),
+			EffectAt:    time.Duration(rec.Result.EffectAtNs),
+			Incorrect:   rec.Result.Incorrect,
+			Requests:    rec.Result.Requests,
+			EndedAt:     time.Duration(rec.Result.EndedAtNs),
+			CrashReason: rec.Result.CrashReason,
+			CrashStack:  rec.Result.CrashStack,
+		}
+		for _, ns := range rec.Result.IncorrectAtNs {
+			tr.IncorrectAt = append(tr.IncorrectAt, time.Duration(ns))
+		}
+		return tr, true
+	}
+	return TrialResult{}, false
+}
+
+// Journal appends trial records to a stream, flushing after every record
+// so an interrupted campaign loses at most the line being written.
+// Append is safe for concurrent use by the campaign's workers. Write
+// errors are sticky: the first one is kept and returned by every later
+// Append, Err, and Close, so the campaign itself keeps running.
+type Journal struct {
+	mu     sync.Mutex
+	w      io.Writer
+	bw     *bufio.Writer
+	err    error
+	closed bool
+}
+
+// NewJournal wraps w as a fresh journal, writing the header line
+// immediately (the stream id and schema version are stamped on).
+func NewJournal(w io.Writer, meta JournalMeta) (*Journal, error) {
+	meta.SchemaVersion = JournalSchemaVersion
+	meta.Stream = JournalStream
+	j := &Journal{w: w, bw: bufio.NewWriter(w)}
+	b, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding journal header: %w", err)
+	}
+	j.bw.Write(b)
+	j.bw.WriteByte('\n')
+	if err := j.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("core: writing journal header: %w", err)
+	}
+	return j, nil
+}
+
+// OpenJournal opens path for journaling, creating it (with a header) if
+// missing or empty. If the file already holds a journal, its header must
+// match meta's campaign identity; the file is then repaired for
+// appending — a torn trailing line from a killed writer is terminated so
+// the next record starts clean (the tolerant reader skips the torn
+// line). The second return reports whether prior records existed.
+func OpenJournal(path string, meta JournalMeta) (*Journal, bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: opening journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, false, fmt.Errorf("core: opening journal: %w", err)
+	}
+	if st.Size() == 0 {
+		j, err := NewJournal(f, meta)
+		if err != nil {
+			f.Close()
+			return nil, false, err
+		}
+		return j, false, nil
+	}
+
+	existing, _, err := ReadJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, false, fmt.Errorf("core: journal %s: %w", path, err)
+	}
+	if err := existing.Matches(meta); err != nil {
+		f.Close()
+		return nil, false, fmt.Errorf("core: journal %s belongs to a different campaign: %w", path, err)
+	}
+	// Terminate a torn trailing line before appending.
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, st.Size()-1); err != nil {
+		f.Close()
+		return nil, false, fmt.Errorf("core: journal %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, false, fmt.Errorf("core: journal %s: %w", path, err)
+	}
+	j := &Journal{w: f, bw: bufio.NewWriter(f)}
+	if last[0] != '\n' {
+		j.bw.WriteByte('\n')
+		if err := j.bw.Flush(); err != nil {
+			f.Close()
+			return nil, false, fmt.Errorf("core: journal %s: %w", path, err)
+		}
+	}
+	return j, true, nil
+}
+
+// Append writes one trial record and flushes it.
+func (j *Journal) Append(tr TrialResult) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if j.closed {
+		j.err = fmt.Errorf("core: append to closed journal")
+		return j.err
+	}
+	b, err := json.Marshal(toJournalRecord(tr))
+	if err != nil {
+		j.err = fmt.Errorf("core: encoding journal record: %w", err)
+		return j.err
+	}
+	j.bw.Write(b)
+	j.bw.WriteByte('\n')
+	if err := j.bw.Flush(); err != nil {
+		j.err = fmt.Errorf("core: writing journal record: %w", err)
+	}
+	return j.err
+}
+
+// Err returns the sticky write error, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes and, when the underlying writer is a closer (a file),
+// closes it. It returns the sticky error.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return j.err
+	}
+	j.closed = true
+	if err := j.bw.Flush(); err != nil && j.err == nil {
+		j.err = fmt.Errorf("core: flushing journal: %w", err)
+	}
+	if c, ok := j.w.(io.Closer); ok {
+		if err := c.Close(); err != nil && j.err == nil {
+			j.err = fmt.Errorf("core: closing journal: %w", err)
+		}
+	}
+	return j.err
+}
+
+// journalMaxLine bounds one journal line (a record with a full
+// 256-sample incorrect-time list and a crash stack fits well within it).
+const journalMaxLine = 4 << 20
+
+// ReadJournal parses a trial journal for resuming. The header must be
+// intact (a journal whose identity cannot be established is useless for
+// resume), but the records are read tolerantly: lines that do not parse
+// or validate — the torn tail of a killed writer — are skipped, reading
+// continues, and duplicate records for one trial keep the first, so a
+// resume never double-counts a trial. Records whose index falls outside
+// [0, meta.Trials) are likewise dropped.
+func ReadJournal(r io.Reader) (JournalMeta, map[int]TrialResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), journalMaxLine)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return JournalMeta{}, nil, fmt.Errorf("reading journal header: %w", err)
+		}
+		return JournalMeta{}, nil, fmt.Errorf("journal is empty")
+	}
+	var meta JournalMeta
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		return JournalMeta{}, nil, fmt.Errorf("parsing journal header: %w", err)
+	}
+	if meta.Stream != JournalStream {
+		return JournalMeta{}, nil, fmt.Errorf("not a trial journal (stream %q)", meta.Stream)
+	}
+	if meta.SchemaVersion != JournalSchemaVersion {
+		return JournalMeta{}, nil, fmt.Errorf("unsupported journal schema version %d (want %d)",
+			meta.SchemaVersion, JournalSchemaVersion)
+	}
+	out := make(map[int]TrialResult)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue
+		}
+		if rec.Trial < 0 || rec.Trial >= meta.Trials {
+			continue
+		}
+		if _, dup := out[rec.Trial]; dup {
+			continue
+		}
+		tr, ok := recordToTrial(rec)
+		if !ok {
+			continue
+		}
+		out[rec.Trial] = tr
+	}
+	// A scanner error here (an over-long torn tail) is tolerated the
+	// same way a corrupted line is: keep what parsed.
+	return meta, out, nil
+}
+
+// outcomeFromName is the inverse of Outcome.String for journal decoding.
+func outcomeFromName(s string) (Outcome, bool) {
+	for _, o := range Outcomes() {
+		if o.String() == s {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+// regionKindFromName is the inverse of simmem.RegionKind.String.
+func regionKindFromName(s string) (simmem.RegionKind, bool) {
+	for _, k := range []simmem.RegionKind{
+		simmem.RegionPrivate, simmem.RegionHeap, simmem.RegionStack, simmem.RegionOther,
+	} {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}

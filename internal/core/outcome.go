@@ -143,9 +143,67 @@ func classify(crashed bool, incorrect int, first firstAccessKind) Outcome {
 	}
 }
 
+// Disposition records how the supervisor disposed of a trial: ran to
+// classification, or was given up on. It is orthogonal to the Fig. 1
+// taxonomy — Outcome is only meaningful for completed trials, and
+// aborted trials never enter the outcome counts, so the watchdog and
+// retry machinery cannot perturb the paper's statistics.
+type Disposition int
+
+const (
+	// DispositionCompleted: the trial ran to outcome classification.
+	// The zero value, so results from before dispositions existed stay
+	// valid.
+	DispositionCompleted Disposition = iota
+	// DispositionAborted: the supervisor gave the trial up — watchdog
+	// deadline, virtual-operation budget, or exhausted retries — and it
+	// carries an AbortReason instead of an Outcome.
+	DispositionAborted
+)
+
+// String returns the disposition label used in journals and JSON.
+func (d Disposition) String() string {
+	switch d {
+	case DispositionCompleted:
+		return "completed"
+	case DispositionAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("disposition(%d)", int(d))
+	}
+}
+
+// Abort reason labels, used as the {reason} metric label, the journal
+// abort_reason field, and the trace event reason field.
+const (
+	// AbortReasonDeadline: the trial exceeded CampaignConfig.TrialTimeout
+	// of host wall-clock time.
+	AbortReasonDeadline = "deadline"
+	// AbortReasonOpBudget: the trial exceeded
+	// CampaignConfig.TrialOpBudget simulated memory operations after
+	// injection.
+	AbortReasonOpBudget = "op_budget"
+	// AbortReasonWorkerError: trial infrastructure (build, warmup,
+	// snapshot restore, injection) kept failing after the retry budget.
+	AbortReasonWorkerError = "worker_error"
+)
+
 // TrialResult records one injection experiment (one pass around the
 // paper's Fig. 2 loop).
 type TrialResult struct {
+	// Index is the trial's position in the campaign, which also selects
+	// its deterministic seed.
+	Index int
+	// Disposition tells whether the trial completed (and the fields
+	// below are meaningful) or was aborted (and only the Abort* fields
+	// are set).
+	Disposition Disposition
+	// AbortReason is the machine-readable reason label of an aborted
+	// trial: AbortReasonDeadline, AbortReasonOpBudget, or
+	// AbortReasonWorkerError.
+	AbortReason string
+	// AbortDetail is the free-form abort description.
+	AbortDetail string
 	// Outcome is the Fig. 1 classification.
 	Outcome Outcome
 	// Region names the region injected into.
@@ -171,6 +229,12 @@ type TrialResult struct {
 	EndedAt time.Duration
 	// CrashReason holds the crash error text, if any.
 	CrashReason string
+	// CrashStack holds the sanitized goroutine stack when the crash came
+	// from a recovered panic in application code (see sanitizeStack):
+	// the panicking call chain with goroutine ids, argument values, and
+	// frame offsets stripped, so it is deterministic across lifecycles,
+	// parallelism, and resume.
+	CrashStack string
 }
 
 // TimeToEffect returns the injection-to-effect latency for crash or

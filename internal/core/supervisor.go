@@ -1,0 +1,332 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"hrmsim/internal/apps"
+	"hrmsim/internal/evtrace"
+	"hrmsim/internal/simmem"
+)
+
+// supervisor drives one campaign's worker pool with the resilience
+// machinery around it: context cancellation with in-flight draining,
+// the per-trial watchdogs (wall-clock deadline and virtual-operation
+// budget), bounded retry of transient infrastructure failures, journal
+// appends, and resume skipping. The Fig. 2 trial loop itself lives in
+// campaign.go (runTrial / injectAndServe); the supervisor only decides
+// which trials run, for how long, and what happens when they don't
+// finish.
+type supervisor struct {
+	cfg         CampaignConfig
+	golden      []uint64
+	par         int
+	sb          apps.SnapshotBuilder
+	useSnapshot bool
+	maxRetries  int
+	backoff     time.Duration
+	m           *campaignMetrics
+
+	progressMu sync.Mutex
+	start      time.Time
+	done       int
+	virtSum    time.Duration
+}
+
+// run executes the campaign: pre-merges resumed results, dispatches the
+// remaining indices to par workers, and stops dispatching (draining
+// in-flight trials) when ctx is cancelled.
+func (s *supervisor) run(ctx context.Context) (*CampaignResult, error) {
+	cfg := s.cfg
+	results := make([]TrialResult, cfg.Trials)
+	have := make([]bool, cfg.Trials)
+
+	resumed := 0
+	for i, tr := range cfg.Resume {
+		tr.Index = i
+		results[i] = tr
+		have[i] = true
+		resumed++
+		s.m.recordResumeSkip()
+	}
+	var toRun []int
+	for i := 0; i < cfg.Trials; i++ {
+		if !have[i] {
+			toRun = append(toRun, i)
+		}
+	}
+
+	s.start = time.Now()
+	s.done = resumed
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < s.par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker keeps one snapshot-capable instance alive
+			// across all the trials it drains; the build + warmup cost
+			// is paid once per worker instead of once per trial.
+			var sess *snapshotSession
+			for i := range idxCh {
+				start := time.Now()
+				var tr TrialResult
+				tr, sess = s.runOne(sess, i)
+				results[i] = tr
+				have[i] = true
+				s.journalTrial(tr)
+				s.finished(tr, time.Since(start))
+			}
+		}()
+	}
+	interrupted := false
+dispatch:
+	for _, i := range toRun {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			interrupted = true
+			break dispatch
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	if !interrupted && ctx.Err() != nil {
+		// Cancellation landed after the last dispatch; the result is
+		// complete but the caller's intent to stop is still recorded.
+		interrupted = true
+	}
+
+	res := &CampaignResult{
+		App:         cfg.Builder.AppName(),
+		Spec:        cfg.Spec,
+		Golden:      s.golden,
+		Requested:   cfg.Trials,
+		Resumed:     resumed,
+		Interrupted: interrupted,
+		counts:      make(map[Outcome]int),
+	}
+	for i := 0; i < cfg.Trials; i++ {
+		if !have[i] {
+			continue
+		}
+		res.Trials = append(res.Trials, results[i])
+		if results[i].Disposition == DispositionCompleted {
+			res.counts[results[i].Outcome]++
+		}
+	}
+	return res, nil
+}
+
+// runOne runs trial i with bounded retry of infrastructure failures.
+// It never returns an error: a trial that keeps failing is recorded as
+// aborted (AbortReasonWorkerError) and the campaign moves on.
+func (s *supervisor) runOne(sess *snapshotSession, i int) (TrialResult, *snapshotSession) {
+	backoff := s.backoff
+	for attempt := 0; ; attempt++ {
+		var tr TrialResult
+		var err error
+		tr, err, sess = s.attempt(sess, i)
+		if err == nil {
+			tr.Index = i
+			return tr, sess
+		}
+		if attempt >= s.maxRetries {
+			detail := fmt.Sprintf("%v (after %d attempts)", err, attempt+1)
+			s.m.recordAbort(AbortReasonWorkerError)
+			traceAbort(s.cfg.Tracer, i, AbortReasonWorkerError, detail)
+			return TrialResult{
+				Index:       i,
+				Disposition: DispositionAborted,
+				AbortReason: AbortReasonWorkerError,
+				AbortDetail: detail,
+			}, sess
+		}
+		// Transient failure (a build or restore hiccup): rebuild the
+		// worker's instance from scratch and try the same trial again.
+		// The per-trial rng depends only on (Seed, i), so a retried
+		// trial is bit-identical to a first-try success.
+		s.m.recordRetry()
+		sess = nil
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// attempt runs one attempt of trial i, under the wall-clock watchdog
+// when configured. On deadline the trial goroutine is abandoned (it
+// holds only its own app instance) and the worker's session is
+// discarded, since the wedged goroutine may still be mutating it.
+func (s *supervisor) attempt(sess *snapshotSession, i int) (TrialResult, error, *snapshotSession) {
+	if s.cfg.TrialTimeout <= 0 {
+		return s.execute(sess, i)
+	}
+	type trialDone struct {
+		tr   TrialResult
+		err  error
+		sess *snapshotSession
+	}
+	ch := make(chan trialDone, 1)
+	go func() {
+		tr, err, out := s.execute(sess, i)
+		ch <- trialDone{tr, err, out}
+	}()
+	timer := time.NewTimer(s.cfg.TrialTimeout)
+	defer timer.Stop()
+	select {
+	case d := <-ch:
+		return d.tr, d.err, d.sess
+	case <-timer.C:
+		detail := fmt.Sprintf("trial exceeded the %v wall-clock deadline", s.cfg.TrialTimeout)
+		s.m.recordAbort(AbortReasonDeadline)
+		traceAbort(s.cfg.Tracer, i, AbortReasonDeadline, detail)
+		return TrialResult{
+			Index:       i,
+			Disposition: DispositionAborted,
+			AbortReason: AbortReasonDeadline,
+			AbortDetail: detail,
+		}, nil, nil
+	}
+}
+
+// execute runs one attempt of trial i on the chosen lifecycle and
+// converts the op-budget watchdog's abort panic into an aborted result.
+func (s *supervisor) execute(sess *snapshotSession, i int) (tr TrialResult, err error, out *snapshotSession) {
+	defer func() {
+		if r := recover(); r != nil {
+			ab, ok := r.(*trialAbort)
+			if !ok {
+				panic(r)
+			}
+			// The app unwound mid-request; snapshot restore rolls any
+			// partial mutation back before the next trial, so the
+			// session stays usable.
+			tr = TrialResult{
+				Index:       i,
+				Disposition: DispositionAborted,
+				AbortReason: ab.reason,
+				AbortDetail: ab.detail,
+			}
+			err = nil
+			out = sess
+			s.m.recordAbort(ab.reason)
+			ab.finishTrace()
+		}
+	}()
+	if s.useSnapshot {
+		if sess == nil {
+			sess, err = newSnapshotSession(s.sb, s.golden, s.cfg.Warmup)
+			if err != nil {
+				return TrialResult{}, err, nil
+			}
+		}
+		tr, err = sess.runTrial(s.cfg, s.golden, s.m, i)
+		return tr, err, sess
+	}
+	tr, err = runTrial(s.cfg, s.golden, i)
+	return tr, err, nil
+}
+
+// journalTrial appends one finished trial to the journal, if any.
+// Journal write errors must not corrupt the campaign's science, so they
+// are sticky on the Journal and surfaced by its Close/Err — the trials
+// keep running.
+func (s *supervisor) journalTrial(tr TrialResult) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	if err := s.cfg.Journal.Append(tr); err == nil {
+		s.m.recordJournal()
+	}
+}
+
+// finished records metrics and progress for one finished trial
+// (completed or aborted).
+func (s *supervisor) finished(tr TrialResult, wall time.Duration) {
+	if tr.Disposition == DispositionCompleted {
+		s.m.record(tr, wall)
+	}
+	if s.cfg.Progress == nil {
+		return
+	}
+	s.progressMu.Lock()
+	s.done++
+	if tr.Disposition == DispositionCompleted {
+		s.virtSum += tr.EndedAt - tr.InjectedAt
+	}
+	info := ProgressInfo{
+		Done:                    s.done,
+		Total:                   s.cfg.Trials,
+		Elapsed:                 time.Since(s.start),
+		MeanTrialVirtualMinutes: s.virtSum.Minutes() / float64(s.done),
+	}
+	if info.Elapsed > 0 {
+		info.TrialsPerSec = float64(s.done) / info.Elapsed.Seconds()
+	}
+	if rem := s.cfg.Trials - s.done; rem > 0 && info.TrialsPerSec > 0 {
+		info.ETA = time.Duration(float64(rem) / info.TrialsPerSec * float64(time.Second))
+	}
+	s.cfg.Progress(info)
+	s.progressMu.Unlock()
+}
+
+// trialAbort is the sentinel the in-trial watchdogs panic with; it
+// unwinds through serveGuarded (which re-panics it rather than calling
+// it an application crash) and is recovered in supervisor.execute.
+type trialAbort struct {
+	reason string
+	detail string
+	tt     *evtrace.TrialTracer
+	vt     time.Duration
+}
+
+// finishTrace closes out the aborted trial's own event stream: the
+// abort instant, then trial_end, on the tracer handle the trial was
+// already emitting to — so the stream stays deterministic.
+func (ab *trialAbort) finishTrace() {
+	if ab.tt == nil {
+		return
+	}
+	ab.tt.Emit(evtrace.Event{
+		Kind:    evtrace.KindAbort,
+		VTNanos: int64(ab.vt),
+		Reason:  ab.reason,
+		Detail:  ab.detail,
+	})
+	ab.tt.Emit(evtrace.Event{
+		Kind:          evtrace.KindTrialEnd,
+		VTNanos:       int64(ab.vt),
+		Dropped:       ab.tt.DroppedCount(),
+		WallUnixNanos: time.Now().UnixNano(),
+	})
+	ab.tt.Finish()
+}
+
+// opBudgetWatchdog aborts a trial that performs more simulated memory
+// operations than budgeted — the deterministic complement to the
+// wall-clock deadline. It panics with a *trialAbort sentinel from
+// inside the access-notification path; serveGuarded re-panics it and
+// supervisor.execute converts it into an aborted disposition.
+type opBudgetWatchdog struct {
+	remaining int64
+	budget    int64
+	tt        *evtrace.TrialTracer
+}
+
+var _ simmem.AccessObserver = (*opBudgetWatchdog)(nil)
+
+// ObserveAccess implements simmem.AccessObserver.
+func (w *opBudgetWatchdog) ObserveAccess(ev simmem.AccessEvent) {
+	w.remaining--
+	if w.remaining < 0 {
+		panic(&trialAbort{
+			reason: AbortReasonOpBudget,
+			detail: fmt.Sprintf("trial exceeded the %d-operation budget", w.budget),
+			tt:     w.tt,
+			vt:     ev.Time,
+		})
+	}
+}

@@ -136,6 +136,25 @@ func traceRestore(tt *evtrace.TrialTracer, as *simmem.AddressSpace) {
 	})
 }
 
+// traceAbort records the abort of a trial whose own tracer handle is
+// unusable — the watchdog abandoned the trial goroutine (deadline), or
+// the trial never got far enough to open one (exhausted retries). It
+// delivers a minimal single-event trial so the stream still accounts
+// for the index; if the abandoned goroutine later finishes its own
+// handle, the tracer drops that late duplicate.
+func traceAbort(tracer *evtrace.Tracer, trial int, reason, detail string) {
+	if tracer == nil {
+		return
+	}
+	tt := tracer.Trial(trial)
+	tt.Emit(evtrace.Event{
+		Kind:   evtrace.KindAbort,
+		Reason: reason,
+		Detail: detail,
+	})
+	tt.Finish()
+}
+
 // traceTrialEnd emits the outcome classification and the closing event.
 func traceTrialEnd(tt *evtrace.TrialTracer, tr TrialResult) {
 	if tt == nil {

@@ -69,6 +69,11 @@ const (
 	KindSWResponse Kind = "sw_response"
 	// KindCrash is the crash instant, with the crash reason.
 	KindCrash Kind = "crash"
+	// KindAbort is a supervisor abort: the trial watchdog (wall-clock
+	// deadline or virtual-operation budget) or the retry policy gave the
+	// trial up before classification. Aborted trials carry a machine-
+	// readable reason and have no outcome event.
+	KindAbort Kind = "abort"
 	// KindOutcome is the final Fig. 1 classification of the trial.
 	KindOutcome Kind = "outcome"
 	// KindTrialEnd closes a trial (carries the host wall clock and the
@@ -80,7 +85,7 @@ const (
 func Kinds() []Kind {
 	return []Kind{KindTrialStart, KindRestore, KindInject, KindAccessFaulty,
 		KindECCCorrected, KindECCUncorrectable, KindSWResponse,
-		KindCrash, KindOutcome, KindTrialEnd}
+		KindCrash, KindAbort, KindOutcome, KindTrialEnd}
 }
 
 // bulk reports whether the kind can recur without bound within one trial
@@ -126,6 +131,15 @@ type Event struct {
 	// Detail carries free-form context: the crash reason, or the
 	// software-response description.
 	Detail string `json:"detail,omitempty"`
+	// Reason is the machine-readable abort reason label (abort events):
+	// "deadline", "op_budget", or "worker_error".
+	Reason string `json:"reason,omitempty"`
+	// Stack is the sanitized goroutine stack of a panic-induced crash
+	// (crash events, when the crash came from a recovered panic). The
+	// capture is reduced to the deterministic panicking call chain —
+	// goroutine ids, argument values, and frame offsets stripped — so
+	// streams stay byte-identical across parallelism and lifecycles.
+	Stack string `json:"stack,omitempty"`
 	// Dropped is the number of bulk events the per-trial cap discarded
 	// (trial_end events).
 	Dropped int64 `json:"dropped,omitempty"`
@@ -209,14 +223,26 @@ func (t *Tracer) Trial(id int) *TrialTracer {
 // completeTrial hands a finished trial's buffer over and flushes every
 // consecutive pending trial to the sinks.
 func (t *Tracer) completeTrial(tt *TrialTracer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || tt.trial < t.next {
+		// Late duplicate: a watchdog-abandoned trial goroutine finishing
+		// after the supervisor already delivered an abort record for the
+		// trial, or after Close. Dropping it preserves the one-delivery-
+		// per-trial contract.
+		return
+	}
+	if _, dup := t.pending[tt.trial]; dup {
+		// Same duplicate, caught before delivery: the first finisher
+		// (the supervisor's abort record) wins.
+		return
+	}
 	if t.events != nil {
 		t.events.Add(int64(len(tt.events)))
 	}
 	if tt.dropped > 0 && t.dropped != nil {
 		t.dropped.Add(tt.dropped)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.pending[tt.trial] = tt.events
 	for {
 		evs, ok := t.pending[t.next]

@@ -309,3 +309,68 @@ func TestFormatEvent(t *testing.T) {
 		}
 	}
 }
+
+// TestLateDuplicateTrialDropped: when a watchdog abandons a hung trial
+// and emits its own abort stream for the same trial id, the abandoned
+// goroutine's eventual Finish (or a Finish after Close) must not deliver
+// the trial a second time — first finisher wins.
+func TestLateDuplicateTrialDropped(t *testing.T) {
+	sink := newCollector()
+	tr := New(Options{}, sink)
+
+	// The supervisor's abort stream finishes first.
+	abortTT := tr.Trial(0)
+	abortTT.Emit(Event{Kind: KindAbort, Reason: "deadline", Detail: "trial exceeded the 1s wall-clock deadline"})
+	abortTT.Emit(Event{Kind: KindTrialEnd})
+	abortTT.Finish()
+
+	// The abandoned worker's stream for the same trial arrives later.
+	lateTT := tr.Trial(0)
+	lateTT.Emit(Event{Kind: KindTrialStart})
+	lateTT.Emit(Event{Kind: KindOutcome, Outcome: "crash"})
+	lateTT.Finish()
+
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0}; !reflect.DeepEqual(sink.order, want) {
+		t.Fatalf("delivery order %v, want exactly one delivery of trial 0", sink.order)
+	}
+	evs := sink.events[0]
+	if len(evs) != 2 || evs[0].Kind != KindAbort {
+		t.Fatalf("delivered the wrong stream: %+v", evs)
+	}
+	if evs[0].Reason != "deadline" {
+		t.Errorf("abort reason %q, want deadline", evs[0].Reason)
+	}
+
+	// A Finish after Close is likewise dropped, not delivered or panicking.
+	postTT := tr.Trial(1)
+	postTT.Emit(Event{Kind: KindTrialStart})
+	postTT.Finish()
+	if len(sink.order) != 1 {
+		t.Errorf("post-Close Finish delivered: %v", sink.order)
+	}
+}
+
+// TestAbortKindRegistered pins the abort event kind in the schema.
+func TestAbortKindRegistered(t *testing.T) {
+	found := false
+	for _, k := range Kinds() {
+		if k == KindAbort {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Kinds() = %v lacks %q", Kinds(), KindAbort)
+	}
+	b, err := json.Marshal(Event{Kind: KindAbort, Reason: "op_budget", Stack: "frame"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"reason":"op_budget"`, `"stack":"frame"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("serialized abort event %s lacks %s", b, key)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package hrmsim
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCharacterizeJournalResumeEquivalence exercises the facade end of
+// the resume path: a characterization interrupted partway through,
+// journaling to a file, then resumed from that file, must report the
+// same aggregates and outcome counts as an uninterrupted run.
+func TestCharacterizeJournalResumeEquivalence(t *testing.T) {
+	base := CharacterizeConfig{
+		App:    AppKVStore,
+		Error:  SoftSingleBit,
+		Size:   SizeSmall,
+		Trials: 40,
+		Seed:   9,
+	}
+	want, err := Characterize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	journal := filepath.Join(t.TempDir(), "trials.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interruptedCfg := base
+	interruptedCfg.JournalPath = journal
+	interruptedCfg.Context = ctx
+	interruptedCfg.Progress = func(p ProgressInfo) {
+		if p.Done == 12 {
+			cancel()
+		}
+	}
+	partial, err := Characterize(interruptedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partial.Interrupted {
+		t.Fatal("interrupted run did not report Interrupted")
+	}
+	if partial.Completed >= base.Trials {
+		t.Fatalf("interrupt raced: all %d trials completed", base.Trials)
+	}
+
+	resumeCfg := base
+	resumeCfg.ResumePath = journal
+	got, err := Characterize(resumeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Interrupted {
+		t.Error("resumed run reported Interrupted")
+	}
+	if got.Resumed != partial.Completed {
+		t.Errorf("Resumed = %d, want the %d journaled trials", got.Resumed, partial.Completed)
+	}
+	if got.Completed != base.Trials {
+		t.Errorf("Completed = %d, want %d", got.Completed, base.Trials)
+	}
+
+	// The resumed characterization differs from the baseline only in the
+	// resume bookkeeping.
+	wantCmp, gotCmp := *want, *got
+	gotCmp.Resumed = wantCmp.Resumed
+	if !reflect.DeepEqual(wantCmp, gotCmp) {
+		t.Errorf("resumed characterization diverged:\nbase:    %+v\nresumed: %+v", wantCmp, gotCmp)
+	}
+}
+
+// TestCharacterizeJournalAndResumeSameFile: pointing -journal and
+// -resume at the same file (the CLI's documented workflow) fills in only
+// the missing trials and leaves a complete journal behind.
+func TestCharacterizeJournalAndResumeSameFile(t *testing.T) {
+	base := CharacterizeConfig{
+		App:    AppKVStore,
+		Error:  SoftSingleBit,
+		Size:   SizeSmall,
+		Trials: 20,
+		Seed:   5,
+	}
+	journal := filepath.Join(t.TempDir(), "trials.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := base
+	cfg.JournalPath = journal
+	cfg.Context = ctx
+	cfg.Progress = func(p ProgressInfo) {
+		if p.Done == 5 {
+			cancel()
+		}
+	}
+	if _, err := Characterize(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg = base
+	cfg.JournalPath = journal
+	cfg.ResumePath = journal
+	got, err := Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Completed != base.Trials {
+		t.Errorf("Completed = %d, want %d", got.Completed, base.Trials)
+	}
+	if got.Resumed == 0 {
+		t.Error("second run resumed nothing")
+	}
+
+	// The journal now holds every trial: a third run is pure replay.
+	cfg = base
+	cfg.ResumePath = journal
+	replay, err := Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Resumed != base.Trials || replay.Completed != base.Trials {
+		t.Errorf("replay resumed %d / completed %d, want all %d",
+			replay.Resumed, replay.Completed, base.Trials)
+	}
+	if !reflect.DeepEqual(got.Outcomes, replay.Outcomes) {
+		t.Errorf("replay outcomes %v diverged from %v", replay.Outcomes, got.Outcomes)
+	}
+}
+
+// TestCharacterizeResumeRejectsMismatchedJournal: resuming from a
+// journal written for a different campaign identity is an error, not a
+// silent merge of unrelated trials.
+func TestCharacterizeResumeRejectsMismatchedJournal(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "trials.jsonl")
+	cfg := CharacterizeConfig{
+		App:         AppKVStore,
+		Error:       SoftSingleBit,
+		Size:        SizeSmall,
+		Trials:      5,
+		Seed:        3,
+		JournalPath: journal,
+	}
+	if _, err := Characterize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.JournalPath = ""
+	other.ResumePath = journal
+	other.Seed = 4
+	if _, err := Characterize(other); err == nil {
+		t.Fatal("resume accepted a journal with a different seed")
+	} else if !strings.Contains(err.Error(), "seed") {
+		t.Errorf("error %v does not name the mismatch", err)
+	}
+
+	if _, err := Characterize(CharacterizeConfig{
+		App: AppKVStore, Size: SizeSmall, Trials: 5,
+		ResumePath: filepath.Join(t.TempDir(), "missing.jsonl"),
+	}); !os.IsNotExist(errUnwrapAll(err)) {
+		t.Errorf("missing resume file error = %v", err)
+	}
+}
+
+// errUnwrapAll unwraps to the innermost error for os.IsNotExist.
+func errUnwrapAll(err error) error {
+	type unwrapper interface{ Unwrap() error }
+	for err != nil {
+		u, ok := err.(unwrapper)
+		if !ok {
+			return err
+		}
+		err = u.Unwrap()
+	}
+	return err
+}
