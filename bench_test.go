@@ -2,8 +2,12 @@ package hrmsim
 
 import (
 	"testing"
+	"time"
 
+	"hrmsim/internal/apps"
+	"hrmsim/internal/apps/websearch"
 	"hrmsim/internal/core"
+	"hrmsim/internal/ecc"
 	"hrmsim/internal/faults"
 )
 
@@ -125,6 +129,62 @@ func BenchmarkCampaignLifecycle(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	benchCampaignLifecycles(b, "", builder)
+
+	// SEC-DED on every region: each load decodes a codeword unless the
+	// clean-page fast path short-circuits it, so this variant is the one
+	// the fast path moves most. The slowpath run is the same campaign
+	// with the fast path forced off — the before/after pair for the
+	// optimization.
+	secded := benchWebSearchSECDED(b)
+	benchCampaignLifecycles(b, "secded-", secded)
+	benchCampaignLifecycles(b, "secded-slowpath-", slowPathBuilder{secded.(apps.SnapshotBuilder)})
+}
+
+// benchWebSearchSECDED builds the SizeMedium WebSearch workload with
+// SEC-DED protecting all three regions.
+func benchWebSearchSECDED(b *testing.B) apps.Builder {
+	b.Helper()
+	cfg := websearch.DefaultConfig(1)
+	cfg.RequestCost = 10 * time.Second
+	cfg.Docs, cfg.Vocab, cfg.MinTerms, cfg.MaxTerms = 1024, 512, 6, 24
+	cfg.Queries, cfg.CacheSlots = 120, 256
+	cfg.PrivateCodec = ecc.NewSECDED()
+	cfg.HeapCodec = ecc.NewSECDED()
+	cfg.StackCodec = ecc.NewSECDED()
+	builder, err := websearch.NewBuilder(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return builder
+}
+
+// slowPathBuilder forces built instances through the reference slow
+// memory path (fast path off), for before/after comparison.
+type slowPathBuilder struct {
+	apps.SnapshotBuilder
+}
+
+func (sb slowPathBuilder) Build() (apps.App, error) {
+	app, err := sb.SnapshotBuilder.Build()
+	if err != nil {
+		return nil, err
+	}
+	app.Space().SetFastPath(false)
+	return app, nil
+}
+
+func (sb slowPathBuilder) BuildSnapshot() (apps.SnapshotApp, error) {
+	app, err := sb.SnapshotBuilder.BuildSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	app.Space().SetFastPath(false)
+	return app, nil
+}
+
+func benchCampaignLifecycles(b *testing.B, prefix string, builder apps.Builder) {
+	b.Helper()
 	golden, err := core.GoldenRun(builder)
 	if err != nil {
 		b.Fatal(err)
@@ -138,7 +198,7 @@ func BenchmarkCampaignLifecycle(b *testing.B) {
 		{"fresh", core.LifecycleFresh},
 		{"snapshot", core.LifecycleSnapshot},
 	} {
-		b.Run(tc.name, func(b *testing.B) {
+		b.Run(prefix+tc.name, func(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -323,6 +323,8 @@ type campaignMetrics struct {
 	retried    *obsv.Counter
 	journal    *obsv.Counter
 	resumeSkip *obsv.Counter
+	fastLoads  *obsv.Counter
+	tainted    *obsv.Gauge
 	outcomes   map[Outcome]*obsv.Counter
 	wallMs     *obsv.Histogram
 	virtMin    *obsv.Histogram
@@ -342,6 +344,8 @@ func newCampaignMetrics(reg *obsv.Registry) *campaignMetrics {
 		retried:    reg.Counter("campaign_trials_retried_total"),
 		journal:    reg.Counter("campaign_journal_records_total"),
 		resumeSkip: reg.Counter("campaign_resume_skipped_total"),
+		fastLoads:  reg.Counter("simmem_fastpath_loads_total"),
+		tainted:    reg.Gauge("simmem_tainted_pages"),
 		outcomes:   make(map[Outcome]*obsv.Counter, len(Outcomes())),
 		// Trial wall-clock cost: 0.25 ms .. ~8 s.
 		wallMs: reg.Histogram("campaign_trial_wall_ms", obsv.ExpBuckets(0.25, 2, 16)),
@@ -370,6 +374,19 @@ func (m *campaignMetrics) record(tr TrialResult, wall time.Duration) {
 	if c, ok := m.outcomes[tr.Outcome]; ok {
 		c.Inc()
 	}
+}
+
+// recordSimmem adds one trial's simulated-memory fast-path statistics:
+// the post-injection loads served by the clean-page fast path, and the
+// tainted-page count when the trial ended (a last-writer-wins gauge
+// across parallel workers — trials inject at most a handful of faults,
+// so the value is a sanity signal, not an aggregate).
+func (m *campaignMetrics) recordSimmem(fastLoads uint64, taintedPages int) {
+	if m == nil {
+		return
+	}
+	m.fastLoads.Add(int64(fastLoads))
+	m.tainted.Set(float64(taintedPages))
 }
 
 // recordRestore adds one snapshot restore and its rollback size.
@@ -474,12 +491,12 @@ func (s *snapshotSession) runTrial(cfg CampaignConfig, golden []uint64, m *campa
 	tt := cfg.Tracer.Trial(i)
 	traceTrialStartAt(tt, s.startVT)
 	traceRestore(tt, s.app.Space())
-	return injectAndServe(cfg, golden, s.app, rng, tt)
+	return injectAndServe(cfg, golden, s.app, rng, tt, m)
 }
 
 // runTrial performs one pass of the Fig. 2 loop on a freshly built
 // instance.
-func runTrial(cfg CampaignConfig, golden []uint64, i int) (TrialResult, error) {
+func runTrial(cfg CampaignConfig, golden []uint64, m *campaignMetrics, i int) (TrialResult, error) {
 	rng := rand.New(rand.NewSource(trialSeed(cfg.Seed, i)))
 	app, err := cfg.Builder.Build()
 	if err != nil {
@@ -499,15 +516,16 @@ func runTrial(cfg CampaignConfig, golden []uint64, i int) (TrialResult, error) {
 			return TrialResult{}, fmt.Errorf("warmup request %d mismatched golden output", q)
 		}
 	}
-	return injectAndServe(cfg, golden, app, rng, tt)
+	return injectAndServe(cfg, golden, app, rng, tt, m)
 }
 
 // injectAndServe runs steps 2–5 of the Fig. 2 loop — inject, run the
 // post-warmup client workload, classify — on an already warmed-up
 // instance. It is shared verbatim by the fresh-build and snapshot
 // lifecycles, which is what keeps the two bit-identical.
-func injectAndServe(cfg CampaignConfig, golden []uint64, app apps.App, rng *rand.Rand, tt *evtrace.TrialTracer) (TrialResult, error) {
+func injectAndServe(cfg CampaignConfig, golden []uint64, app apps.App, rng *rand.Rand, tt *evtrace.TrialTracer, m *campaignMetrics) (TrialResult, error) {
 	as := app.Space()
+	startFast := as.FastPathLoads()
 
 	// Inject (Algorithm 1(a)).
 	inj, err := inject.Random(as, rng, cfg.Spec, cfg.Filter)
@@ -581,6 +599,7 @@ func injectAndServe(cfg CampaignConfig, golden []uint64, app apps.App, rng *rand
 	// The run ends at the crash instant or after the final request —
 	// either way, the virtual clock has stopped advancing.
 	tr.EndedAt = as.Clock().Now()
+	m.recordSimmem(as.FastPathLoads()-startFast, as.TaintedPages())
 	traceTrialEnd(tt, tr)
 	return tr, nil
 }

@@ -226,7 +226,7 @@ func (s *supervisor) execute(sess *snapshotSession, i int) (tr TrialResult, err 
 		tr, err = sess.runTrial(s.cfg, s.golden, s.m, i)
 		return tr, err, sess
 	}
-	tr, err = runTrial(s.cfg, s.golden, i)
+	tr, err = runTrial(s.cfg, s.golden, s.m, i)
 	return tr, err, nil
 }
 

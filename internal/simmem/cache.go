@@ -105,9 +105,13 @@ func (as *AddressSpace) ensureLine(addr Addr) (*cacheLine, error) {
 		return nil, err
 	}
 	if r.codec == nil {
-		r.senseInto(ln.data[:], int(base-r.base))
-	} else if err := as.loadDecoded(r, int(base-r.base), ln.data[:]); err != nil {
+		if r.senseInto(ln.data[:], int(base-r.base)) {
+			as.fastLoads++
+		}
+	} else if fast, err := as.loadDecoded(r, int(base-r.base), ln.data[:]); err != nil {
 		return nil, err
+	} else if fast {
+		as.fastLoads++
 	}
 	ln.base = base
 	ln.valid = true

@@ -38,6 +38,21 @@ func (v Verdict) String() string {
 //
 // Implementations must be deterministic and must not retain the slices
 // passed to Encode/Decode.
+//
+// Taint-clearing contract (what the clean-page fast path relies on; see
+// DESIGN.md and internal/ecc's contract test):
+//
+//  1. Decode(data, Encode(data)) returns VerdictClean for every data
+//     pattern — re-encoding a word re-establishes cleanliness.
+//  2. A VerdictClean decode leaves both data and check unmodified.
+//  3. A VerdictCorrected decode leaves data and check in a state that
+//     re-decodes VerdictClean (corrected write-backs produce clean
+//     storage).
+//
+// Under these rules an untainted page — one whose every word was last
+// written through Encode (or verified by a scrub) and which has no
+// stuck-at state — can be read as a plain byte copy with no decode,
+// producing bit-identical data, counters, and events to the full path.
 type Codec interface {
 	// Name identifies the technique (e.g. "SEC-DED").
 	Name() string

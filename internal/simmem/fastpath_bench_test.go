@@ -1,0 +1,137 @@
+// Micro-benchmarks for the clean-page fast path, per codec: loads from
+// untainted pages (bulk copy), loads from tainted pages (the reference
+// per-word decode path), and partial-word stores (which skip the RMW
+// decode when the page is clean).
+package simmem_test
+
+import (
+	"testing"
+
+	"hrmsim/internal/ecc"
+	"hrmsim/internal/simmem"
+)
+
+const benchSpan = 64 // bytes per operation
+
+// newBenchSpace maps one protected (or unprotected) region and fills it
+// with data through the encode path.
+func newBenchSpace(b *testing.B, codec simmem.Codec) (*simmem.AddressSpace, *simmem.Region) {
+	b.Helper()
+	as, err := simmem.New(simmem.Config{PageSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := as.AddRegion(simmem.RegionSpec{
+		Name: "bench", Kind: simmem.RegionHeap, Size: 1 << 16, Codec: codec,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for off := 0; off < r.Size(); off += len(buf) {
+		if err := as.Store(r.Base()+simmem.Addr(off), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return as, r
+}
+
+// taintAll marks every page tainted without changing any stored byte
+// (each bit is flipped twice), so tainted-path benchmarks still decode
+// clean on every codec.
+func taintAll(b *testing.B, as *simmem.AddressSpace, r *simmem.Region) {
+	b.Helper()
+	for pi := 0; pi < r.PageCount(); pi++ {
+		addr := r.PageAddr(pi)
+		for i := 0; i < 2; i++ {
+			if err := as.FlipBit(addr, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if got := as.TaintedPages(); got != r.PageCount() {
+		b.Fatalf("tainted %d of %d pages", got, r.PageCount())
+	}
+}
+
+func benchLoad(b *testing.B, codec simmem.Codec, tainted bool) {
+	as, r := newBenchSpace(b, codec)
+	if tainted {
+		taintAll(b, as, r)
+	}
+	buf := make([]byte, benchSpan)
+	span := r.Size() - benchSpan
+	b.SetBytes(benchSpan)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := r.Base() + simmem.Addr(i*benchSpan%span)
+		if err := as.Load(addr, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if tainted == (as.FastPathLoads() > 0) {
+		b.Fatalf("fast-path loads = %d with tainted=%v", as.FastPathLoads(), tainted)
+	}
+}
+
+func benchCodecs() []struct {
+	name  string
+	codec simmem.Codec
+} {
+	return []struct {
+		name  string
+		codec simmem.Codec
+	}{
+		{"noecc", nil},
+		{"parity", ecc.NewParity()},
+		{"secded", ecc.NewSECDED()},
+		{"dected", ecc.NewDECTED()},
+		{"chipkill", ecc.NewChipkill()},
+		{"mirror", ecc.NewMirror()},
+	}
+}
+
+func BenchmarkLoadClean(b *testing.B) {
+	for _, tc := range benchCodecs() {
+		b.Run(tc.name, func(b *testing.B) { benchLoad(b, tc.codec, false) })
+	}
+}
+
+func BenchmarkLoadTainted(b *testing.B) {
+	for _, tc := range benchCodecs() {
+		b.Run(tc.name, func(b *testing.B) { benchLoad(b, tc.codec, true) })
+	}
+}
+
+// BenchmarkStorePartial writes 4 bytes at an unaligned offset, the case
+// where protected stores must read-modify-write the covering codeword.
+func BenchmarkStorePartial(b *testing.B) {
+	for _, tc := range benchCodecs() {
+		for _, state := range []struct {
+			name    string
+			tainted bool
+		}{{"clean", false}, {"tainted", true}} {
+			b.Run(tc.name+"/"+state.name, func(b *testing.B) {
+				as, r := newBenchSpace(b, tc.codec)
+				if state.tainted {
+					taintAll(b, as, r)
+				}
+				data := []byte{1, 2, 3, 4}
+				span := r.Size() - 8
+				b.SetBytes(int64(len(data)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					addr := r.Base() + simmem.Addr(i*8%span) + 3
+					if err := as.Store(addr, data); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

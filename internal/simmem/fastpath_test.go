@@ -1,0 +1,351 @@
+package simmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func pageTainted(r *Region, pi int) bool { return r.pages[pi].tainted }
+
+func TestTaintTransitions(t *testing.T) {
+	as, r := newProtectedAS(t, replicaCodec{}, nil)
+	if got := as.TaintedPages(); got != 0 {
+		t.Fatalf("fresh space has %d tainted pages, want 0", got)
+	}
+
+	// Every corruption channel taints its page.
+	if err := as.FlipBit(r.Base(), 3); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	if !pageTainted(r, 0) {
+		t.Error("FlipBit did not taint the page")
+	}
+	if err := as.FlipCheckBit(r.Base()+256, 0); err != nil {
+		t.Fatalf("FlipCheckBit: %v", err)
+	}
+	if !pageTainted(r, 1) {
+		t.Error("FlipCheckBit did not taint the page")
+	}
+	if err := as.StickBit(r.Base()+512, 2, 1); err != nil {
+		t.Fatalf("StickBit: %v", err)
+	}
+	if !pageTainted(r, 2) {
+		t.Error("StickBit did not taint the page")
+	}
+	if got := as.TaintedPages(); got != 3 {
+		t.Fatalf("TaintedPages = %d, want 3", got)
+	}
+
+	// An ordinary store re-encodes the touched words but cannot prove the
+	// rest of the page clean: taint must survive.
+	if err := as.Store(r.Base()+64, make([]byte, 16)); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if !pageTainted(r, 0) {
+		t.Error("Store cleared taint without proving the page clean")
+	}
+
+	// A write-back scrub repairs the flipped bits and re-admits page 0.
+	if _, _, err := r.ScrubPage(0, true); err != nil {
+		t.Fatalf("ScrubPage: %v", err)
+	}
+	if pageTainted(r, 0) {
+		t.Error("write-back scrub left a repaired page tainted")
+	}
+	// Scrubbing without write-back corrects on the fly but leaves the
+	// erroneous stored bytes: the page must stay tainted.
+	if err := as.FlipBit(r.Base(), 3); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	if c, _, err := r.ScrubPage(0, false); err != nil || c != 1 {
+		t.Fatalf("ScrubPage(no write-back) = %d corrected, err %v; want 1, nil", c, err)
+	}
+	if !pageTainted(r, 0) {
+		t.Error("scrub without write-back cleared taint despite stored errors")
+	}
+
+	// A scrub cannot clear a stuck-at page; frame replacement can.
+	if _, _, err := r.ScrubPage(2, true); err != nil {
+		t.Fatalf("ScrubPage: %v", err)
+	}
+	if !pageTainted(r, 2) {
+		t.Error("scrub cleared taint on a page with stuck-at state")
+	}
+	if err := r.ReplaceFrame(2); err != nil {
+		t.Fatalf("ReplaceFrame: %v", err)
+	}
+	if pageTainted(r, 2) {
+		t.Error("ReplaceFrame left the fresh frame tainted")
+	}
+
+	// RestoreWord repairs the only erroneous word on page 1 and verifies
+	// the whole page back to clean.
+	if err := r.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	if err := r.RestoreWord(r.Base() + 256); err != nil {
+		t.Fatalf("RestoreWord: %v", err)
+	}
+	if pageTainted(r, 1) {
+		t.Error("RestoreWord did not clear taint on a verifiably clean page")
+	}
+
+	// RestoreWord on a page with a second, unrepaired error must not
+	// clear taint.
+	if err := as.FlipBit(r.Base()+256, 1); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	if err := as.FlipBit(r.Base()+256+128, 1); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	if err := r.RestoreWord(r.Base() + 256); err != nil {
+		t.Fatalf("RestoreWord: %v", err)
+	}
+	if !pageTainted(r, 1) {
+		t.Error("RestoreWord cleared taint with an unrepaired error elsewhere on the page")
+	}
+}
+
+func TestTaintSnapshotRestore(t *testing.T) {
+	as, r := newProtectedAS(t, replicaCodec{}, nil)
+	snap := as.Snapshot()
+
+	// Taint after the capture; restore must roll the flag back.
+	if err := as.FlipBit(r.Base(), 0); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	if as.TaintedPages() != 1 {
+		t.Fatalf("TaintedPages = %d, want 1", as.TaintedPages())
+	}
+	if _, err := snap.Restore(); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if as.TaintedPages() != 0 {
+		t.Errorf("restore left %d tainted pages, want 0", as.TaintedPages())
+	}
+
+	// Capture a tainted state, clean it, and restore: the taint (and the
+	// erroneous byte under it) must come back.
+	if err := as.FlipBit(r.Base(), 0); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	snap = as.Snapshot()
+	if _, _, err := r.ScrubPage(0, true); err != nil {
+		t.Fatalf("ScrubPage: %v", err)
+	}
+	if as.TaintedPages() != 0 {
+		t.Fatalf("scrub left %d tainted pages, want 0", as.TaintedPages())
+	}
+	if _, err := snap.Restore(); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if as.TaintedPages() != 1 {
+		t.Errorf("restore rebuilt %d tainted pages, want 1", as.TaintedPages())
+	}
+	var b [1]byte
+	if err := as.ReadRaw(r.Base(), b[:]); err != nil {
+		t.Fatalf("ReadRaw: %v", err)
+	}
+	if b[0] != 1 {
+		t.Errorf("restored stored byte = %#x, want the re-flipped 0x01", b[0])
+	}
+}
+
+func TestFastPathCounters(t *testing.T) {
+	as, r := newProtectedAS(t, replicaCodec{}, nil)
+	buf := make([]byte, 32)
+	if err := as.Load(r.Base(), buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if as.FastPathLoads() != 1 {
+		t.Fatalf("FastPathLoads = %d after clean load, want 1", as.FastPathLoads())
+	}
+
+	// A tainted page forces the slow path; the counter must not move.
+	if err := as.FlipBit(r.Base(), 0); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	if err := as.Load(r.Base(), buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if as.FastPathLoads() != 1 {
+		t.Fatalf("FastPathLoads = %d after tainted load, want 1", as.FastPathLoads())
+	}
+
+	// Re-admission via write-back scrub restores the fast path.
+	if _, _, err := r.ScrubPage(0, true); err != nil {
+		t.Fatalf("ScrubPage: %v", err)
+	}
+	if err := as.Load(r.Base(), buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if as.FastPathLoads() != 2 {
+		t.Fatalf("FastPathLoads = %d after scrubbed load, want 2", as.FastPathLoads())
+	}
+
+	// SetFastPath(false) drives the slow path even on clean pages.
+	if prev := as.SetFastPath(false); !prev {
+		t.Error("SetFastPath returned prev=false on an enabled space")
+	}
+	if err := as.Load(r.Base(), buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if as.FastPathLoads() != 2 {
+		t.Fatalf("FastPathLoads = %d with fast path off, want 2", as.FastPathLoads())
+	}
+	as.SetFastPath(true)
+}
+
+// TestFastSlowLoadIdentical pins the bit-identity of the two paths on the
+// same space: a clean load, a load over a stuck-at page, and a load over
+// a corrected word must return the same bytes either way.
+func TestFastSlowLoadIdentical(t *testing.T) {
+	as, r := newProtectedAS(t, replicaCodec{}, nil)
+	want := make([]byte, 64)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	if err := as.Store(r.Base()+32, want); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	got := make([]byte, 64)
+	for _, fast := range []bool{true, false} {
+		as.SetFastPath(fast)
+		for i := range got {
+			got[i] = 0
+		}
+		if err := as.Load(r.Base()+32, got); err != nil {
+			t.Fatalf("Load(fast=%v): %v", fast, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("Load(fast=%v) = %x, want %x", fast, got, want)
+		}
+	}
+}
+
+func TestFindRegionCacheCoherence(t *testing.T) {
+	as := newTestAS(t)
+	regions := as.Regions()
+	// Alternate across regions, hitting first/last bytes, so every lookup
+	// either hits or replaces the one-entry cache; then probe unmapped
+	// addresses (gaps, below the first base, past the end).
+	for pass := 0; pass < 3; pass++ {
+		for _, r := range regions {
+			for _, addr := range []Addr{r.Base(), r.Base() + Addr(r.Size()) - 1} {
+				if got := as.findRegion(addr); got != r {
+					t.Fatalf("findRegion(%#x) = %v, want region %q", addr, got, r.Name())
+				}
+			}
+			if got := as.findRegion(r.Base() + Addr(r.Size())); got != nil && !got.Contains(r.Base()+Addr(r.Size())) {
+				t.Fatalf("findRegion just past %q returned a non-containing region", r.Name())
+			}
+		}
+		if got := as.findRegion(0); got != nil {
+			t.Fatalf("findRegion(0) = %q, want nil", got.Name())
+		}
+		last := regions[len(regions)-1]
+		if got := as.findRegion(last.Base() + Addr(last.Size()) + regionGap); got != nil {
+			t.Fatalf("findRegion past the last region = %q, want nil", got.Name())
+		}
+	}
+	// Mapping a new region after lookups must be visible immediately
+	// (append-only layout keeps the cached pointer valid, not the search).
+	nr, err := as.AddRegion(RegionSpec{Name: "late", Kind: RegionOther, Size: 512})
+	if err != nil {
+		t.Fatalf("AddRegion: %v", err)
+	}
+	if got := as.findRegion(nr.Base()); got != nr {
+		t.Fatalf("findRegion missed a freshly mapped region")
+	}
+	if got := as.findRegion(regions[0].Base()); got != regions[0] {
+		t.Fatalf("findRegion lost the first region after mapping a new one")
+	}
+}
+
+// TestAccessPathAllocations pins the scratch-buffer hoisting: steady-state
+// loads and stores allocate nothing on either path.
+func TestAccessPathAllocations(t *testing.T) {
+	as, r := newProtectedAS(t, replicaCodec{}, nil)
+	buf := make([]byte, 24)
+	// Unaligned on purpose so stores exercise the partial-word RMW.
+	addr := r.Base() + 3
+
+	for _, fast := range []bool{true, false} {
+		as.SetFastPath(fast)
+		if n := testing.AllocsPerRun(100, func() {
+			if err := as.Load(addr, buf); err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+		}); n != 0 {
+			t.Errorf("Load(fast=%v) allocates %v per op, want 0", fast, n)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			if err := as.Store(addr, buf); err != nil {
+				t.Fatalf("Store: %v", err)
+			}
+		}); n != 0 {
+			t.Errorf("Store(fast=%v) allocates %v per op, want 0", fast, n)
+		}
+	}
+	as.SetFastPath(true)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := as.WriteRaw(addr, buf); err != nil {
+			t.Fatalf("WriteRaw: %v", err)
+		}
+	}); n != 0 {
+		t.Errorf("WriteRaw allocates %v per op, want 0", n)
+	}
+}
+
+// TestScratchReentrancy drives an MC handler that re-enters the memory
+// path (as Par+R recovery does) while the faulting load holds the scratch
+// buffers: the repair must not clobber the outer frame's word.
+func TestScratchReentrancy(t *testing.T) {
+	as, err := New(Config{PageSize: 256})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	r, err := as.AddRegion(RegionSpec{
+		Name: "prot", Kind: RegionHeap, Size: 1024, Backed: true, Codec: parityOnlyCodec{},
+	})
+	if err != nil {
+		t.Fatalf("AddRegion: %v", err)
+	}
+	want := make([]byte, 16)
+	for i := range want {
+		want[i] = byte(0x40 + i)
+	}
+	if err := as.Store(r.Base(), want); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if err := r.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	// Corrupt one word; parity detects but cannot correct, so the load
+	// raises a machine check and the handler restores from backing —
+	// which itself walks WriteRaw and verifyPageClean through the
+	// scratch-acquire path.
+	if err := as.FlipBit(r.Base()+8, 5); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	r.SetMCHandler(MCHandlerFunc(func(_ *AddressSpace, ev MCEvent) MCAction {
+		if err := ev.Region.RestoreWord(ev.Addr); err != nil {
+			t.Fatalf("RestoreWord in handler: %v", err)
+		}
+		return MCRecovered
+	}))
+	got := make([]byte, 16)
+	if err := as.Load(r.Base(), got); err != nil {
+		t.Fatalf("Load with recovering handler: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("recovered load = %x, want %x", got, want)
+	}
+	if as.TaintedPages() != 0 {
+		t.Errorf("page still tainted after full-word restore, want clean")
+	}
+	c := as.Counters()
+	if c.Uncorrectable != 1 || c.Recovered != 1 {
+		t.Errorf("counters = %+v, want 1 uncorrectable / 1 recovered", c)
+	}
+}

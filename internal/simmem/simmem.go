@@ -70,6 +70,12 @@ type Config struct {
 	// memory controllers, corrections are made on the fly and the
 	// erroneous cells keep their contents until overwritten.
 	ScrubOnCorrect bool
+	// DisableFastPath turns off the clean-page fast path, forcing every
+	// access through per-byte sensing and per-word decoding. The fast
+	// path is bit-identical to the slow path (see the taint invariant in
+	// DESIGN.md); this knob exists so equivalence tests and benchmarks
+	// can drive the reference slow path over identical workloads.
+	DisableFastPath bool
 }
 
 // Counters aggregates access and protection statistics for an address
@@ -95,6 +101,26 @@ type AddressSpace struct {
 	counters       Counters
 	cache          *cache    // nil unless EnableCache was called
 	snap           *Snapshot // active capture (snapshot.go), nil until Snapshot
+	// fastPath gates the clean-page fast path (on unless
+	// Config.DisableFastPath); fastLoads counts load operations (Load
+	// calls and cache-line fills) it served without decoding a word or
+	// sensing a byte. The counter is monotonic across snapshot restores:
+	// it is observability, not simulated state.
+	fastPath  bool
+	fastLoads uint64
+	// lastRegion is a one-entry cache in front of findRegion; the three
+	// applications generate long runs of same-region accesses. Regions
+	// are append-only, so a cached pointer never goes stale.
+	lastRegion *Region
+	// Reusable scratch for the word/check (and raw-write widening)
+	// buffers of the decode/encode paths. scratchBusy guards against
+	// reentrancy: an MC handler or observer that re-enters the memory
+	// path while a frame up the stack holds the scratch falls back to
+	// allocating (reentrant paths only run when real errors are being
+	// handled, never on the clean hot path).
+	scratchWord  []byte
+	scratchCheck []byte
+	scratchBusy  bool
 }
 
 // New creates an empty address space.
@@ -112,7 +138,40 @@ func New(cfg Config) (*AddressSpace, error) {
 		pageSize:       cfg.PageSize,
 		clock:          cfg.Clock,
 		scrubOnCorrect: cfg.ScrubOnCorrect,
+		fastPath:       !cfg.DisableFastPath,
 	}, nil
+}
+
+// SetFastPath enables or disables the clean-page fast path and returns
+// the previous setting. Both settings produce bit-identical data,
+// counters, events, and faults; differential tests and benchmarks use
+// this to compare the two paths on a space built by code that does not
+// expose Config.DisableFastPath.
+func (as *AddressSpace) SetFastPath(on bool) bool {
+	prev := as.fastPath
+	as.fastPath = on
+	return prev
+}
+
+// FastPathLoads returns the number of load operations (Load calls and
+// cache-line fills) served entirely from untainted pages — a bulk copy
+// with no per-byte sensing and no codeword decoding. The counter is
+// monotonic: snapshot restores do not roll it back.
+func (as *AddressSpace) FastPathLoads() uint64 { return as.fastLoads }
+
+// TaintedPages returns the number of pages currently marked tainted
+// (pages whose sensed contents are not known to decode clean, forcing
+// accesses through the full decode path).
+func (as *AddressSpace) TaintedPages() int {
+	n := 0
+	for _, r := range as.regions {
+		for _, p := range r.pages {
+			if p.tainted {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // Clock returns the address space's virtual clock.
@@ -206,6 +265,14 @@ func (as *AddressSpace) AddRegion(spec RegionSpec) (*Region, error) {
 		if spec.Codec.CheckBytes() <= 0 {
 			return nil, fmt.Errorf("simmem: codec %q has no check storage", spec.Codec.Name())
 		}
+		// Pre-size the shared scratch so the decode/encode paths never
+		// allocate in steady state.
+		if cap(as.scratchWord) < w {
+			as.scratchWord = make([]byte, w)
+		}
+		if c := spec.Codec.CheckBytes(); cap(as.scratchCheck) < c {
+			as.scratchCheck = make([]byte, c)
+		}
 	}
 	// Round size up to whole pages.
 	npages := (spec.Size + as.pageSize - 1) / as.pageSize
@@ -255,6 +322,14 @@ type page struct {
 	stuckClr  []byte
 	corrected uint64 // corrected-error events observed on this frame
 	replaced  int    // times the frame was replaced (retirement)
+	// tainted records that the page may hold a visible error. The
+	// invariant (DESIGN.md "Clean-word fast path"): on an untainted page
+	// there is no stuck-at state and every codeword decodes
+	// VerdictClean, so sensing is a plain copy of data and decoding is a
+	// no-op — which is exactly what the fast path does. Every corruption
+	// channel sets it; only operations that re-establish the invariant
+	// verifiably clear it.
+	tainted bool
 }
 
 // senseByte returns the value the memory device would return for byte i of
@@ -363,12 +438,121 @@ func (r *Region) CorrectedOnPage(i int) uint64 { return r.pages[i].corrected }
 // Replacements returns how many times page i's frame has been replaced.
 func (r *Region) Replacements(i int) int { return r.pages[i].replaced }
 
-// findRegion locates the region containing addr.
-func (as *AddressSpace) findRegion(addr Addr) *Region {
-	for _, r := range as.regions {
-		if r.Contains(addr) {
-			return r
+// taintPage marks page pi as possibly holding a visible error, and
+// dirties it so an armed snapshot rolls the flag back with the data.
+func (r *Region) taintPage(pi int) {
+	r.markDirty(pi)
+	r.pages[pi].tainted = true
+}
+
+// clearTaint marks page pi verifiably clean again. Callers must have
+// re-established the taint invariant (no stuck-at state, every word
+// decodes clean) first. The flag change dirties the page so an armed
+// snapshot restores the captured taint state exactly.
+func (r *Region) clearTaint(pi int) {
+	if !r.pages[pi].tainted {
+		return
+	}
+	r.markDirty(pi)
+	r.pages[pi].tainted = false
+}
+
+// cleanPages reports whether pages p0..p1 (inclusive) are all untainted.
+func (r *Region) cleanPages(p0, p1 int) bool {
+	for pi := p0; pi <= p1; pi++ {
+		if r.pages[pi].tainted {
+			return false
 		}
+	}
+	return true
+}
+
+// copyStored copies len(buf) stored bytes starting at region offset off
+// into buf — raw page data, no stuck-at sensing. On untainted pages this
+// equals sensing (no stuck-at state exists); the raw-access paths use it
+// regardless of taint because they read storage by definition.
+func (r *Region) copyStored(buf []byte, off int) {
+	ps := r.as.pageSize
+	for n := 0; n < len(buf); {
+		o := off + n
+		n += copy(buf[n:], r.pages[o/ps].data[o%ps:])
+	}
+}
+
+// verifyPageClean reports whether page pi provably satisfies the taint
+// invariant: no stuck-at state, and (in protected regions) every
+// codeword decodes VerdictClean. It decodes into scratch copies so a
+// correctable pattern is not corrected as a side effect.
+func (r *Region) verifyPageClean(pi int) bool {
+	p := r.pages[pi]
+	if p.hasStuck() {
+		return false
+	}
+	if r.codec == nil {
+		return true
+	}
+	as := r.as
+	w := r.codec.WordBytes()
+	c := r.codec.CheckBytes()
+	word, check, owned := as.acquireScratch(w, c)
+	defer as.releaseScratch(owned)
+	for wo := 0; wo < as.pageSize; wo += w {
+		copy(word, p.data[wo:wo+w])
+		copy(check, p.check[wo/w*c:(wo/w+1)*c])
+		if r.codec.Decode(word, check) != VerdictClean {
+			return false
+		}
+	}
+	return true
+}
+
+// acquireScratch hands out the address space's reusable word/check
+// buffers, or fresh allocations when a frame up the stack already holds
+// them (an MC handler or observer re-entered the memory path). Callers
+// must pair it with releaseScratch(owned).
+func (as *AddressSpace) acquireScratch(w, c int) (word, check []byte, owned bool) {
+	if as.scratchBusy {
+		return make([]byte, w), make([]byte, c), false
+	}
+	if cap(as.scratchWord) < w {
+		as.scratchWord = make([]byte, w)
+	}
+	if cap(as.scratchCheck) < c {
+		as.scratchCheck = make([]byte, c)
+	}
+	as.scratchBusy = true
+	return as.scratchWord[:w], as.scratchCheck[:c], true
+}
+
+// releaseScratch returns the scratch buffers acquired with owned=true.
+func (as *AddressSpace) releaseScratch(owned bool) {
+	if owned {
+		as.scratchBusy = false
+	}
+}
+
+// findRegion locates the region containing addr: a one-entry cache for
+// the sequential access runs the applications generate, then a binary
+// search over the region bases (regions are mapped in ascending address
+// order and never removed, so the slice is always sorted and a cached
+// pointer never goes stale).
+func (as *AddressSpace) findRegion(addr Addr) *Region {
+	if r := as.lastRegion; r != nil && r.Contains(addr) {
+		return r
+	}
+	regions := as.regions
+	lo, hi := 0, len(regions)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r := regions[mid]; addr >= r.base+Addr(r.size) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(regions) && regions[lo].Contains(addr) {
+		as.lastRegion = regions[lo]
+		return regions[lo]
 	}
 	return nil
 }
@@ -403,36 +587,62 @@ func (as *AddressSpace) Load(addr Addr, buf []byte) error {
 			return err
 		}
 	} else if r.codec == nil {
-		r.senseInto(buf, int(addr-r.base))
-	} else if err := as.loadDecoded(r, int(addr-r.base), buf); err != nil {
+		if r.senseInto(buf, int(addr-r.base)) {
+			as.fastLoads++
+		}
+	} else if fast, err := as.loadDecoded(r, int(addr-r.base), buf); err != nil {
 		return err
+	} else if fast {
+		as.fastLoads++
 	}
 	as.counters.Loads++
 	as.notifyAccess(AccessEvent{Addr: addr, Len: len(buf), Kind: Load, Time: as.clock.Now(), Region: r})
 	return nil
 }
 
-// senseInto copies size bytes starting at region offset off into buf,
-// applying stuck-at masks.
-func (r *Region) senseInto(buf []byte, off int) {
+// senseInto copies len(buf) bytes starting at region offset off into
+// buf, applying stuck-at masks. When every covered page is untainted
+// (so no stuck-at state exists) it degenerates to a bulk copy of the
+// stored bytes and reports true.
+func (r *Region) senseInto(buf []byte, off int) bool {
+	if len(buf) == 0 {
+		return true
+	}
 	ps := r.as.pageSize
+	if r.as.fastPath && r.cleanPages(off/ps, (off+len(buf)-1)/ps) {
+		r.copyStored(buf, off)
+		return true
+	}
 	for i := range buf {
 		o := off + i
 		p := r.pages[o/ps]
 		buf[i] = p.senseByte(o % ps)
 	}
+	return false
 }
 
 // loadDecoded performs a protected load of len(buf) bytes at region offset
-// off, decoding every covered codeword.
-func (as *AddressSpace) loadDecoded(r *Region, off int, buf []byte) error {
+// off, decoding every covered codeword. When every covered page is
+// untainted the decode is skipped entirely — the taint invariant
+// guarantees each word would decode VerdictClean and come back
+// unmodified, so the load is a bulk copy of the stored bytes (reported
+// as true, with no counters, events, or scrubbing side effects, exactly
+// as the full path would behave).
+func (as *AddressSpace) loadDecoded(r *Region, off int, buf []byte) (bool, error) {
 	w := r.codec.WordBytes()
 	c := r.codec.CheckBytes()
 	ps := as.pageSize
 	first := off / w * w
 	last := (off + len(buf) + w - 1) / w * w
-	word := make([]byte, w)
-	check := make([]byte, c)
+	if first == last {
+		return true, nil
+	}
+	if as.fastPath && r.cleanPages(first/ps, (last-1)/ps) {
+		r.copyStored(buf, off)
+		return true, nil
+	}
+	word, check, owned := as.acquireScratch(w, c)
+	defer as.releaseScratch(owned)
 	for wo := first; wo < last; wo += w {
 		p := r.pages[wo/ps]
 		inPage := wo % ps
@@ -447,7 +657,7 @@ func (as *AddressSpace) loadDecoded(r *Region, off int, buf []byte) error {
 		if verdict == VerdictUncorrectable {
 			v, err := as.handleUncorrectable(r, wo, word, check)
 			if err != nil {
-				return err
+				return false, err
 			}
 			verdict = v
 		}
@@ -469,7 +679,7 @@ func (as *AddressSpace) loadDecoded(r *Region, off int, buf []byte) error {
 			}
 		}
 	}
-	return nil
+	return false, nil
 }
 
 // handleUncorrectable runs the software response for an uncorrectable
@@ -551,8 +761,8 @@ func (as *AddressSpace) storeEncoded(r *Region, off int, data []byte) error {
 	ps := as.pageSize
 	first := off / w * w
 	last := (off + len(data) + w - 1) / w * w
-	word := make([]byte, w)
-	check := make([]byte, c)
+	word, check, owned := as.acquireScratch(w, c)
+	defer as.releaseScratch(owned)
 	for wo := first; wo < last; wo += w {
 		r.markDirty(wo / ps)
 		p := r.pages[wo/ps]
@@ -560,25 +770,33 @@ func (as *AddressSpace) storeEncoded(r *Region, off int, data []byte) error {
 		wordIdx := inPage / w
 		partial := wo < off || wo+w > off+len(data)
 		if partial {
-			// Read-modify-write: decode the existing word so latent
-			// errors in the untouched bytes are handled, not laundered
-			// into a fresh valid codeword.
-			for i := 0; i < w; i++ {
-				word[i] = p.senseByte(inPage + i)
-			}
-			copy(check, p.check[wordIdx*c:(wordIdx+1)*c])
-			verdict := r.codec.Decode(word, check)
-			if verdict == VerdictUncorrectable {
-				v, err := as.handleUncorrectable(r, wo, word, check)
-				if err != nil {
-					return err
+			if as.fastPath && !p.tainted {
+				// The taint invariant says this word would sense as its
+				// stored bytes and decode VerdictClean unchanged, so the
+				// read-modify-write decode is a no-op: take the stored
+				// bytes directly.
+				copy(word, p.data[inPage:inPage+w])
+			} else {
+				// Read-modify-write: decode the existing word so latent
+				// errors in the untouched bytes are handled, not laundered
+				// into a fresh valid codeword.
+				for i := 0; i < w; i++ {
+					word[i] = p.senseByte(inPage + i)
 				}
-				verdict = v
-			}
-			if verdict == VerdictCorrected {
-				as.counters.Corrected++
-				p.corrected++
-				as.notifyECC(ECCEvent{Kind: ECCCorrected, Addr: r.base + Addr(wo), Time: as.clock.Now(), Region: r})
+				copy(check, p.check[wordIdx*c:(wordIdx+1)*c])
+				verdict := r.codec.Decode(word, check)
+				if verdict == VerdictUncorrectable {
+					v, err := as.handleUncorrectable(r, wo, word, check)
+					if err != nil {
+						return err
+					}
+					verdict = v
+				}
+				if verdict == VerdictCorrected {
+					as.counters.Corrected++
+					p.corrected++
+					as.notifyECC(ECCEvent{Kind: ECCCorrected, Addr: r.base + Addr(wo), Time: as.clock.Now(), Region: r})
+				}
 			}
 		}
 		// Merge the new bytes.
@@ -712,12 +930,7 @@ func (as *AddressSpace) ReadRaw(addr Addr, buf []byte) error {
 	if err != nil {
 		return err
 	}
-	off := int(addr - r.base)
-	ps := as.pageSize
-	for i := range buf {
-		o := off + i
-		buf[i] = r.pages[o/ps].data[o%ps]
-	}
+	r.copyStored(buf, int(addr-r.base))
 	return nil
 }
 
@@ -737,24 +950,27 @@ func (as *AddressSpace) WriteRaw(addr Addr, data []byte) error {
 	}
 	// Widen to whole codewords so re-encoding is well defined; the
 	// untouched bytes keep their stored (possibly erroneous) values.
+	// Every touched word goes back through Encode, so the write cannot
+	// violate the taint invariant on an untainted page; it is equally
+	// unable to prove a tainted page clean (other words keep whatever
+	// errors they had), so the taint flag is left as-is. A future raw
+	// write path that skips the re-encode must taint the page instead.
 	w := r.codec.WordBytes()
+	c := r.codec.CheckBytes()
 	first := off / w * w
 	last := (off + len(data) + w - 1) / w * w
-	wide := make([]byte, last-first)
 	ps := as.pageSize
-	for i := range wide {
-		o := first + i
-		wide[i] = r.pages[o/ps].data[o%ps]
-	}
+	// The shared word scratch doubles as the widening buffer.
+	wide, check, owned := as.acquireScratch(last-first, c)
+	defer as.releaseScratch(owned)
+	r.copyStored(wide, first)
 	copy(wide[off-first:], data)
-	check := make([]byte, r.codec.CheckBytes())
 	for wo := first; wo < last; wo += w {
 		word := wide[wo-first : wo-first+w]
 		r.codec.Encode(word, check)
 		r.markDirty(wo / ps)
 		p := r.pages[wo/ps]
 		inPage := wo % ps
-		c := r.codec.CheckBytes()
 		wordIdx := inPage / w
 		copy(p.data[inPage:inPage+w], word)
 		copy(p.check[wordIdx*c:(wordIdx+1)*c], check)
@@ -777,7 +993,7 @@ func (as *AddressSpace) FlipBit(addr Addr, bit int) error {
 		return err
 	}
 	off := int(addr - r.base)
-	r.markDirty(off / as.pageSize)
+	r.taintPage(off / as.pageSize)
 	p := r.pages[off/as.pageSize]
 	p.data[off%as.pageSize] ^= 1 << bit
 	return nil
@@ -800,7 +1016,7 @@ func (as *AddressSpace) FlipCheckBit(addr Addr, bit int) error {
 	}
 	w := r.codec.WordBytes()
 	off := int(addr-r.base) / w * w
-	r.markDirty(off / as.pageSize)
+	r.taintPage(off / as.pageSize)
 	p := r.pages[off/as.pageSize]
 	wordIdx := (off % as.pageSize) / w
 	p.check[wordIdx*c+bit/8] ^= 1 << (bit % 8)
@@ -823,7 +1039,7 @@ func (as *AddressSpace) StickBit(addr Addr, bit, value int) error {
 		return err
 	}
 	off := int(addr - r.base)
-	r.markDirty(off / as.pageSize)
+	r.taintPage(off / as.pageSize)
 	p := r.pages[off/as.pageSize]
 	i := off % as.pageSize
 	mask := byte(1) << bit
@@ -855,7 +1071,10 @@ func (r *Region) ReplaceFrame(pageIdx int) error {
 	if pageIdx < 0 || pageIdx >= len(r.pages) {
 		return fmt.Errorf("simmem: page %d out of range [0,%d)", pageIdx, len(r.pages))
 	}
-	r.markDirty(pageIdx)
+	// Frame replacement is a corruption channel for taint purposes:
+	// the incoming frame's contents come from outside the encoded
+	// store path, so the page is tainted for the duration of the swap …
+	r.taintPage(pageIdx)
 	p := r.pages[pageIdx]
 	p.stuckSet = nil
 	p.stuckClr = nil
@@ -872,12 +1091,21 @@ func (r *Region) ReplaceFrame(pageIdx int) error {
 	if r.codec != nil {
 		w := r.codec.WordBytes()
 		c := r.codec.CheckBytes()
-		check := make([]byte, c)
+		check, _, owned := r.as.acquireScratch(c, 0)
+		defer r.as.releaseScratch(owned)
 		for wo := 0; wo < ps; wo += w {
 			r.codec.Encode(p.data[wo:wo+w], check)
 			copy(p.check[wo/w*c:(wo/w+1)*c], check)
 		}
 	}
+	// … and verifiably clean once it completes: the stuck-at state is
+	// gone and every word just went through a full re-encode (an
+	// unprotected frame is trivially clean — sensed bytes equal stored
+	// bytes with no masks). Note the replacement can still launder a
+	// semantically wrong backing copy into valid codewords; taint tracks
+	// decode visibility, not ground truth, which the outcome classifier
+	// checks against raw bytes.
+	r.clearTaint(pageIdx)
 	return nil
 }
 
@@ -924,7 +1152,18 @@ func (r *Region) RestoreWord(addr Addr) error {
 		w = r.codec.WordBytes()
 	}
 	off := int(addr-r.base) / w * w
-	return r.as.WriteRaw(r.base+Addr(off), r.backing[off:off+w])
+	if err := r.as.WriteRaw(r.base+Addr(off), r.backing[off:off+w]); err != nil {
+		return err
+	}
+	// The repaired word is clean, but a single-word restore cannot by
+	// itself prove the rest of the page is; re-derive the taint state by
+	// verification so a page whose only error was just repaired returns
+	// to the fast path.
+	pi := off / r.as.pageSize
+	if r.pages[pi].tainted && r.verifyPageClean(pi) {
+		r.clearTaint(pi)
+	}
+	return nil
 }
 
 // BackingBytes returns the clean persistent copy of the byte range
@@ -955,14 +1194,21 @@ func (r *Region) ScrubPage(i int, writeBack bool) (corrected, uncorrectable int,
 		return 0, 0, fmt.Errorf("simmem: page %d out of range [0,%d)", i, len(r.pages))
 	}
 	if r.codec == nil {
+		// Without a code there is nothing to decode, but absent
+		// stuck-at state an unprotected page trivially satisfies the
+		// taint invariant (sensing is a plain copy), so the scan
+		// re-admits it to the fast path.
+		if !r.pages[i].hasStuck() {
+			r.clearTaint(i)
+		}
 		return 0, 0, nil
 	}
 	p := r.pages[i]
 	w := r.codec.WordBytes()
 	c := r.codec.CheckBytes()
 	ps := r.as.pageSize
-	word := make([]byte, w)
-	check := make([]byte, c)
+	word, check, owned := r.as.acquireScratch(w, c)
+	defer r.as.releaseScratch(owned)
 	for wo := 0; wo < ps; wo += w {
 		for k := 0; k < w; k++ {
 			word[k] = p.senseByte(wo + k)
@@ -981,6 +1227,14 @@ func (r *Region) ScrubPage(i int, writeBack bool) (corrected, uncorrectable int,
 		case VerdictUncorrectable:
 			uncorrectable++
 		}
+	}
+	// The scrub just proved the taint invariant when the page has no
+	// stuck-at state, no word was uncorrectable, and every corrected
+	// word was written back (a clean sweep needs no write-back at all):
+	// the page returns to the fast path. Corrections left un-written
+	// keep their erroneous stored bytes, so the page stays tainted.
+	if uncorrectable == 0 && !p.hasStuck() && (writeBack || corrected == 0) {
+		r.clearTaint(i)
 	}
 	return corrected, uncorrectable, nil
 }

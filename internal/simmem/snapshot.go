@@ -9,10 +9,13 @@
 // indistinguishable — bit for bit, on every subsequent Load/Store/inject
 // path — from one freshly built into the captured state. That covers
 // page data and check storage, stuck-at masks, per-frame corrected /
-// replaced counters, backing stores, allocator high-water marks, the
-// cache model (residency changes error visibility, so lines are restored
-// verbatim, never flushed), the virtual clock, the aggregate counters,
-// and the observer registration lists.
+// replaced counters and taint flags (taint selects between the fast and
+// slow access paths, which are bit-identical, but the flag still rolls
+// back so per-page state never drifts from the data under it), backing
+// stores, allocator high-water marks, the cache model (residency changes
+// error visibility, so lines are restored verbatim, never flushed), the
+// virtual clock, the aggregate counters, and the observer registration
+// lists.
 
 package simmem
 
@@ -38,6 +41,7 @@ type pageState struct {
 	stuckClr  []byte
 	corrected uint64
 	replaced  int
+	tainted   bool
 }
 
 // regionState is one region's captured state.
@@ -100,6 +104,7 @@ func (as *AddressSpace) Snapshot() *Snapshot {
 			st.replaced = p.replaced
 			st.stuckSet = cloneBytes(p.stuckSet)
 			st.stuckClr = cloneBytes(p.stuckClr)
+			st.tainted = p.tainted
 		}
 		rs.backing = cloneBytes(r.backing)
 		// (Re)arm dirty tracking from a clean slate.
@@ -138,6 +143,9 @@ func (s *Snapshot) Restore() (int, error) {
 			p.replaced = st.replaced
 			p.stuckSet = cloneBytes(st.stuckSet)
 			p.stuckClr = cloneBytes(st.stuckClr)
+			// Taint transitions always dirty the page, so restoring the
+			// dirty set restores the taint state exactly.
+			p.tainted = st.tainted
 			if r.backing != nil {
 				copy(r.backing[pi*ps:(pi+1)*ps], rs.backing[pi*ps:(pi+1)*ps])
 			}

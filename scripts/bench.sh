@@ -1,6 +1,7 @@
 #!/bin/sh
-# Capture the root benchmark suite (bench_test.go) as a dated JSON file,
-# so performance trajectories can be diffed across commits:
+# Capture the benchmark suites (root bench_test.go plus the simmem
+# memory-path micro-benchmarks) as a dated JSON file, so performance
+# trajectories can be diffed across commits:
 #
 #   scripts/bench.sh              # writes BENCH_YYYY-MM-DD.json
 #   BENCHTIME=5x scripts/bench.sh # faster capture for smoke runs
@@ -16,5 +17,5 @@ BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
 
 echo "benchmarking (benchtime $BENCHTIME) -> $OUT" >&2
-go test -json -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . >"$OUT"
+go test -json -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . ./internal/simmem >"$OUT"
 echo "wrote $OUT" >&2
