@@ -1,0 +1,303 @@
+// Coordinator mode: `hrmsim characterize -coordinator -shards N` runs a
+// campaign as N local worker processes, one per shard, and merges their
+// journals into the single-process result. The coordinator is the
+// process-level tier of the supervision hierarchy: the in-process
+// supervisor (internal/core) watches trials inside one worker, the
+// coordinator watches the workers themselves — straggler warnings from
+// journal growth, crashed-shard respawn with -resume — and hands the
+// surviving journals to the merge. SHARDING.md documents the operator
+// contract.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"time"
+
+	"hrmsim"
+	"hrmsim/internal/core"
+	"hrmsim/internal/obsv"
+)
+
+// coordinatorConfig carries the campaign flags a coordinator forwards to
+// its shard workers, plus the supervision knobs.
+type coordinatorConfig struct {
+	App, Error, Region string
+	Trials             int
+	Seed               int64
+	Size               string
+	Parallelism        int
+	TrialTimeout       time.Duration
+	TrialOpBudget      int64
+
+	// Shards is the number of worker processes (= shard count).
+	Shards int
+	// Dir receives the shard journal/manifest pairs; empty means a fresh
+	// temporary directory, removed again after a complete merge.
+	Dir string
+	// StragglerAfter is the journal-staleness threshold for straggler
+	// warnings (0 = off); MaxRespawns bounds per-shard crash respawns.
+	StragglerAfter time.Duration
+	MaxRespawns    int
+
+	Metrics *obsv.Registry
+	// Launch overrides how workers are started (tests run shards
+	// in-process; nil = spawn this executable with `characterize -shard`).
+	Launch shardLauncher
+	// Log receives supervision lines (nil = stderr).
+	Log io.Writer
+}
+
+// shardTask is one worker assignment.
+type shardTask struct {
+	Index, Count      int
+	Journal, Manifest string
+	// Resume makes the worker skip trials its journal already records
+	// (set on respawn after a crash).
+	Resume bool
+}
+
+// waiter is the running worker handle the coordinator blocks on
+// (*exec.Cmd in production, a goroutine wrapper in tests).
+type waiter interface {
+	Wait() error
+}
+
+// shardLauncher starts one shard worker.
+type shardLauncher func(task shardTask) (waiter, error)
+
+// processLauncher launches shard workers as child processes of this very
+// executable: `hrmsim characterize ... -shard i/N -journal ... -manifest ...`.
+func processLauncher(cfg coordinatorConfig, log io.Writer) shardLauncher {
+	return func(task shardTask) (waiter, error) {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("locating the hrmsim executable: %w", err)
+		}
+		args := []string{"characterize",
+			"-app", cfg.App,
+			"-error", cfg.Error,
+			"-region", cfg.Region,
+			"-trials", strconv.Itoa(cfg.Trials),
+			"-seed", strconv.FormatInt(cfg.Seed, 10),
+			"-size", cfg.Size,
+			"-shard", fmt.Sprintf("%d/%d", task.Index, task.Count),
+			"-journal", task.Journal,
+			"-manifest", task.Manifest,
+		}
+		if cfg.Parallelism > 0 {
+			args = append(args, "-parallelism", strconv.Itoa(cfg.Parallelism))
+		}
+		if cfg.TrialTimeout > 0 {
+			args = append(args, "-trial-timeout", cfg.TrialTimeout.String())
+		}
+		if cfg.TrialOpBudget > 0 {
+			args = append(args, "-trial-op-budget", strconv.FormatInt(cfg.TrialOpBudget, 10))
+		}
+		if task.Resume {
+			args = append(args, "-resume", task.Journal)
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = io.Discard // the shard's text report is noise; its journal is the output
+		cmd.Stderr = log
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("spawning shard %d/%d: %w", task.Index, task.Count, err)
+		}
+		return cmd, nil
+	}
+}
+
+// coordinatorOutcome is what a finished coordinator run hands back for
+// rendering: the merged result plus the supervision record.
+type coordinatorOutcome struct {
+	Result *hrmsim.Characterization
+	Info   *hrmsim.MergeInfo
+	// Dir is the shard directory (kept on partial results so the
+	// operator can respawn and re-merge).
+	Dir string
+	// Failed lists shard indices that still had no clean exit after
+	// MaxRespawns respawns.
+	Failed []int
+}
+
+// runCoordinator executes a sharded campaign end to end: spawn every
+// shard, supervise, merge.
+func runCoordinator(ctx context.Context, cfg coordinatorConfig) (*coordinatorOutcome, error) {
+	logw := cfg.Log
+	if logw == nil {
+		logw = os.Stderr
+	}
+	dir := cfg.Dir
+	madeTemp := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "hrmsim-shards-")
+		if err != nil {
+			return nil, fmt.Errorf("creating shard directory: %w", err)
+		}
+		dir = d
+		madeTemp = true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("creating shard directory: %w", err)
+	}
+
+	launch := cfg.Launch
+	if launch == nil {
+		launch = processLauncher(cfg, logw)
+	}
+	var spawns *obsv.Counter
+	if cfg.Metrics != nil {
+		spawns = cfg.Metrics.Counter("campaign_shards_total")
+	}
+
+	type exit struct {
+		shard int
+		err   error
+	}
+	exits := make(chan exit, cfg.Shards)
+	tasks := make([]shardTask, cfg.Shards)
+	start := func(i int, resume bool) error {
+		tasks[i].Resume = resume
+		w, err := launch(tasks[i])
+		if err != nil {
+			return err
+		}
+		if spawns != nil {
+			spawns.Inc()
+		}
+		go func() { exits <- exit{i, w.Wait()} }()
+		return nil
+	}
+
+	running := 0
+	respawns := make([]int, cfg.Shards)
+	lastWarn := make([]time.Time, cfg.Shards)
+	alive := make([]bool, cfg.Shards)
+	var failed []int
+	for i := 0; i < cfg.Shards; i++ {
+		tasks[i] = shardTask{
+			Index:    i,
+			Count:    cfg.Shards,
+			Journal:  filepath.Join(dir, core.ShardJournalName(i, cfg.Shards)),
+			Manifest: filepath.Join(dir, core.ShardManifestName(i, cfg.Shards)),
+		}
+		if err := start(i, false); err != nil {
+			return nil, err
+		}
+		alive[i] = true
+		lastWarn[i] = time.Now()
+		running++
+	}
+	fmt.Fprintf(logw, "coordinator: %d shards of %d trials running in %s\n", cfg.Shards, cfg.Trials, dir)
+
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	done := 0
+	for running > 0 {
+		select {
+		case e := <-exits:
+			if e.err != nil && ctx.Err() == nil && respawns[e.shard] < cfg.MaxRespawns {
+				respawns[e.shard]++
+				if cfg.Metrics != nil {
+					cfg.Metrics.Counter("campaign_shard_respawns_total").Inc()
+					cfg.Metrics.Counter(obsv.LabeledName(
+						"campaign_shard_respawns_total", "shard", strconv.Itoa(e.shard))).Inc()
+				}
+				// The journal the crashed worker left behind (possibly
+				// torn-tailed; the reader repairs that) seeds the respawn.
+				_, statErr := os.Stat(tasks[e.shard].Journal)
+				fmt.Fprintf(logw, "coordinator: shard %d/%d crashed (%v); respawn %d/%d%s\n",
+					e.shard, cfg.Shards, e.err, respawns[e.shard], cfg.MaxRespawns,
+					map[bool]string{true: " resuming its journal", false: ""}[statErr == nil])
+				if err := start(e.shard, statErr == nil); err != nil {
+					fmt.Fprintf(logw, "coordinator: respawning shard %d/%d: %v\n", e.shard, cfg.Shards, err)
+					failed = append(failed, e.shard)
+					alive[e.shard] = false
+					running--
+				}
+				continue
+			}
+			alive[e.shard] = false
+			running--
+			if e.err != nil {
+				failed = append(failed, e.shard)
+				fmt.Fprintf(logw, "coordinator: shard %d/%d failed permanently after %d respawns: %v\n",
+					e.shard, cfg.Shards, respawns[e.shard], e.err)
+			} else {
+				done++
+				fmt.Fprintf(logw, "coordinator: shard %d/%d finished (%d/%d done)\n",
+					e.shard, cfg.Shards, done, cfg.Shards)
+			}
+		case <-tick.C:
+			if cfg.StragglerAfter <= 0 {
+				continue
+			}
+			now := time.Now()
+			for i := 0; i < cfg.Shards; i++ {
+				if !alive[i] {
+					continue
+				}
+				// A shard making progress appends to its journal every
+				// trial; a stale mtime means it is wedged or starved.
+				last := lastWarn[i]
+				if st, err := os.Stat(tasks[i].Journal); err == nil && st.ModTime().After(last) {
+					last = st.ModTime()
+				}
+				if now.Sub(last) >= cfg.StragglerAfter {
+					fmt.Fprintf(logw, "coordinator: shard %d/%d is straggling — journal %s unchanged for %s\n",
+						i, cfg.Shards, tasks[i].Journal, now.Sub(last).Round(time.Second))
+					lastWarn[i] = now
+				}
+			}
+		}
+	}
+
+	c, info, err := hrmsim.MergeShards(hrmsim.MergeConfig{Dir: dir, Metrics: cfg.Metrics})
+	if err != nil {
+		return nil, fmt.Errorf("merging shard directory %s: %w", dir, err)
+	}
+	out := &coordinatorOutcome{Result: c, Info: info, Dir: dir, Failed: failed}
+	if madeTemp && len(failed) == 0 && info.Missing == 0 && !c.Interrupted {
+		os.RemoveAll(dir)
+		out.Dir = ""
+	}
+	return out, nil
+}
+
+// runCoordinatorCmd is the CLI wrapper: signal handling, metrics, and
+// rendering around runCoordinator.
+func runCoordinatorCmd(cfg coordinatorConfig, jsonOut, progress bool) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	reg := obsv.NewRegistry()
+	cfg.Metrics = reg
+	_ = progress // shard workers own the trial loop; supervision lines on stderr are the coordinator's progress
+	out, err := runCoordinator(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	c, info := out.Result, out.Info
+	if out.Dir != "" && (c.Interrupted || info.Missing > 0 || len(out.Failed) > 0) {
+		fmt.Fprintf(os.Stderr, "coordinator: shard directory kept at %s — respawn the incomplete shards and `hrmsim merge -dir %s`\n",
+			out.Dir, out.Dir)
+	}
+	if jsonOut {
+		snap := reg.Snapshot()
+		if err := emitJSON("characterize", c.Interrupted, toCharacterizeJSON(c), &snap, nil, withMerged(info)); err != nil {
+			return err
+		}
+	} else {
+		printCharacterization(c)
+	}
+	if len(out.Failed) > 0 {
+		return fmt.Errorf("coordinator: %d shard(s) %v failed permanently after %d respawns; the merged result covers the others",
+			len(out.Failed), out.Failed, cfg.MaxRespawns)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+// Coordinator unit tests run shard workers in-process through the
+// launcher seam: under `go test`, os.Executable() is the test binary, so
+// the real process launcher is exercised by scripts/shard_smoke.sh
+// instead.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+
+	"hrmsim"
+	"hrmsim/internal/obsv"
+)
+
+// chanWaiter adapts a goroutine's exit error to the waiter interface.
+type chanWaiter chan error
+
+func (c chanWaiter) Wait() error { return <-c }
+
+// inProcessLauncher runs each shard task as a hrmsim.Characterize call
+// in a goroutine. Shards listed in crashOnce fail their first attempt
+// partway through (journal written, then a nonzero "exit"), exercising
+// the coordinator's respawn-with-resume path.
+func inProcessLauncher(t *testing.T, cfg coordinatorConfig, crashOnce map[int]bool) shardLauncher {
+	t.Helper()
+	var mu sync.Mutex
+	crashed := make(map[int]bool)
+	return func(task shardTask) (waiter, error) {
+		done := make(chanWaiter, 1)
+		sz, err := sizeFlag(cfg.Size)
+		if err != nil {
+			return nil, err
+		}
+		ccfg := hrmsim.CharacterizeConfig{
+			App:          hrmsim.App(cfg.App),
+			Error:        hrmsim.ErrorType(cfg.Error),
+			Region:       hrmsim.Region(cfg.Region),
+			Trials:       cfg.Trials,
+			Seed:         cfg.Seed,
+			Size:         sz,
+			ShardIndex:   task.Index,
+			ShardCount:   task.Count,
+			JournalPath:  task.Journal,
+			ManifestPath: task.Manifest,
+		}
+		if task.Resume {
+			ccfg.ResumePath = task.Journal
+		}
+		mu.Lock()
+		simulateCrash := crashOnce[task.Index] && !crashed[task.Index]
+		if simulateCrash {
+			crashed[task.Index] = true
+		}
+		mu.Unlock()
+		go func() {
+			if simulateCrash {
+				// Die after a few journaled trials, like a worker killed
+				// mid-campaign.
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				ccfg.Context = ctx
+				ccfg.Progress = func(p hrmsim.ProgressInfo) {
+					if p.Done >= 2 {
+						cancel()
+					}
+				}
+				_, _ = hrmsim.Characterize(ccfg)
+				done <- fmt.Errorf("simulated worker crash")
+				return
+			}
+			_, err := hrmsim.Characterize(ccfg)
+			done <- err
+		}()
+		return done, nil
+	}
+}
+
+func testCoordinatorConfig(t *testing.T) coordinatorConfig {
+	return coordinatorConfig{
+		App:         "kvstore",
+		Error:       "soft-1bit",
+		Size:        "small",
+		Trials:      24,
+		Seed:        6,
+		Shards:      3,
+		Dir:         t.TempDir(),
+		MaxRespawns: 2,
+		Metrics:     obsv.NewRegistry(),
+		Log:         io.Discard,
+	}
+}
+
+// TestCoordinatorMergesShards: a healthy coordinator run produces the
+// single-process result (modulo parallelism bookkeeping) and counts its
+// spawns.
+func TestCoordinatorMergesShards(t *testing.T) {
+	cfg := testCoordinatorConfig(t)
+	cfg.Launch = inProcessLauncher(t, cfg, nil)
+	out, err := runCoordinator(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Failed) != 0 {
+		t.Fatalf("failed shards: %v", out.Failed)
+	}
+	if out.Info.Records != cfg.Trials || out.Info.Missing != 0 {
+		t.Fatalf("merge info = %+v", out.Info)
+	}
+
+	want, err := hrmsim.Characterize(hrmsim.CharacterizeConfig{
+		App: hrmsim.AppKVStore, Size: hrmsim.SizeSmall, Trials: cfg.Trials, Seed: cfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCmp, gotCmp := *want, *out.Result
+	gotCmp.Parallelism = wantCmp.Parallelism
+	if !reflect.DeepEqual(wantCmp, gotCmp) {
+		t.Errorf("coordinator result diverged:\nsingle:      %+v\ncoordinator: %+v", wantCmp, gotCmp)
+	}
+
+	snap := cfg.Metrics.Snapshot()
+	if snap.Counters["campaign_shards_total"] != int64(cfg.Shards) {
+		t.Errorf("campaign_shards_total = %d, want %d", snap.Counters["campaign_shards_total"], cfg.Shards)
+	}
+	if snap.Counters["campaign_shard_respawns_total"] != 0 {
+		t.Errorf("campaign_shard_respawns_total = %d, want 0", snap.Counters["campaign_shard_respawns_total"])
+	}
+}
+
+// TestCoordinatorRespawnsCrashedShard: a shard that dies mid-run is
+// respawned with -resume and the campaign still merges complete and
+// bit-identical.
+func TestCoordinatorRespawnsCrashedShard(t *testing.T) {
+	cfg := testCoordinatorConfig(t)
+	cfg.Launch = inProcessLauncher(t, cfg, map[int]bool{1: true})
+	out, err := runCoordinator(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Failed) != 0 {
+		t.Fatalf("failed shards: %v", out.Failed)
+	}
+	if out.Info.Records != cfg.Trials || out.Info.Missing != 0 {
+		t.Fatalf("merge info after respawn = %+v", out.Info)
+	}
+
+	snap := cfg.Metrics.Snapshot()
+	if snap.Counters["campaign_shards_total"] != int64(cfg.Shards+1) {
+		t.Errorf("campaign_shards_total = %d, want %d (respawn counts as a spawn)",
+			snap.Counters["campaign_shards_total"], cfg.Shards+1)
+	}
+	if snap.Counters["campaign_shard_respawns_total"] != 1 {
+		t.Errorf("campaign_shard_respawns_total = %d, want 1", snap.Counters["campaign_shard_respawns_total"])
+	}
+	labeled := obsv.LabeledName("campaign_shard_respawns_total", "shard", "1")
+	if snap.Counters[labeled] != 1 {
+		t.Errorf("%s = %d, want 1", labeled, snap.Counters[labeled])
+	}
+
+	want, err := hrmsim.Characterize(hrmsim.CharacterizeConfig{
+		App: hrmsim.AppKVStore, Size: hrmsim.SizeSmall, Trials: cfg.Trials, Seed: cfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCmp, gotCmp := *want, *out.Result
+	gotCmp.Parallelism = wantCmp.Parallelism
+	if !reflect.DeepEqual(wantCmp, gotCmp) {
+		t.Errorf("post-respawn result diverged:\nsingle:      %+v\ncoordinator: %+v", wantCmp, gotCmp)
+	}
+}
+
+// TestCoordinatorGivesUpAfterMaxRespawns: a shard that keeps dying is
+// reported failed; the others still merge into a partial result.
+func TestCoordinatorGivesUpAfterMaxRespawns(t *testing.T) {
+	cfg := testCoordinatorConfig(t)
+	cfg.MaxRespawns = 1
+	// Always-crashing launcher for shard 2, normal for the rest.
+	normal := inProcessLauncher(t, cfg, nil)
+	cfg.Launch = func(task shardTask) (waiter, error) {
+		if task.Index == 2 {
+			done := make(chanWaiter, 1)
+			done <- fmt.Errorf("simulated persistent crash")
+			return done, nil
+		}
+		return normal(task)
+	}
+	out, err := runCoordinator(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Failed) != 1 || out.Failed[0] != 2 {
+		t.Fatalf("failed = %v, want [2]", out.Failed)
+	}
+	if !out.Result.Interrupted {
+		t.Error("partial merge not marked Interrupted")
+	}
+	lo, hi := 2*cfg.Trials/3, cfg.Trials
+	if out.Info.Missing != hi-lo {
+		t.Errorf("missing = %d, want %d (shard 2's range)", out.Info.Missing, hi-lo)
+	}
+	snap := cfg.Metrics.Snapshot()
+	if snap.Counters["campaign_shard_respawns_total"] != 1 {
+		t.Errorf("campaign_shard_respawns_total = %d, want 1 (MaxRespawns)",
+			snap.Counters["campaign_shard_respawns_total"])
+	}
+}

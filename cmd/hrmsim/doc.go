@@ -1,0 +1,32 @@
+// Command hrmsim is the CLI for the heterogeneous-reliability memory
+// reproduction: run error-injection characterization campaigns, profile
+// application memory access behaviour, evaluate the HRM design space, and
+// regenerate every table and figure of the paper.
+//
+// Usage:
+//
+//	hrmsim characterize -app websearch -error hard-1bit -region stack -trials 400
+//	hrmsim characterize -app kvstore -trials 1000000 -shard 3/8 -journal shards/shard-0003-of-0008.jsonl
+//	hrmsim characterize -app kvstore -trials 1000000 -coordinator -shards 8
+//	hrmsim merge -dir shards/
+//	hrmsim profile -app websearch -watchpoints 600
+//	hrmsim designspace
+//	hrmsim plan -target 0.999
+//	hrmsim tolerable
+//	hrmsim lifetime -protection secded+scrub -errors 200000 -hours 24
+//	hrmsim tables [-t fig3] [-trials 400]
+//
+// characterize runs a campaign whole, as one shard of a multi-process
+// campaign (-shard i/N, emitting a journal plus a shard manifest), or as
+// a coordinator (-coordinator -shards N) that spawns one worker process
+// per shard, supervises them (straggler warnings by journal mtime,
+// crash respawn with -resume), and auto-merges the shards on completion.
+// merge folds a directory of shard journal/manifest pairs into a result
+// bit-identical to the single-process run; SHARDING.md is the contract.
+//
+// Every subcommand accepts -json, which replaces the rendered text on
+// stdout with one machine-readable JSON document under the versioned
+// schema documented in OBSERVABILITY.md. The campaign-backed subcommands
+// (characterize, tables) also accept -progress, which reports live trial
+// completion on stderr.
+package main

@@ -38,6 +38,83 @@ type envelope struct {
 	// crash or incorrect-response (schema: OBSERVABILITY.md, "Event
 	// tracing").
 	Trace *traceJSON `json:"trace,omitempty"`
+	// Shard identifies which slice of a sharded campaign this result
+	// covers (characterize -shard; see SHARDING.md).
+	Shard *shardJSON `json:"shard,omitempty"`
+	// Merged describes the shard set a merged result was assembled from
+	// (merge, characterize -coordinator; see SHARDING.md).
+	Merged *mergedJSON `json:"merged,omitempty"`
+}
+
+// shardJSON is the envelope's shard-coordinates section.
+type shardJSON struct {
+	Index   int `json:"index"`
+	Count   int `json:"count"`
+	TrialLo int `json:"trial_lo"`
+	TrialHi int `json:"trial_hi"`
+}
+
+// mergedJSON is the envelope's merge-provenance section.
+type mergedJSON struct {
+	ConfigHash string           `json:"config_hash"`
+	Shards     []mergeShardJSON `json:"shards"`
+	Records    int              `json:"records"`
+	Duplicates int              `json:"duplicates,omitempty"`
+	Missing    int              `json:"missing,omitempty"`
+}
+
+// mergeShardJSON summarizes one input shard of a merge.
+type mergeShardJSON struct {
+	Index       int    `json:"index"`
+	Count       int    `json:"count"`
+	TrialLo     int    `json:"trial_lo"`
+	TrialHi     int    `json:"trial_hi"`
+	Journal     string `json:"journal"`
+	Completed   int    `json:"completed"`
+	Aborted     int    `json:"aborted,omitempty"`
+	Interrupted bool   `json:"interrupted,omitempty"`
+}
+
+// envelopeOption customizes optional envelope sections.
+type envelopeOption func(*envelope)
+
+// withShard attaches the shard-coordinates section (nil = no-op).
+func withShard(s *hrmsim.ShardInfo) envelopeOption {
+	return func(e *envelope) {
+		if s == nil {
+			return
+		}
+		e.Shard = &shardJSON{Index: s.Index, Count: s.Count, TrialLo: s.TrialLo, TrialHi: s.TrialHi}
+	}
+}
+
+// withMerged attaches the merge-provenance section (nil = no-op).
+func withMerged(info *hrmsim.MergeInfo) envelopeOption {
+	return func(e *envelope) {
+		if info == nil {
+			return
+		}
+		m := &mergedJSON{
+			ConfigHash: info.ConfigHash,
+			Shards:     []mergeShardJSON{},
+			Records:    info.Records,
+			Duplicates: info.Duplicates,
+			Missing:    info.Missing,
+		}
+		for _, s := range info.Shards {
+			m.Shards = append(m.Shards, mergeShardJSON{
+				Index:       s.Index,
+				Count:       s.Count,
+				TrialLo:     s.TrialLo,
+				TrialHi:     s.TrialHi,
+				Journal:     s.Journal,
+				Completed:   s.Completed,
+				Aborted:     s.Aborted,
+				Interrupted: s.Interrupted,
+			})
+		}
+		e.Merged = m
+	}
 }
 
 // traceJSON is the envelope's event-tracing section.
@@ -69,8 +146,8 @@ func toTraceJSON(rec *evtrace.Recorder) *traceJSON {
 }
 
 // emitJSON writes one indented envelope to stdout.
-func emitJSON(command string, interrupted bool, result any, metrics *obsv.Snapshot, trace *traceJSON) error {
-	b, err := json.MarshalIndent(envelope{
+func emitJSON(command string, interrupted bool, result any, metrics *obsv.Snapshot, trace *traceJSON, opts ...envelopeOption) error {
+	env := envelope{
 		SchemaVersion: schemaVersion,
 		Tool:          "hrmsim",
 		Command:       command,
@@ -78,7 +155,11 @@ func emitJSON(command string, interrupted bool, result any, metrics *obsv.Snapsh
 		Result:        result,
 		Metrics:       metrics,
 		Trace:         trace,
-	}, "", "  ")
+	}
+	for _, opt := range opts {
+		opt(&env)
+	}
+	b, err := json.MarshalIndent(env, "", "  ")
 	if err != nil {
 		return fmt.Errorf("encoding %s result: %w", command, err)
 	}

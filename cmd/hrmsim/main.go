@@ -1,23 +1,3 @@
-// Command hrmsim is the CLI for the heterogeneous-reliability memory
-// reproduction: run error-injection characterization campaigns, profile
-// application memory access behaviour, evaluate the HRM design space, and
-// regenerate every table and figure of the paper.
-//
-// Usage:
-//
-//	hrmsim characterize -app websearch -error hard-1bit -region stack -trials 400
-//	hrmsim profile -app websearch -watchpoints 600
-//	hrmsim designspace
-//	hrmsim plan -target 0.999
-//	hrmsim tolerable
-//	hrmsim lifetime -protection secded+scrub -errors 200000 -hours 24
-//	hrmsim tables [-t fig3] [-trials 400]
-//
-// Every subcommand accepts -json, which replaces the rendered text on
-// stdout with one machine-readable JSON document under the versioned
-// schema documented in OBSERVABILITY.md. The campaign-backed subcommands
-// (characterize, tables) also accept -progress, which reports live trial
-// completion on stderr.
 package main
 
 import (
@@ -31,6 +11,7 @@ import (
 	"time"
 
 	"hrmsim"
+	"hrmsim/internal/core"
 	"hrmsim/internal/evtrace"
 	"hrmsim/internal/obsv"
 	"hrmsim/internal/textplot"
@@ -51,6 +32,8 @@ func run(args []string) error {
 	switch args[0] {
 	case "characterize":
 		return cmdCharacterize(args[1:])
+	case "merge":
+		return cmdMerge(args[1:])
 	case "profile":
 		return cmdProfile(args[1:])
 	case "designspace":
@@ -79,6 +62,8 @@ func usage() {
 
 Subcommands:
   characterize  run an error-injection campaign against an application
+                (whole, one shard of it, or as a multi-process coordinator)
+  merge         merge a directory of shard journals into one campaign result
   profile       measure safe ratios and data recoverability
   designspace   evaluate the paper's five design points (Table 6)
   plan          search for the cheapest design meeting an availability target
@@ -150,12 +135,48 @@ func cmdCharacterize(args []string) error {
 	resumePath := fs.String("resume", "", "skip trials already recorded in this journal (typically the same file as -journal); the merged result is bit-identical to an uninterrupted run")
 	trialTimeout := fs.Duration("trial-timeout", 0, "abort any trial exceeding this wall-clock deadline, recording it as aborted (0 = none)")
 	trialOpBudget := fs.Int64("trial-op-budget", 0, "abort any trial exceeding this many simulated memory operations after injection (0 = none)")
+	shardFlag := fs.String("shard", "", "run only shard i of N of the campaign's trials, given as \"i/N\" (i in [0,N)); the journal stays merge-compatible with the sibling shards (SHARDING.md)")
+	manifestPath := fs.String("manifest", "", "write the shard manifest (campaign identity + config hash + trial range) to this file after the run; requires -journal (default with -shard: derived from the journal path)")
+	coordinator := fs.Bool("coordinator", false, "coordinator mode: spawn -shards local worker processes, supervise them (straggler warnings, crashed-shard respawn with -resume), and merge their journals (SHARDING.md)")
+	shardCount := fs.Int("shards", 0, "number of shard worker processes to spawn (coordinator mode)")
+	shardDir := fs.String("shard-dir", "", "directory for shard journals and manifests (coordinator mode; default: a fresh temporary directory, removed on success)")
+	stragglerAfter := fs.Duration("straggler-after", 30*time.Second, "warn when a running shard's journal has not grown for this long (coordinator mode; 0 = off)")
+	shardRespawns := fs.Int("shard-respawns", 2, "respawn a crashed shard, resuming its journal, at most this many times (coordinator mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	sz, err := sizeFlag(*size)
 	if err != nil {
 		return err
+	}
+	if *coordinator {
+		if *shardFlag != "" {
+			return fmt.Errorf("-coordinator and -shard are mutually exclusive (the coordinator assigns shards itself)")
+		}
+		if *journalPath != "" || *resumePath != "" || *traceFile != "" {
+			return fmt.Errorf("-coordinator manages its own shard journals; -journal, -resume, and -trace apply to single-process runs")
+		}
+		if *shardCount < 1 {
+			return fmt.Errorf("-coordinator requires -shards N with N >= 1")
+		}
+		return runCoordinatorCmd(coordinatorConfig{
+			App:            *app,
+			Error:          *errType,
+			Region:         *region,
+			Trials:         *trials,
+			Seed:           *seed,
+			Size:           *size,
+			Parallelism:    *parallelism,
+			TrialTimeout:   *trialTimeout,
+			TrialOpBudget:  *trialOpBudget,
+			Shards:         *shardCount,
+			Dir:            *shardDir,
+			StragglerAfter: *stragglerAfter,
+			MaxRespawns:    *shardRespawns,
+		}, *jsonOut, *progress)
+	}
+	if *shardCount != 0 || *shardDir != "" {
+		return fmt.Errorf("-shards and -shard-dir require -coordinator (use -shard i/N to run one shard directly)")
 	}
 	// SIGINT/SIGTERM cancel the campaign context: in-flight trials are
 	// drained and the partial result (marked interrupted) still comes
@@ -176,11 +197,26 @@ func cmdCharacterize(args []string) error {
 		JournalPath:   *journalPath,
 		ResumePath:    *resumePath,
 	}
+	if *shardFlag != "" {
+		spec, err := core.ParseShardSpec(*shardFlag)
+		if err != nil {
+			return err
+		}
+		cfg.ShardIndex, cfg.ShardCount = spec.Index, spec.Count
+		// A shard's artifact pair is journal + manifest; derive the
+		// manifest path so `-shard i/N -journal f.jsonl` alone emits both.
+		if *manifestPath == "" && *journalPath != "" {
+			*manifestPath = core.ManifestPathFor(*journalPath)
+		}
+	}
+	cfg.ManifestPath = *manifestPath
 	if *progress {
 		cfg.Progress = progressFunc("characterize")
 	}
 	var reg *obsv.Registry
-	if *jsonOut {
+	// The manifest embeds a metrics snapshot, so manifest-writing runs
+	// are instrumented even without -json.
+	if *jsonOut || cfg.ManifestPath != "" {
 		reg = obsv.NewRegistry()
 		cfg.Metrics = reg
 	}
@@ -228,14 +264,26 @@ func cmdCharacterize(args []string) error {
 	}
 	if *jsonOut {
 		snap := reg.Snapshot()
-		return emitJSON("characterize", c.Interrupted, toCharacterizeJSON(c), &snap, toTraceJSON(recorder))
+		return emitJSON("characterize", c.Interrupted, toCharacterizeJSON(c), &snap, toTraceJSON(recorder), withShard(c.Shard))
 	}
+	printCharacterization(c)
+	return nil
+}
+
+// printCharacterization renders a campaign result as text — shared by
+// characterize (whole or one shard), merge, and coordinator runs.
+func printCharacterization(c *hrmsim.Characterization) {
 	regionLabel := string(c.Region)
 	if regionLabel == "" {
 		regionLabel = "all regions"
 	}
-	fmt.Printf("Characterization: %s, %s errors, %s, %d trials\n\n",
+	fmt.Printf("Characterization: %s, %s errors, %s, %d trials\n",
 		c.App, c.Error, regionLabel, c.Trials)
+	if c.Shard != nil {
+		fmt.Printf("  shard %d/%d: trials [%d,%d) — merge with the sibling shards for campaign statistics\n",
+			c.Shard.Index, c.Shard.Count, c.Shard.TrialLo, c.Shard.TrialHi)
+	}
+	fmt.Println()
 	fmt.Printf("  crash probability:     %.2f%%  (90%% CI [%.2f%%, %.2f%%])\n",
 		c.CrashProbability*100, c.CrashCILow*100, c.CrashCIHigh*100)
 	fmt.Printf("  tolerated (masked):    %.2f%%\n", c.ToleratedProbability*100)
@@ -252,6 +300,51 @@ func cmdCharacterize(args []string) error {
 		bars = append(bars, textplot.Bar{Label: k, Value: float64(c.Outcomes[k])})
 	}
 	fmt.Println(textplot.BarChart("Outcome taxonomy (trials)", bars, 40, false))
+}
+
+// cmdMerge merges a directory of shard journals (written by
+// `characterize -shard i/N` workers) into one campaign result,
+// bit-identical to the single-process run (see SHARDING.md).
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ContinueOnError)
+	dir := fs.String("dir", "", "shard directory holding the *.manifest.json + journal pairs (may also be given as the positional argument)")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON (schema: OBSERVABILITY.md)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" && fs.NArg() == 1 {
+		*dir = fs.Arg(0)
+	}
+	if *dir == "" {
+		return fmt.Errorf("merge: a shard directory is required (-dir or positional)")
+	}
+	var reg *obsv.Registry
+	mcfg := hrmsim.MergeConfig{Dir: *dir}
+	if *jsonOut {
+		reg = obsv.NewRegistry()
+		mcfg.Metrics = reg
+	}
+	c, info, err := hrmsim.MergeShards(mcfg)
+	if err != nil {
+		return err
+	}
+	if c.Interrupted {
+		fmt.Fprintf(os.Stderr, "merge: campaign incomplete — %d of %d trials have no record in any shard (respawn or resume the missing shards and re-merge)\n",
+			info.Missing, c.Trials)
+	}
+	if *jsonOut {
+		snap := reg.Snapshot()
+		return emitJSON("merge", c.Interrupted, toCharacterizeJSON(c), &snap, nil, withMerged(info))
+	}
+	fmt.Printf("Merged %d shards (config %.12s…): %d trial records", len(info.Shards), info.ConfigHash, info.Records)
+	if info.Duplicates > 0 {
+		fmt.Printf(", %d duplicates dropped (keep-first)", info.Duplicates)
+	}
+	if info.Missing > 0 {
+		fmt.Printf(", %d missing", info.Missing)
+	}
+	fmt.Print("\n\n")
+	printCharacterization(c)
 	return nil
 }
 

@@ -43,4 +43,11 @@
 // analytics, SimulateLifetime for continuous-operation availability
 // simulation, and NewLab / Lab.Run to regenerate any of the paper's
 // tables and figures (plus the extension experiments).
+//
+// Campaigns scale across processes: Characterize accepts shard
+// coordinates (ShardIndex/ShardCount) that restrict a run to one
+// deterministic slice of the trial sequence, and MergeShards folds a
+// directory of shard journals back into a Characterization bit-identical
+// to the single-process run. SHARDING.md documents the shard/merge
+// contract and the coordinator that operates it.
 package hrmsim

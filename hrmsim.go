@@ -2,9 +2,11 @@ package hrmsim
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -230,6 +232,22 @@ type CharacterizeConfig struct {
 	// it records — typically the same file as JournalPath. The merged
 	// result is bit-identical to an uninterrupted run.
 	ResumePath string
+	// ShardIndex / ShardCount, when ShardCount > 0, restrict the run to
+	// shard ShardIndex's contiguous slice of the campaign's trial
+	// indices (the CLI's `-shard i/N`). The campaign identity — Trials,
+	// Seed, the journal header — stays the whole campaign's, so N shard
+	// journals merge (MergeShards) into a result bit-identical to an
+	// unsharded run. The full shard/merge contract is documented in
+	// SHARDING.md. ShardCount == 0 means unsharded.
+	ShardIndex int
+	ShardCount int
+	// ManifestPath, if non-empty, writes the shard manifest — campaign
+	// identity, config hash, shard coordinates, trial range, and the
+	// Metrics snapshot — after the run, next to the journal. Requires
+	// JournalPath (a manifest describes a journal). An unsharded run
+	// writes a 0/1 manifest, making a single-process journal consumable
+	// by MergeShards too.
+	ManifestPath string
 }
 
 // ProgressInfo reports campaign progress to the Progress hook. Elapsed,
@@ -298,6 +316,20 @@ type Characterization struct {
 	Completed int
 	Aborted   int
 	Resumed   int
+	// Shard, when the campaign ran as one shard of a larger campaign
+	// (CharacterizeConfig.ShardCount > 0), records the shard coordinates
+	// and owned trial range; the aggregates above then cover only that
+	// range. Nil for unsharded runs and for merged results.
+	Shard *ShardInfo
+}
+
+// ShardInfo records which slice of a sharded campaign a
+// characterization covers (see SHARDING.md).
+type ShardInfo struct {
+	// Index / Count are the shard coordinates (the `-shard i/N` flag).
+	Index, Count int
+	// TrialLo / TrialHi bound the owned half-open trial index range.
+	TrialLo, TrialHi int
 }
 
 // Characterize runs an error-injection campaign (the paper's Fig. 2 loop)
@@ -342,6 +374,20 @@ func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
 	}
 	if kind != 0 {
 		ccfg.Filter = func(r *simmem.Region) bool { return r.Kind() == kind }
+	}
+	var shard *core.ShardSpec
+	if cfg.ShardCount > 0 {
+		s := core.ShardSpec{Index: cfg.ShardIndex, Count: cfg.ShardCount}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("hrmsim: %w", err)
+		}
+		shard = &s
+		ccfg.Shard = shard
+	} else if cfg.ShardIndex != 0 {
+		return nil, fmt.Errorf("hrmsim: ShardIndex %d set without ShardCount", cfg.ShardIndex)
+	}
+	if cfg.ManifestPath != "" && cfg.JournalPath == "" {
+		return nil, fmt.Errorf("hrmsim: ManifestPath requires JournalPath (a manifest describes a journal)")
 	}
 
 	// The journal header pins the campaign identity, so resuming against
@@ -417,11 +463,51 @@ func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
 	if par > cfg.Trials {
 		par = cfg.Trials
 	}
+	out, err := newCharacterization(cfg.App, cfg.Error, cfg.Region, cfg.Trials, par, res)
+	if err != nil {
+		return nil, err
+	}
+	if shard != nil {
+		lo, hi := shard.Range(cfg.Trials)
+		out.Shard = &ShardInfo{
+			Index:   shard.Index,
+			Count:   shard.Count,
+			TrialLo: lo,
+			TrialHi: hi,
+		}
+	}
+	if cfg.ManifestPath != "" {
+		spec := core.ShardSpec{Index: 0, Count: 1}
+		if shard != nil {
+			spec = *shard
+		}
+		jref := filepath.Base(cfg.JournalPath)
+		if rel, rerr := filepath.Rel(filepath.Dir(cfg.ManifestPath), cfg.JournalPath); rerr == nil {
+			jref = rel
+		}
+		man := core.NewShardManifest(meta, spec, jref, res)
+		if cfg.Metrics != nil {
+			if raw, merr := json.Marshal(cfg.Metrics.Snapshot()); merr == nil {
+				man.Metrics = raw
+			}
+		}
+		if err := core.WriteManifest(cfg.ManifestPath, man); err != nil {
+			return nil, fmt.Errorf("hrmsim: writing shard manifest: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// newCharacterization aggregates a finished campaign into the public
+// result shape. Shared between a live run (Characterize) and a
+// cross-shard merge (MergeShards), so a merged campaign's aggregates go
+// through exactly the same arithmetic as a single-process run's.
+func newCharacterization(app App, errType ErrorType, region Region, trials, par int, res *core.CampaignResult) (*Characterization, error) {
 	out := &Characterization{
-		App:                 cfg.App,
-		Error:               cfg.Error,
-		Region:              cfg.Region,
-		Trials:              cfg.Trials,
+		App:                 app,
+		Error:               errType,
+		Region:              region,
+		Trials:              trials,
 		Parallelism:         par,
 		Outcomes:            make(map[string]int),
 		CrashMinutes:        res.TimesToEffect(core.OutcomeCrash),

@@ -129,6 +129,15 @@ type CampaignConfig struct {
 	// is bit-identical to running them because trial i's generator
 	// depends only on (Seed, i).
 	Resume map[int]TrialResult
+	// Shard, if non-nil, restricts the run to the shard's contiguous
+	// slice of trial indices (see ShardSpec.Range): the campaign keeps
+	// its full identity — Trials, Seed, and the journal header are the
+	// whole campaign's — but only the owned indices are dispatched.
+	// Shards of one campaign are therefore independent processes whose
+	// journals merge (MergeShards) into a result bit-identical to an
+	// unsharded run. Resume records outside the shard's range are
+	// ignored.
+	Shard *ShardSpec
 	// Journal, if non-nil, receives every trial result as it finishes
 	// (flushed per record), so an interrupted campaign can resume.
 	// Resumed trials are not re-journaled.
@@ -251,6 +260,11 @@ func RunContext(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error
 	for i := range cfg.Resume {
 		if i < 0 || i >= cfg.Trials {
 			return nil, fmt.Errorf("core: resume record for trial %d outside [0,%d)", i, cfg.Trials)
+		}
+	}
+	if cfg.Shard != nil {
+		if err := cfg.Shard.Validate(); err != nil {
+			return nil, err
 		}
 	}
 	golden := cfg.Golden
@@ -405,7 +419,7 @@ func (m *campaignMetrics) recordAbort(reason string) {
 	if m == nil {
 		return
 	}
-	m.reg.Counter(fmt.Sprintf("campaign_trials_aborted_total{reason=%q}", reason)).Inc()
+	m.reg.Counter(obsv.LabeledName("campaign_trials_aborted_total", "reason", reason)).Inc()
 }
 
 // recordRetry counts one retried trial attempt.

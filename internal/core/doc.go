@@ -1,0 +1,31 @@
+// Package core is the characterization engine — the paper's primary
+// contribution (Sections III and IV). It runs controlled error-injection
+// campaigns over applications built on simulated memory, classifies every
+// trial into the Fig. 1 outcome taxonomy, and aggregates crash
+// probabilities (with 90% confidence intervals), incorrect-result rates
+// per billion queries, and time-to-outcome distributions.
+//
+// Campaign execution is a two-tier supervision hierarchy:
+//
+//   - The in-process trial supervisor (supervisor.go, driven by Run)
+//     dispatches trials to a worker pool, bounds each trial with
+//     wall-clock and virtual-operation watchdogs, retries transient
+//     worker failures, checkpoints every finished trial to an
+//     append-only journal (journal.go), and fills resumed trials from a
+//     prior journal instead of re-running them.
+//
+//   - The process-level coordinator (cmd/hrmsim) spawns N worker
+//     processes, each running one shard of the trial index space, and
+//     watches the workers themselves: straggler detection by journal
+//     mtime, crashed-shard respawn with resume. The shard partitioning,
+//     manifest, and merge primitives it builds on live here (shard.go):
+//     ShardSpec splits [0, Trials) into contiguous ranges, ShardManifest
+//     ties a shard journal to its campaign via a config hash, and
+//     MergeShards folds a directory of shard journals back into one
+//     record set.
+//
+// Because trial i's generator derives only from (seed, i), every cut of
+// the index space — parallel workers, interrupt/resume, shards across
+// processes — reproduces the single-process result bit-identically; see
+// SHARDING.md at the repository root for the operator-facing contract.
+package core

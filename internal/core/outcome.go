@@ -1,9 +1,3 @@
-// Package core is the characterization engine — the paper's primary
-// contribution (Sections III and IV). It runs controlled error-injection
-// campaigns over applications built on simulated memory, classifies every
-// trial into the Fig. 1 outcome taxonomy, and aggregates crash
-// probabilities (with 90% confidence intervals), incorrect-result rates
-// per billion queries, and time-to-outcome distributions.
 package core
 
 import (

@@ -31,6 +31,7 @@ type supervisor struct {
 
 	progressMu sync.Mutex
 	start      time.Time
+	total      int
 	done       int
 	virtSum    time.Duration
 }
@@ -43,8 +44,18 @@ func (s *supervisor) run(ctx context.Context) (*CampaignResult, error) {
 	results := make([]TrialResult, cfg.Trials)
 	have := make([]bool, cfg.Trials)
 
+	// An unsharded campaign owns every index; a shard owns only its
+	// contiguous slice, and resume records outside it are ignored (they
+	// belong to sibling shards).
+	lo, hi := 0, cfg.Trials
+	if cfg.Shard != nil {
+		lo, hi = cfg.Shard.Range(cfg.Trials)
+	}
 	resumed := 0
 	for i, tr := range cfg.Resume {
+		if i < lo || i >= hi {
+			continue
+		}
 		tr.Index = i
 		results[i] = tr
 		have[i] = true
@@ -52,13 +63,14 @@ func (s *supervisor) run(ctx context.Context) (*CampaignResult, error) {
 		s.m.recordResumeSkip()
 	}
 	var toRun []int
-	for i := 0; i < cfg.Trials; i++ {
+	for i := lo; i < hi; i++ {
 		if !have[i] {
 			toRun = append(toRun, i)
 		}
 	}
 
 	s.start = time.Now()
+	s.total = hi - lo
 	s.done = resumed
 
 	idxCh := make(chan int)
@@ -259,14 +271,14 @@ func (s *supervisor) finished(tr TrialResult, wall time.Duration) {
 	}
 	info := ProgressInfo{
 		Done:                    s.done,
-		Total:                   s.cfg.Trials,
+		Total:                   s.total,
 		Elapsed:                 time.Since(s.start),
 		MeanTrialVirtualMinutes: s.virtSum.Minutes() / float64(s.done),
 	}
 	if info.Elapsed > 0 {
 		info.TrialsPerSec = float64(s.done) / info.Elapsed.Seconds()
 	}
-	if rem := s.cfg.Trials - s.done; rem > 0 && info.TrialsPerSec > 0 {
+	if rem := s.total - s.done; rem > 0 && info.TrialsPerSec > 0 {
 		info.ETA = time.Duration(float64(rem) / info.TrialsPerSec * float64(time.Second))
 	}
 	s.cfg.Progress(info)

@@ -19,11 +19,23 @@
 package obsv
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 )
+
+// LabeledName renders a metric name with one label pair appended in the
+// text-exposition form used throughout this module:
+// name{key="value"}. Labeled metrics are ordinary registry entries whose
+// name carries the label — lookup cost is the registry mutex, so they
+// belong on cold paths (abort reasons, per-shard supervision events),
+// not per-access hot loops. The label value is %q-quoted, so arbitrary
+// strings are safe.
+func LabeledName(name, key, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", name, key, value)
+}
 
 // Counter is a monotonically increasing atomic counter.
 type Counter struct {

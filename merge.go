@@ -1,0 +1,110 @@
+package hrmsim
+
+import (
+	"fmt"
+
+	"hrmsim/internal/core"
+	"hrmsim/internal/obsv"
+)
+
+// MergeConfig configures a cross-shard merge (the CLI's `hrmsim merge`).
+type MergeConfig struct {
+	// Dir is the shard directory: every *.manifest.json in it (and the
+	// journal each names) is merged. Required.
+	Dir string
+	// Metrics, if non-nil, receives merge instrumentation
+	// (merge_shards_total, merge_records_total,
+	// merge_duplicate_trials_total, merge_missing_trials_total; see
+	// OBSERVABILITY.md). Internal for the same reason as
+	// CharacterizeConfig.Metrics.
+	Metrics *obsv.Registry
+}
+
+// MergeShardInfo summarizes one input shard of a merge.
+type MergeShardInfo struct {
+	// Index / Count are the shard coordinates from its manifest.
+	Index, Count int
+	// TrialLo / TrialHi bound the shard's owned half-open trial range.
+	TrialLo, TrialHi int
+	// Journal is the shard's journal path.
+	Journal string
+	// Completed / Aborted / Interrupted echo the shard manifest's own
+	// accounting (what the shard recorded, before cross-shard dedup).
+	Completed   int
+	Aborted     int
+	Interrupted bool
+}
+
+// MergeInfo reports what a merge consumed and reconciled.
+type MergeInfo struct {
+	// ConfigHash is the campaign config hash every shard agreed on.
+	ConfigHash string
+	// Shards describes each merged shard in merge (ascending index) order.
+	Shards []MergeShardInfo
+	// Records is the number of distinct trials in the merged result;
+	// Duplicates counts records dropped by keep-first dedup; Missing
+	// counts campaign trial indices no shard recorded.
+	Records    int
+	Duplicates int
+	Missing    int
+}
+
+// MergeShards merges a directory of shard journals (written by sharded
+// `hrmsim characterize -shard i/N -manifest` runs) into one
+// Characterization, bit-identical to the single-process campaign except
+// for the run-shape bookkeeping: Parallelism is 0 (a merge has no worker
+// pool) and Resumed is 0 (per-shard resume counts are a property of the
+// shard runs, not the merged science). Shards must agree on the campaign
+// config hash; missing trials yield a partial result with Interrupted
+// set, not an error. The full contract is documented in SHARDING.md.
+func MergeShards(cfg MergeConfig) (*Characterization, *MergeInfo, error) {
+	if cfg.Dir == "" {
+		return nil, nil, fmt.Errorf("hrmsim: MergeConfig.Dir is required")
+	}
+	shards, err := core.LoadShardDir(cfg.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hrmsim: %w", err)
+	}
+	meta, trials, stats, err := core.MergeShards(shards)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hrmsim: %w", err)
+	}
+	spec, err := specFor(ErrorType(meta.Error))
+	if err != nil {
+		return nil, nil, err
+	}
+	res := core.ResultFromTrials(meta.App, spec, meta.Trials, trials)
+
+	info := &MergeInfo{
+		ConfigHash: shards[0].Manifest.ConfigHash,
+		Records:    stats.Records,
+		Duplicates: stats.Duplicates,
+		Missing:    stats.Missing,
+	}
+	for _, s := range shards {
+		info.Shards = append(info.Shards, MergeShardInfo{
+			Index:       s.Manifest.ShardIndex,
+			Count:       s.Manifest.ShardCount,
+			TrialLo:     s.Manifest.TrialLo,
+			TrialHi:     s.Manifest.TrialHi,
+			Journal:     s.JournalPath,
+			Completed:   s.Manifest.Completed,
+			Aborted:     s.Manifest.Aborted,
+			Interrupted: s.Manifest.Interrupted,
+		})
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("merge_shards_total").Add(int64(stats.Shards))
+		cfg.Metrics.Counter("merge_records_total").Add(int64(stats.Records))
+		cfg.Metrics.Counter("merge_duplicate_trials_total").Add(int64(stats.Duplicates))
+		cfg.Metrics.Counter("merge_missing_trials_total").Add(int64(stats.Missing))
+	}
+
+	out, err := newCharacterization(
+		App(meta.App), ErrorType(meta.Error), Region(meta.Region),
+		meta.Trials, 0, res)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, info, nil
+}

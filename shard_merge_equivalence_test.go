@@ -1,0 +1,148 @@
+package hrmsim
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hrmsim/internal/core"
+)
+
+// TestShardMergeEquivalence pins the tentpole guarantee of the sharding
+// subsystem: a campaign run as N worker shards (each journaling its
+// slice and writing a manifest) and merged back with MergeShards is
+// bit-identical to the single-process run, for every application, shard
+// count, and per-shard parallelism — modulo the run-shape bookkeeping
+// (Parallelism records the worker pool that happened to run, which a
+// merge does not have; a merged result reports 0).
+func TestShardMergeEquivalence(t *testing.T) {
+	for _, app := range Apps() {
+		base := CharacterizeConfig{
+			App:    app,
+			Error:  SoftSingleBit,
+			Size:   SizeSmall,
+			Trials: 30,
+			Seed:   13,
+		}
+		want, err := Characterize(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 4} {
+			for _, par := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s/shards=%d/par=%d", app, shards, par), func(t *testing.T) {
+					dir := t.TempDir()
+					for i := 0; i < shards; i++ {
+						cfg := base
+						cfg.Parallelism = par
+						cfg.ShardIndex, cfg.ShardCount = i, shards
+						cfg.JournalPath = filepath.Join(dir, core.ShardJournalName(i, shards))
+						cfg.ManifestPath = filepath.Join(dir, core.ShardManifestName(i, shards))
+						c, err := Characterize(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if c.Shard == nil || c.Shard.Index != i || c.Shard.Count != shards {
+							t.Fatalf("shard %d/%d: Shard = %+v", i, shards, c.Shard)
+						}
+						lo, hi := (core.ShardSpec{Index: i, Count: shards}).Range(base.Trials)
+						if c.Shard.TrialLo != lo || c.Shard.TrialHi != hi {
+							t.Fatalf("shard %d/%d: range [%d,%d), want [%d,%d)",
+								i, shards, c.Shard.TrialLo, c.Shard.TrialHi, lo, hi)
+						}
+						if c.Completed+c.Aborted != hi-lo {
+							t.Fatalf("shard %d/%d: %d results, want %d",
+								i, shards, c.Completed+c.Aborted, hi-lo)
+						}
+					}
+					got, info, err := MergeShards(MergeConfig{Dir: dir})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if info.Records != base.Trials || info.Missing != 0 || info.Duplicates != 0 {
+						t.Fatalf("merge info = %+v", info)
+					}
+					if len(info.Shards) != shards {
+						t.Fatalf("merged %d shards, want %d", len(info.Shards), shards)
+					}
+					// Bit-identical modulo run-shape bookkeeping.
+					wantCmp, gotCmp := *want, *got
+					gotCmp.Parallelism = wantCmp.Parallelism
+					if !reflect.DeepEqual(wantCmp, gotCmp) {
+						t.Errorf("merged result diverged from single-process run:\nsingle: %+v\nmerged: %+v",
+							wantCmp, gotCmp)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMergeShardsValidation covers the facade's merge error paths.
+func TestMergeShardsValidation(t *testing.T) {
+	if _, _, err := MergeShards(MergeConfig{}); err == nil {
+		t.Error("want error for missing Dir")
+	}
+	if _, _, err := MergeShards(MergeConfig{Dir: t.TempDir()}); err == nil {
+		t.Error("want error for empty shard directory")
+	}
+}
+
+// TestCharacterizeShardValidation covers the facade's shard config
+// error paths.
+func TestCharacterizeShardValidation(t *testing.T) {
+	base := CharacterizeConfig{App: AppKVStore, Size: SizeSmall, Trials: 10, Seed: 1}
+
+	cfg := base
+	cfg.ShardIndex, cfg.ShardCount = 2, 2
+	if _, err := Characterize(cfg); err == nil {
+		t.Error("want error for shard index out of range")
+	}
+
+	cfg = base
+	cfg.ShardIndex = 1 // no ShardCount
+	if _, err := Characterize(cfg); err == nil {
+		t.Error("want error for ShardIndex without ShardCount")
+	}
+
+	cfg = base
+	cfg.ManifestPath = filepath.Join(t.TempDir(), "m.json")
+	if _, err := Characterize(cfg); err == nil {
+		t.Error("want error for ManifestPath without JournalPath")
+	}
+}
+
+// TestUnshardedManifest: a plain single-process run with a manifest
+// writes a 0/1 manifest, so its journal is consumable by MergeShards
+// like any shard set.
+func TestUnshardedManifest(t *testing.T) {
+	dir := t.TempDir()
+	cfg := CharacterizeConfig{
+		App:          AppKVStore,
+		Size:         SizeSmall,
+		Trials:       20,
+		Seed:         4,
+		JournalPath:  filepath.Join(dir, core.ShardJournalName(0, 1)),
+		ManifestPath: filepath.Join(dir, core.ShardManifestName(0, 1)),
+	}
+	want, err := Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Shard != nil {
+		t.Fatalf("unsharded run reported Shard = %+v", want.Shard)
+	}
+	got, info, err := MergeShards(MergeConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards[0].Index != 0 || info.Shards[0].Count != 1 {
+		t.Fatalf("manifest coordinates = %d/%d, want 0/1", info.Shards[0].Index, info.Shards[0].Count)
+	}
+	wantCmp, gotCmp := *want, *got
+	gotCmp.Parallelism = wantCmp.Parallelism
+	if !reflect.DeepEqual(wantCmp, gotCmp) {
+		t.Errorf("merge of the 0/1 manifest diverged:\nrun:    %+v\nmerged: %+v", wantCmp, gotCmp)
+	}
+}
