@@ -1,0 +1,161 @@
+// Command benchgate compares the campaign throughput (the trials/s
+// metric BenchmarkCampaignLifecycle reports) between a committed
+// baseline capture and a fresh run, and fails when the current numbers
+// regress beyond a threshold — the regression ratchet scripts/
+// bench_compare.sh wires into CI.
+//
+// Both inputs are `go test -json` event streams (what scripts/bench.sh
+// writes as the dated BENCH_*.json files). Hand-written summary
+// documents (pretty-printed JSON, no go-test events) parse to zero
+// benchmarks and are rejected as baselines, so the ratchet can only be
+// anchored to a real capture.
+//
+//	benchgate -baseline BENCH_2026-08-06-fastpath.json -current /tmp/now.json
+//	benchgate ... -threshold 0.5   # tolerate up to a 50% drop
+//	benchgate ... -bench BenchmarkCampaignLifecycle/fresh
+//
+// Exit status: 0 when every benchmark common to both captures is
+// within threshold, 1 on any regression or unusable input.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// trialsPerSecRe extracts the custom trials/s metric from a benchmark
+// result line ("... 22.49 trials/s ...").
+var trialsPerSecRe = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)\s+trials/s`)
+
+// event is the subset of a `go test -json` stream record the gate
+// reads. The benchmark name line and its numbers arrive as separate
+// consecutive Output events, but both carry the Test field, so keying
+// on Test sidesteps the join entirely.
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// parseBenchFile extracts benchmark → trials/s from a go test -json
+// stream. Non-JSONL files (or streams without benchmark output) yield
+// an empty map, never an error: the caller decides whether empty is
+// fatal. A benchmark reported more than once keeps the last value.
+func parseBenchFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // not a go-test event stream line (e.g. a hand-written summary doc)
+		}
+		if ev.Action != "output" || ev.Test == "" {
+			continue
+		}
+		m := trialsPerSecRe.FindStringSubmatch(ev.Output)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			continue
+		}
+		out[ev.Test] = v
+	}
+	return out, sc.Err()
+}
+
+// regression is one benchmark whose current throughput fell beyond the
+// threshold.
+type regression struct {
+	Name              string
+	Baseline, Current float64
+	Drop              float64 // fractional drop, e.g. 0.25 = 25% slower
+}
+
+// compare evaluates every benchmark present in both captures whose
+// name starts with prefix. It returns the regressions and the names
+// compared (sorted), so the caller can render a full table.
+func compare(baseline, current map[string]float64, prefix string, threshold float64) (regs []regression, compared []string) {
+	for name, base := range baseline {
+		if !strings.HasPrefix(name, prefix) || base <= 0 {
+			continue
+		}
+		cur, ok := current[name]
+		if !ok {
+			continue
+		}
+		compared = append(compared, name)
+		if drop := 1 - cur/base; drop > threshold {
+			regs = append(regs, regression{Name: name, Baseline: base, Current: cur, Drop: drop})
+		}
+	}
+	sort.Strings(compared)
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	return regs, compared
+}
+
+func run() error {
+	baselinePath := flag.String("baseline", "", "committed go test -json capture to ratchet against (required)")
+	currentPath := flag.String("current", "", "fresh go test -json capture to check (required)")
+	threshold := flag.Float64("threshold", 0.10, "maximum tolerated fractional trials/s drop (0.10 = 10%)")
+	prefix := flag.String("bench", "BenchmarkCampaignLifecycle", "benchmark name prefix to compare")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		return fmt.Errorf("both -baseline and -current are required")
+	}
+	baseline, err := parseBenchFile(*baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	current, err := parseBenchFile(*currentPath)
+	if err != nil {
+		return fmt.Errorf("reading current capture: %w", err)
+	}
+	if len(baseline) == 0 {
+		return fmt.Errorf("baseline %s holds no trials/s benchmark events (hand-written summary? pick a scripts/bench.sh capture)", *baselinePath)
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("current capture %s holds no trials/s benchmark events", *currentPath)
+	}
+	regs, compared := compare(baseline, current, *prefix, *threshold)
+	if len(compared) == 0 {
+		return fmt.Errorf("no %s* benchmarks common to both captures", *prefix)
+	}
+	for _, name := range compared {
+		delta := 100 * (current[name]/baseline[name] - 1)
+		fmt.Printf("%-50s %10.1f -> %10.1f trials/s  (%+.1f%%)\n",
+			name, baseline[name], current[name], delta)
+	}
+	if len(regs) > 0 {
+		fmt.Printf("\nbenchgate: %d benchmark(s) regressed more than %.0f%% vs %s:\n",
+			len(regs), *threshold*100, *baselinePath)
+		for _, r := range regs {
+			fmt.Printf("  %s: %.1f -> %.1f trials/s (-%.1f%%)\n", r.Name, r.Baseline, r.Current, r.Drop*100)
+		}
+		return fmt.Errorf("throughput regression beyond %.0f%%", *threshold*100)
+	}
+	fmt.Printf("\nbenchgate: %d benchmark(s) within %.0f%% of %s\n", len(compared), *threshold*100, *baselinePath)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

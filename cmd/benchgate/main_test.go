@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFile writes a fixture capture and returns its path.
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// A realistic go test -json fragment: the benchmark name line and its
+// numbers are separate consecutive Output events, both tagged with the
+// Test field.
+const captureFmt = `{"Time":"2026-08-06T12:05:32Z","Action":"run","Package":"hrmsim","Test":"BenchmarkCampaignLifecycle/fresh"}
+{"Time":"2026-08-06T12:05:33Z","Action":"output","Package":"hrmsim","Test":"BenchmarkCampaignLifecycle/fresh","Output":"BenchmarkCampaignLifecycle/fresh             \t"}
+{"Time":"2026-08-06T12:05:33Z","Action":"output","Package":"hrmsim","Test":"BenchmarkCampaignLifecycle/fresh","Output":"       1\t 711479310 ns/op\t        %s trials/s\t38464864 B/op\t   70017 allocs/op\n"}
+{"Time":"2026-08-06T12:05:34Z","Action":"output","Package":"hrmsim","Test":"BenchmarkCampaignLifecycle/resume","Output":"       1\t 500000000 ns/op\t        %s trials/s\n"}
+{"Time":"2026-08-06T12:05:34Z","Action":"output","Package":"hrmsim","Test":"BenchmarkOther","Output":"       1\t 1000 ns/op\t        999.0 trials/s\n"}
+{"Time":"2026-08-06T12:05:35Z","Action":"pass","Package":"hrmsim"}
+`
+
+func capture(t *testing.T, name, fresh, resume string) string {
+	t.Helper()
+	return writeFile(t, name, fmt.Sprintf(captureFmt, fresh, resume))
+}
+
+func TestParseBenchFile(t *testing.T) {
+	p := capture(t, "base.json", "22.49", "30.00")
+	got, err := parseBenchFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkCampaignLifecycle/fresh":  22.49,
+		"BenchmarkCampaignLifecycle/resume": 30.00,
+		"BenchmarkOther":                    999.0,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+// TestParseBenchFileHandWrittenSummary: a pretty-printed JSON document
+// (like BENCH_2026-08-08-sharding.json) is not an event stream and
+// parses to zero benchmarks — which the gate then rejects as a
+// baseline instead of comparing garbage.
+func TestParseBenchFileHandWrittenSummary(t *testing.T) {
+	p := writeFile(t, "summary.json", `{
+  "date": "2026-08-08",
+  "runs": [
+    {"mode": "single-process", "trials_per_second": 3268.0}
+  ]
+}
+`)
+	got, err := parseBenchFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("hand-written summary parsed to %v, want empty", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := map[string]float64{
+		"BenchmarkCampaignLifecycle/fresh":  100,
+		"BenchmarkCampaignLifecycle/resume": 50,
+		"BenchmarkOther":                    999, // outside the prefix: ignored
+	}
+	current := map[string]float64{
+		"BenchmarkCampaignLifecycle/fresh":  95, // -5%: within a 10% ratchet
+		"BenchmarkCampaignLifecycle/resume": 40, // -20%: regression
+		"BenchmarkOther":                    1,
+	}
+	regs, compared := compare(baseline, current, "BenchmarkCampaignLifecycle", 0.10)
+	if len(compared) != 2 {
+		t.Fatalf("compared %v, want the two lifecycle benchmarks", compared)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkCampaignLifecycle/resume" {
+		t.Fatalf("regressions = %+v, want only resume", regs)
+	}
+	if regs[0].Drop < 0.19 || regs[0].Drop > 0.21 {
+		t.Errorf("resume drop = %v, want ~0.20", regs[0].Drop)
+	}
+
+	// The relaxed threshold tolerates the same capture.
+	regs, _ = compare(baseline, current, "BenchmarkCampaignLifecycle", 0.50)
+	if len(regs) != 0 {
+		t.Errorf("relaxed threshold still flags %+v", regs)
+	}
+
+	// Improvements never trip the gate.
+	better := map[string]float64{
+		"BenchmarkCampaignLifecycle/fresh":  200,
+		"BenchmarkCampaignLifecycle/resume": 51,
+	}
+	regs, _ = compare(baseline, better, "BenchmarkCampaignLifecycle", 0.10)
+	if len(regs) != 0 {
+		t.Errorf("improvement flagged as regression: %+v", regs)
+	}
+}
+
+// TestCompareAgainstCommittedCapture anchors the parser to the real
+// committed baseline format: the latest event-stream BENCH file must
+// yield the lifecycle benchmarks the ratchet keys on.
+func TestCompareAgainstCommittedCapture(t *testing.T) {
+	got, err := parseBenchFile("../../BENCH_2026-08-06-fastpath.json")
+	if err != nil {
+		t.Skipf("committed capture unavailable: %v", err)
+	}
+	found := false
+	for name, v := range got {
+		if v > 0 && len(name) >= len("BenchmarkCampaignLifecycle") &&
+			name[:len("BenchmarkCampaignLifecycle")] == "BenchmarkCampaignLifecycle" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no BenchmarkCampaignLifecycle trials/s in committed capture; parsed %v", got)
+	}
+}

@@ -4,9 +4,10 @@
 // process-level tier of the supervision hierarchy: the in-process
 // supervisor (internal/core) watches trials inside one worker, the
 // coordinator watches the workers themselves — straggler warnings from
-// journal growth, crashed-shard respawn with -resume — and hands the
-// surviving journals to the merge. SHARDING.md documents the operator
-// contract.
+// heartbeat age (journal growth as the fallback), crashed-shard respawn
+// with -resume, the live fleet view tailed from the workers' status
+// records — and hands the surviving journals to the merge. SHARDING.md
+// documents the operator contract; OBSERVABILITY.md the status schema.
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -42,10 +44,23 @@ type coordinatorConfig struct {
 	// Dir receives the shard journal/manifest pairs; empty means a fresh
 	// temporary directory, removed again after a complete merge.
 	Dir string
-	// StragglerAfter is the journal-staleness threshold for straggler
-	// warnings (0 = off); MaxRespawns bounds per-shard crash respawns.
+	// StragglerAfter is the staleness threshold for straggler warnings
+	// (0 = off): a shard whose heartbeat record — or, for workers
+	// without one, whose journal — has not advanced for this long is
+	// reported. MaxRespawns bounds per-shard crash respawns.
 	StragglerAfter time.Duration
 	MaxRespawns    int
+
+	// StatusAddr, if non-empty, serves the live fleet view over HTTP
+	// (/statusz, merged /metrics, /healthz, pprof); consumed by
+	// runCoordinatorCmd, not runCoordinator.
+	StatusAddr string
+	// FleetSink, if non-nil, receives the fleet aggregate the
+	// coordinator tails from the shard heartbeat records: once per
+	// supervision tick while workers run (skipping ticks where no shard
+	// has reported yet), and once more with the final records after the
+	// last worker exits. Calls are serialized.
+	FleetSink func(*hrmsim.FleetStatus)
 
 	Metrics *obsv.Registry
 	// Launch overrides how workers are started (tests run shards
@@ -59,6 +74,9 @@ type coordinatorConfig struct {
 type shardTask struct {
 	Index, Count      int
 	Journal, Manifest string
+	// Status is the worker's heartbeat record path (see
+	// core.ShardStatus); the coordinator tails these into the fleet view.
+	Status string
 	// Resume makes the worker skip trials its journal already records
 	// (set on respawn after a crash).
 	Resume bool
@@ -91,6 +109,9 @@ func processLauncher(cfg coordinatorConfig, log io.Writer) shardLauncher {
 			"-shard", fmt.Sprintf("%d/%d", task.Index, task.Count),
 			"-journal", task.Journal,
 			"-manifest", task.Manifest,
+		}
+		if task.Status != "" {
+			args = append(args, "-status", task.Status)
 		}
 		if cfg.Parallelism > 0 {
 			args = append(args, "-parallelism", strconv.Itoa(cfg.Parallelism))
@@ -186,6 +207,7 @@ func runCoordinator(ctx context.Context, cfg coordinatorConfig) (*coordinatorOut
 			Count:    cfg.Shards,
 			Journal:  filepath.Join(dir, core.ShardJournalName(i, cfg.Shards)),
 			Manifest: filepath.Join(dir, core.ShardManifestName(i, cfg.Shards)),
+			Status:   filepath.Join(dir, core.ShardStatusName(i, cfg.Shards)),
 		}
 		if err := start(i, false); err != nil {
 			return nil, err
@@ -195,6 +217,18 @@ func runCoordinator(ctx context.Context, cfg coordinatorConfig) (*coordinatorOut
 		running++
 	}
 	fmt.Fprintf(logw, "coordinator: %d shards of %d trials running in %s\n", cfg.Shards, cfg.Trials, dir)
+
+	// loadFleet tails the shard heartbeat records into the fleet
+	// aggregate. Nil means "no view this tick": before the first
+	// heartbeat (ErrNoStatus) or when the directory is unreadable — the
+	// journal-mtime straggler fallback still covers that case.
+	loadFleet := func() *hrmsim.FleetStatus {
+		fs, err := hrmsim.LoadFleetStatus(dir)
+		if err != nil {
+			return nil
+		}
+		return fs
+	}
 
 	tick := time.NewTicker(time.Second)
 	defer tick.Stop()
@@ -235,26 +269,41 @@ func runCoordinator(ctx context.Context, cfg coordinatorConfig) (*coordinatorOut
 					e.shard, cfg.Shards, done, cfg.Shards)
 			}
 		case <-tick.C:
+			if cfg.FleetSink == nil && cfg.StragglerAfter <= 0 {
+				continue
+			}
+			fleet := loadFleet()
+			if fleet != nil && cfg.FleetSink != nil {
+				cfg.FleetSink(fleet)
+			}
 			if cfg.StragglerAfter <= 0 {
 				continue
 			}
 			now := time.Now()
+			heartbeats := make(map[int]time.Time)
+			if fleet != nil {
+				for _, sh := range fleet.Shards {
+					heartbeats[sh.Index] = sh.UpdatedAt
+				}
+			}
 			for i := 0; i < cfg.Shards; i++ {
 				if !alive[i] {
 					continue
 				}
-				// A shard making progress appends to its journal every
-				// trial; a stale mtime means it is wedged or starved.
-				last := lastWarn[i]
-				if st, err := os.Stat(tasks[i].Journal); err == nil && st.ModTime().After(last) {
-					last = st.ModTime()
-				}
+				hb, ok := heartbeats[i]
+				last, detail := shardLiveness(now, lastWarn[i], hb, ok, tasks[i].Journal)
 				if now.Sub(last) >= cfg.StragglerAfter {
-					fmt.Fprintf(logw, "coordinator: shard %d/%d is straggling — journal %s unchanged for %s\n",
-						i, cfg.Shards, tasks[i].Journal, now.Sub(last).Round(time.Second))
+					fmt.Fprintf(logw, "coordinator: shard %d/%d is straggling — %s\n", i, cfg.Shards, detail)
 					lastWarn[i] = now
 				}
 			}
+		}
+	}
+	// The last worker's final record (Running=false) may land after the
+	// last tick; deliver the settled fleet view once more.
+	if cfg.FleetSink != nil {
+		if fleet := loadFleet(); fleet != nil {
+			cfg.FleetSink(fleet)
 		}
 	}
 
@@ -270,14 +319,67 @@ func runCoordinator(ctx context.Context, cfg coordinatorConfig) (*coordinatorOut
 	return out, nil
 }
 
-// runCoordinatorCmd is the CLI wrapper: signal handling, metrics, and
-// rendering around runCoordinator.
+// shardLiveness derives a live shard's last-progress instant and a
+// log-ready diagnosis. The heartbeat record is the primary signal (a
+// healthy worker refreshes it on every throttled trial completion); a
+// worker without one falls back to journal growth, and a worker with
+// neither artifact has not finished a single trial yet — its own
+// diagnosis, reported explicitly instead of a misleading staleness age.
+// floor is the last instant the shard was known live (spawn or the
+// previous warning), so warnings repeat at the straggler period rather
+// than every tick.
+func shardLiveness(now, floor time.Time, heartbeat time.Time, hasHeartbeat bool, journal string) (last time.Time, detail string) {
+	last = floor
+	if hasHeartbeat {
+		if heartbeat.After(last) {
+			last = heartbeat
+		}
+		return last, fmt.Sprintf("last heartbeat %s ago", now.Sub(heartbeat).Round(time.Second))
+	}
+	st, err := os.Stat(journal)
+	switch {
+	case err == nil:
+		if st.ModTime().After(last) {
+			last = st.ModTime()
+		}
+		return last, fmt.Sprintf("no heartbeat; journal %s unchanged for %s",
+			journal, now.Sub(st.ModTime()).Round(time.Second))
+	case os.IsNotExist(err):
+		return last, "no heartbeat and no journal yet — the worker has not finished a single trial"
+	default:
+		return last, fmt.Sprintf("no heartbeat; journal %s unreadable: %v", journal, err)
+	}
+}
+
+// runCoordinatorCmd is the CLI wrapper: signal handling, metrics, the
+// status HTTP server, the aggregate progress line, and rendering
+// around runCoordinator.
 func runCoordinatorCmd(cfg coordinatorConfig, jsonOut, progress bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	reg := obsv.NewRegistry()
 	cfg.Metrics = reg
-	_ = progress // shard workers own the trial loop; supervision lines on stderr are the coordinator's progress
+	// Fan the tailed fleet view out to every consumer: the status
+	// server's atomic snapshot and, with -progress, the aggregate
+	// one-line progress renderer (runCoordinator serializes the calls).
+	var fleet atomic.Pointer[hrmsim.FleetStatus]
+	sinks := []func(*hrmsim.FleetStatus){func(fs *hrmsim.FleetStatus) { fleet.Store(fs) }}
+	if progress {
+		sinks = append(sinks, fleetProgressSink(os.Stderr))
+	}
+	cfg.FleetSink = func(fs *hrmsim.FleetStatus) {
+		for _, sink := range sinks {
+			sink(fs)
+		}
+	}
+	if cfg.StatusAddr != "" {
+		shutdown, addr, err := startStatusServer(cfg.StatusAddr, fleet.Load, reg)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "coordinator: status on http://%s/statusz\n", addr)
+	}
 	out, err := runCoordinator(ctx, cfg)
 	if err != nil {
 		return err

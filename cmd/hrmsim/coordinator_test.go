@@ -47,6 +47,12 @@ func inProcessLauncher(t *testing.T, cfg coordinatorConfig, crashOnce map[int]bo
 			JournalPath:  task.Journal,
 			ManifestPath: task.Manifest,
 		}
+		if task.Status != "" {
+			// Mirror the real worker: a status-writing run carries a
+			// registry so heartbeats embed metrics snapshots.
+			ccfg.StatusPath = task.Status
+			ccfg.Metrics = obsv.NewRegistry()
+		}
 		if task.Resume {
 			ccfg.ResumePath = task.Journal
 		}

@@ -7,8 +7,9 @@
 //
 //	hrmsim characterize -app websearch -error hard-1bit -region stack -trials 400
 //	hrmsim characterize -app kvstore -trials 1000000 -shard 3/8 -journal shards/shard-0003-of-0008.jsonl
-//	hrmsim characterize -app kvstore -trials 1000000 -coordinator -shards 8
+//	hrmsim characterize -app kvstore -trials 1000000 -coordinator -shards 8 -status-addr :8080
 //	hrmsim merge -dir shards/
+//	hrmsim status shards/ -watch
 //	hrmsim profile -app websearch -watchpoints 600
 //	hrmsim designspace
 //	hrmsim plan -target 0.999
@@ -17,12 +18,18 @@
 //	hrmsim tables [-t fig3] [-trials 400]
 //
 // characterize runs a campaign whole, as one shard of a multi-process
-// campaign (-shard i/N, emitting a journal plus a shard manifest), or as
-// a coordinator (-coordinator -shards N) that spawns one worker process
-// per shard, supervises them (straggler warnings by journal mtime,
-// crash respawn with -resume), and auto-merges the shards on completion.
-// merge folds a directory of shard journal/manifest pairs into a result
-// bit-identical to the single-process run; SHARDING.md is the contract.
+// campaign (-shard i/N, emitting a journal plus a shard manifest, and
+// with -status a heartbeat record for the control plane), or as a
+// coordinator (-coordinator -shards N) that spawns one worker process
+// per shard, supervises them (straggler warnings by heartbeat age with
+// a journal-mtime fallback, crash respawn with -resume), aggregates the
+// heartbeats into a live fleet view (-status-addr serves it at /statusz
+// with merged /metrics, /healthz, and pprof), and auto-merges the
+// shards on completion. merge folds a directory of shard
+// journal/manifest pairs into a result bit-identical to the
+// single-process run; status renders the fleet view of a live or
+// finished campaign directory from any shell (-watch to follow).
+// SHARDING.md is the operator contract.
 //
 // Every subcommand accepts -json, which replaces the rendered text on
 // stdout with one machine-readable JSON document under the versioned

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"hrmsim"
 	"hrmsim/internal/evtrace"
@@ -115,6 +116,103 @@ func withMerged(info *hrmsim.MergeInfo) envelopeOption {
 		}
 		e.Merged = m
 	}
+}
+
+// fleetStatusJSON is the `status -json` (and coordinator /statusz)
+// result: the cross-shard aggregate of a campaign directory's
+// heartbeat records plus every shard's latest record.
+type fleetStatusJSON struct {
+	ConfigHash string `json:"config_hash"`
+	App        string `json:"app"`
+	Error      string `json:"error"`
+	Region     string `json:"region"` // "" = all regions
+	Trials     int    `json:"trials"`
+	Seed       int64  `json:"seed"`
+	// Done/Total and the disposition counts are sums over the shards
+	// that have reported (Total < Trials while shards are registering).
+	Done      int `json:"done"`
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Aborted   int `json:"aborted,omitempty"`
+	Resumed   int `json:"resumed,omitempty"`
+	// Outcomes sums the per-shard Fig. 1 taxonomy counts so far.
+	Outcomes     map[string]int `json:"outcomes"`
+	TrialsPerSec float64        `json:"trials_per_sec,omitempty"`
+	EtaSeconds   float64        `json:"eta_seconds,omitempty"`
+	// Running / Interrupted count shards in each state.
+	Running     int               `json:"running"`
+	Interrupted int               `json:"interrupted,omitempty"`
+	Shards      []shardStatusJSON `json:"shards"`
+}
+
+// shardStatusJSON is one shard's latest heartbeat in the fleet view.
+type shardStatusJSON struct {
+	Index          int            `json:"index"`
+	Count          int            `json:"count"`
+	TrialLo        int            `json:"trial_lo"`
+	TrialHi        int            `json:"trial_hi"`
+	Done           int            `json:"done"`
+	Total          int            `json:"total"`
+	Completed      int            `json:"completed"`
+	Aborted        int            `json:"aborted,omitempty"`
+	Resumed        int            `json:"resumed,omitempty"`
+	Outcomes       map[string]int `json:"outcomes"`
+	TrialsPerSec   float64        `json:"trials_per_sec,omitempty"`
+	EtaSeconds     float64        `json:"eta_seconds,omitempty"`
+	ElapsedSeconds float64        `json:"elapsed_seconds,omitempty"`
+	Running        bool           `json:"running"`
+	Interrupted    bool           `json:"interrupted,omitempty"`
+	// UpdatedUnixNs is the heartbeat instant; AgeSeconds its age at
+	// render time — the liveness signal straggler detection keys on.
+	UpdatedUnixNs int64   `json:"updated_unix_ns"`
+	AgeSeconds    float64 `json:"age_seconds"`
+}
+
+func toFleetJSON(fs *hrmsim.FleetStatus, now time.Time) fleetStatusJSON {
+	out := fleetStatusJSON{
+		ConfigHash:   fs.ConfigHash,
+		App:          string(fs.App),
+		Error:        string(fs.Error),
+		Region:       string(fs.Region),
+		Trials:       fs.Trials,
+		Seed:         fs.Seed,
+		Done:         fs.Done,
+		Total:        fs.Total,
+		Completed:    fs.Completed,
+		Aborted:      fs.Aborted,
+		Resumed:      fs.Resumed,
+		Outcomes:     fs.Outcomes,
+		TrialsPerSec: fs.TrialsPerSec,
+		EtaSeconds:   fs.ETA.Seconds(),
+		Running:      fs.Running,
+		Interrupted:  fs.Interrupted,
+		Shards:       []shardStatusJSON{},
+	}
+	if out.Outcomes == nil {
+		out.Outcomes = map[string]int{}
+	}
+	for _, sh := range fs.Shards {
+		out.Shards = append(out.Shards, shardStatusJSON{
+			Index:          sh.Index,
+			Count:          sh.Count,
+			TrialLo:        sh.TrialLo,
+			TrialHi:        sh.TrialHi,
+			Done:           sh.Done,
+			Total:          sh.Total,
+			Completed:      sh.Completed,
+			Aborted:        sh.Aborted,
+			Resumed:        sh.Resumed,
+			Outcomes:       sh.Outcomes,
+			TrialsPerSec:   sh.TrialsPerSec,
+			EtaSeconds:     sh.ETA.Seconds(),
+			ElapsedSeconds: sh.Elapsed.Seconds(),
+			Running:        sh.Running,
+			Interrupted:    sh.Interrupted,
+			UpdatedUnixNs:  sh.UpdatedAt.UnixNano(),
+			AgeSeconds:     sh.Age(now).Seconds(),
+		})
+	}
+	return out
 }
 
 // traceJSON is the envelope's event-tracing section.

@@ -34,6 +34,8 @@ func run(args []string) error {
 		return cmdCharacterize(args[1:])
 	case "merge":
 		return cmdMerge(args[1:])
+	case "status":
+		return cmdStatus(args[1:])
 	case "profile":
 		return cmdProfile(args[1:])
 	case "designspace":
@@ -64,6 +66,8 @@ Subcommands:
   characterize  run an error-injection campaign against an application
                 (whole, one shard of it, or as a multi-process coordinator)
   merge         merge a directory of shard journals into one campaign result
+  status        render the live (or final) fleet view from a campaign
+                directory's shard heartbeat records
   profile       measure safe ratios and data recoverability
   designspace   evaluate the paper's five design points (Table 6)
   plan          search for the cheapest design meeting an availability target
@@ -140,8 +144,11 @@ func cmdCharacterize(args []string) error {
 	coordinator := fs.Bool("coordinator", false, "coordinator mode: spawn -shards local worker processes, supervise them (straggler warnings, crashed-shard respawn with -resume), and merge their journals (SHARDING.md)")
 	shardCount := fs.Int("shards", 0, "number of shard worker processes to spawn (coordinator mode)")
 	shardDir := fs.String("shard-dir", "", "directory for shard journals and manifests (coordinator mode; default: a fresh temporary directory, removed on success)")
-	stragglerAfter := fs.Duration("straggler-after", 30*time.Second, "warn when a running shard's journal has not grown for this long (coordinator mode; 0 = off)")
+	stragglerAfter := fs.Duration("straggler-after", 30*time.Second, "warn when a running shard's heartbeat (or, lacking one, its journal) has not advanced for this long (coordinator mode; 0 = off)")
 	shardRespawns := fs.Int("shard-respawns", 2, "respawn a crashed shard, resuming its journal, at most this many times (coordinator mode)")
+	statusPath := fs.String("status", "", "write a shard status/heartbeat record (JSON, atomically replaced) to this file: an initial record, throttled per-trial refreshes, and a final record (schema: OBSERVABILITY.md; view with `hrmsim status`)")
+	statusInterval := fs.Duration("status-interval", 0, "minimum interval between heartbeat refreshes (0 = the 1s default)")
+	statusAddr := fs.String("status-addr", "", "serve the live fleet view on this HTTP address: /statusz, merged /metrics, /healthz, /debug/pprof (coordinator mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,8 +160,8 @@ func cmdCharacterize(args []string) error {
 		if *shardFlag != "" {
 			return fmt.Errorf("-coordinator and -shard are mutually exclusive (the coordinator assigns shards itself)")
 		}
-		if *journalPath != "" || *resumePath != "" || *traceFile != "" {
-			return fmt.Errorf("-coordinator manages its own shard journals; -journal, -resume, and -trace apply to single-process runs")
+		if *journalPath != "" || *resumePath != "" || *traceFile != "" || *statusPath != "" {
+			return fmt.Errorf("-coordinator manages its own shard journals and status records; -journal, -resume, -trace, and -status apply to single-process runs")
 		}
 		if *shardCount < 1 {
 			return fmt.Errorf("-coordinator requires -shards N with N >= 1")
@@ -173,10 +180,14 @@ func cmdCharacterize(args []string) error {
 			Dir:            *shardDir,
 			StragglerAfter: *stragglerAfter,
 			MaxRespawns:    *shardRespawns,
+			StatusAddr:     *statusAddr,
 		}, *jsonOut, *progress)
 	}
 	if *shardCount != 0 || *shardDir != "" {
 		return fmt.Errorf("-shards and -shard-dir require -coordinator (use -shard i/N to run one shard directly)")
+	}
+	if *statusAddr != "" {
+		return fmt.Errorf("-status-addr requires -coordinator (use -status to heartbeat a single-process or shard run)")
 	}
 	// SIGINT/SIGTERM cancel the campaign context: in-flight trials are
 	// drained and the partial result (marked interrupted) still comes
@@ -210,13 +221,15 @@ func cmdCharacterize(args []string) error {
 		}
 	}
 	cfg.ManifestPath = *manifestPath
+	cfg.StatusPath = *statusPath
+	cfg.StatusInterval = *statusInterval
 	if *progress {
 		cfg.Progress = progressFunc("characterize")
 	}
 	var reg *obsv.Registry
-	// The manifest embeds a metrics snapshot, so manifest-writing runs
-	// are instrumented even without -json.
-	if *jsonOut || cfg.ManifestPath != "" {
+	// The manifest and the status records embed metrics snapshots, so
+	// runs writing either are instrumented even without -json.
+	if *jsonOut || cfg.ManifestPath != "" || cfg.StatusPath != "" {
 		reg = obsv.NewRegistry()
 		cfg.Metrics = reg
 	}

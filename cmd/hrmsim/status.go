@@ -1,0 +1,264 @@
+// The campaign control plane's CLI surface: the coordinator's status
+// HTTP server (/statusz, merged /metrics, /healthz, pprof), the fleet
+// progress line, and the `hrmsim status` subcommand that renders the
+// same fleet view from any shell — against a live campaign (workers
+// still heartbeating) or a dead one (final records only). The on-disk
+// heartbeat contract the view is built from is documented in
+// OBSERVABILITY.md; the operator workflow in SHARDING.md.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"hrmsim"
+	"hrmsim/internal/obsv"
+)
+
+// startStatusServer serves the coordinator's live fleet view on addr:
+// /statusz (the JSON envelope `hrmsim status -json` emits), /metrics
+// (the fleet's merged obsv snapshot plus the coordinator's own
+// registry, same encoders kvserve uses), /healthz, and the standard
+// pprof handlers. fleet returns the latest aggregate (nil before the
+// first heartbeat). The returned func shuts the server down, draining
+// in-flight requests briefly.
+func startStatusServer(addr string, fleet func() *hrmsim.FleetStatus, reg *obsv.Registry) (shutdown func(), boundAddr string, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("status listener: %w", err)
+	}
+	// Same posture as kvserve's metrics sidecar: long-lived and
+	// unauthenticated, so a slow client must not pin a connection
+	// forever; no WriteTimeout because pprof captures stream.
+	srv := &http.Server{
+		Handler:           statusMux(fleet, reg),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "coordinator: status server: %v\n", serr)
+		}
+	}()
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	return shutdown, ln.Addr().String(), nil
+}
+
+// statusMux builds the control-plane handler set.
+func statusMux(fleet func() *hrmsim.FleetStatus, reg *obsv.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		fs := fleet()
+		if fs == nil {
+			http.Error(w, "no shard status yet", http.StatusServiceUnavailable)
+			return
+		}
+		env := envelope{
+			SchemaVersion: schemaVersion,
+			Tool:          "hrmsim",
+			Command:       "status",
+			Result:        toFleetJSON(fs, time.Now()),
+			Metrics:       fs.Metrics,
+		}
+		b, err := json.MarshalIndent(env, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = w.Write(append(b, '\n'))
+	})
+	// /metrics merges the shards' heartbeat snapshots with the
+	// coordinator's own registry (spawn/respawn counters), so one scrape
+	// covers the whole fleet with the usual text/JSON negotiation.
+	mux.Handle("/metrics", obsv.SnapshotHandler(func() obsv.Snapshot {
+		snaps := []obsv.Snapshot{reg.Snapshot()}
+		if fs := fleet(); fs != nil && fs.Metrics != nil {
+			snaps = append(snaps, *fs.Metrics)
+		}
+		return obsv.MergeSnapshots(snaps...)
+	}))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// fleetProgressLine renders the one-line aggregate progress of a
+// sharded campaign, the coordinator-mode counterpart of progressFunc's
+// per-process line.
+func fleetProgressLine(fs *hrmsim.FleetStatus) string {
+	pct := 0
+	if fs.Trials > 0 {
+		pct = 100 * fs.Done / fs.Trials
+	}
+	line := fmt.Sprintf("characterize: %d/%d trials (%d%%) | %d shard(s) running",
+		fs.Done, fs.Trials, pct, fs.Running)
+	if fs.Running > 0 && fs.TrialsPerSec > 0 {
+		line += fmt.Sprintf(" | %.1f trials/s | ETA %s", fs.TrialsPerSec, fs.ETA.Round(time.Second))
+	}
+	return line
+}
+
+// fleetProgressSink returns a FleetSink that rewrites one stderr-style
+// progress line per delivery and finishes it with a newline when the
+// last shard's final record lands.
+func fleetProgressSink(w *os.File) func(*hrmsim.FleetStatus) {
+	finished := false
+	return func(fs *hrmsim.FleetStatus) {
+		if finished {
+			return
+		}
+		fmt.Fprintf(w, "\r%s", fleetProgressLine(fs))
+		if fs.Running == 0 {
+			fmt.Fprintln(w)
+			finished = true
+		}
+	}
+}
+
+// renderFleetStatus renders the full fleet view `hrmsim status` (and
+// -watch) prints: campaign identity, aggregate progress, dispositions,
+// the Fig. 1 outcome taxonomy so far, and one line per reporting shard
+// with its heartbeat age — the liveness signal straggler detection
+// keys on.
+func renderFleetStatus(fs *hrmsim.FleetStatus, now time.Time) string {
+	var b strings.Builder
+	region := string(fs.Region)
+	if region == "" {
+		region = "all regions"
+	}
+	fmt.Fprintf(&b, "Campaign: %s, %s errors, %s, %d trials, seed %d (config %.12s…)\n",
+		fs.App, fs.Error, region, fs.Trials, fs.Seed, fs.ConfigHash)
+	pct := 0
+	if fs.Trials > 0 {
+		pct = 100 * fs.Done / fs.Trials
+	}
+	shardCount := 0
+	if len(fs.Shards) > 0 {
+		shardCount = fs.Shards[0].Count
+	}
+	fmt.Fprintf(&b, "  fleet: %d/%d trials (%d%%) | %d/%d shard(s) reporting, %d running",
+		fs.Done, fs.Trials, pct, len(fs.Shards), shardCount, fs.Running)
+	if fs.Running > 0 && fs.TrialsPerSec > 0 {
+		fmt.Fprintf(&b, " | %.1f trials/s | ETA %s", fs.TrialsPerSec, fs.ETA.Round(time.Second))
+	}
+	if fs.Interrupted > 0 {
+		fmt.Fprintf(&b, " | %d interrupted", fs.Interrupted)
+	}
+	fmt.Fprintf(&b, "\n  dispositions: %d completed, %d aborted, %d resumed\n",
+		fs.Completed, fs.Aborted, fs.Resumed)
+	if len(fs.Outcomes) > 0 {
+		var keys []string
+		for k := range fs.Outcomes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("  outcomes:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, fs.Outcomes[k])
+		}
+		b.WriteString("\n")
+	}
+	for _, sh := range fs.Shards {
+		state := "running"
+		switch {
+		case sh.Interrupted:
+			state = "interrupted"
+		case !sh.Running:
+			state = "finished"
+		}
+		fmt.Fprintf(&b, "  shard %d/%d [%d,%d): %d/%d %s", sh.Index, sh.Count,
+			sh.TrialLo, sh.TrialHi, sh.Done, sh.Total, state)
+		if sh.Running && sh.TrialsPerSec > 0 {
+			fmt.Fprintf(&b, " | %.1f trials/s | ETA %s", sh.TrialsPerSec, sh.ETA.Round(time.Second))
+		}
+		fmt.Fprintf(&b, " | heartbeat %s ago\n", sh.Age(now).Round(time.Second))
+	}
+	return b.String()
+}
+
+// cmdStatus implements `hrmsim status <shard-dir>`: load the campaign
+// directory's shard heartbeat records, aggregate them, and render the
+// fleet view — once, or repeatedly with -watch until no shard is
+// running. It works identically against a live campaign (the workers
+// replace their records atomically, so every read is consistent) and a
+// finished or crashed one (final records, or whatever the last
+// heartbeats were).
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	dir := fs.String("dir", "", "campaign shard directory holding the *.status.json heartbeat records (may also be given as the positional argument)")
+	watch := fs.Bool("watch", false, "re-render every -interval until no shard is running (Ctrl-C to stop)")
+	interval := fs.Duration("interval", time.Second, "refresh period with -watch")
+	jsonOut := fs.Bool("json", false, "emit the fleet status as JSON (schema: OBSERVABILITY.md)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" && fs.NArg() == 1 {
+		*dir = fs.Arg(0)
+	}
+	if *dir == "" {
+		return fmt.Errorf("status: a campaign directory is required (-dir or positional)")
+	}
+	if *watch && *jsonOut {
+		return fmt.Errorf("status: -watch renders text; poll `hrmsim status -json` for machine consumption")
+	}
+	if !*watch {
+		fleet, err := hrmsim.LoadFleetStatus(*dir)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return emitJSON("status", false, toFleetJSON(fleet, time.Now()), fleet.Metrics, nil)
+		}
+		fmt.Print(renderFleetStatus(fleet, time.Now()))
+		return nil
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		fleet, err := hrmsim.LoadFleetStatus(*dir)
+		switch {
+		case errors.Is(err, hrmsim.ErrNoStatus):
+			fmt.Printf("status: waiting for the first shard heartbeat in %s\n", *dir)
+		case err != nil:
+			return err
+		default:
+			fmt.Print(renderFleetStatus(fleet, time.Now()))
+			if fleet.Running == 0 {
+				return nil
+			}
+			fmt.Println()
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+		}
+	}
+}

@@ -248,6 +248,18 @@ type CharacterizeConfig struct {
 	// writes a 0/1 manifest, making a single-process journal consumable
 	// by MergeShards too.
 	ManifestPath string
+	// StatusPath, if non-empty, periodically writes a schema-versioned
+	// shard heartbeat/status record to this file (atomic replace, see
+	// core.WriteStatus): shard coordinates, trials done/total,
+	// dispositions, rate and ETA, outcome counts so far, and the full
+	// Metrics snapshot. The coordinator's live /statusz and `hrmsim
+	// status` read these records; the final one (Running=false) makes a
+	// finished campaign directory render identically to a live one. The
+	// heartbeat/status contract is documented in OBSERVABILITY.md.
+	StatusPath string
+	// StatusInterval is the minimum spacing between status writes
+	// (default core.DefaultStatusInterval, 1s).
+	StatusInterval time.Duration
 }
 
 // ProgressInfo reports campaign progress to the Progress hook. Elapsed,
@@ -440,6 +452,34 @@ func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
 			}
 		}
 		ccfg.Journal = journal
+	}
+
+	if cfg.StatusPath != "" {
+		// The sink stamps the identity evidence only the facade knows
+		// (the supervisor fills shard coordinates and progress), then
+		// persists atomically. Write failures must never perturb the
+		// campaign — they are counted and the run moves on.
+		hash := core.ConfigHash(meta)
+		var writes, writeErrs *obsv.Counter
+		if cfg.Metrics != nil {
+			writes = cfg.Metrics.Counter("campaign_status_writes_total")
+			writeErrs = cfg.Metrics.Counter("campaign_status_write_errors_total")
+		}
+		statusPath := cfg.StatusPath
+		ccfg.StatusSink = func(st core.ShardStatus) {
+			st.ConfigHash = hash
+			st.Campaign = meta
+			if err := core.WriteStatus(statusPath, st); err != nil {
+				if writeErrs != nil {
+					writeErrs.Inc()
+				}
+				return
+			}
+			if writes != nil {
+				writes.Inc()
+			}
+		}
+		ccfg.StatusInterval = cfg.StatusInterval
 	}
 
 	ctx := cfg.Context

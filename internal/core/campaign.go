@@ -142,6 +142,18 @@ type CampaignConfig struct {
 	// (flushed per record), so an interrupted campaign can resume.
 	// Resumed trials are not re-journaled.
 	Journal *Journal
+	// StatusSink, if non-nil, periodically receives a ShardStatus
+	// heartbeat: progress, dispositions, outcome counts so far, rate and
+	// ETA, and the full Metrics snapshot. Emission is throttled to
+	// StatusInterval off the trial hot path — at most one record per
+	// interval, plus one initial record when the run starts and one
+	// final record (Running=false) when it ends. Calls are serialized;
+	// the sink typically persists the record (see WriteStatus) and must
+	// not block for long, since it runs between parallel trials.
+	StatusSink func(ShardStatus)
+	// StatusInterval is the minimum spacing between StatusSink
+	// heartbeats (default DefaultStatusInterval).
+	StatusInterval time.Duration
 }
 
 // Retry policy defaults (see CampaignConfig.MaxRetries / RetryBackoff).
@@ -313,15 +325,20 @@ func RunContext(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error
 		backoff = DefaultRetryBackoff
 	}
 
+	statusInterval := cfg.StatusInterval
+	if statusInterval <= 0 {
+		statusInterval = DefaultStatusInterval
+	}
 	s := &supervisor{
-		cfg:         cfg,
-		golden:      golden,
-		par:         par,
-		sb:          sb,
-		useSnapshot: useSnapshot,
-		maxRetries:  maxRetries,
-		backoff:     backoff,
-		m:           newCampaignMetrics(cfg.Metrics),
+		cfg:            cfg,
+		golden:         golden,
+		par:            par,
+		sb:             sb,
+		useSnapshot:    useSnapshot,
+		maxRetries:     maxRetries,
+		backoff:        backoff,
+		statusInterval: statusInterval,
+		m:              newCampaignMetrics(cfg.Metrics),
 	}
 	return s.run(ctx)
 }

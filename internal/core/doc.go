@@ -16,13 +16,17 @@
 //
 //   - The process-level coordinator (cmd/hrmsim) spawns N worker
 //     processes, each running one shard of the trial index space, and
-//     watches the workers themselves: straggler detection by journal
-//     mtime, crashed-shard respawn with resume. The shard partitioning,
-//     manifest, and merge primitives it builds on live here (shard.go):
-//     ShardSpec splits [0, Trials) into contiguous ranges, ShardManifest
-//     ties a shard journal to its campaign via a config hash, and
-//     MergeShards folds a directory of shard journals back into one
-//     record set.
+//     watches the workers themselves: straggler detection by heartbeat
+//     age (journal mtime as the fallback), crashed-shard respawn with
+//     resume. The shard partitioning, manifest, and merge primitives it
+//     builds on live here (shard.go): ShardSpec splits [0, Trials) into
+//     contiguous ranges, ShardManifest ties a shard journal to its
+//     campaign via a config hash, and MergeShards folds a directory of
+//     shard journals back into one record set. Each worker also
+//     maintains an atomically-replaced status record (status.go:
+//     ShardStatus, written via the supervisor's StatusSink hook off the
+//     hot path) that carries live progress, outcome counts, and a
+//     metrics snapshot — the heartbeat the control plane aggregates.
 //
 // Because trial i's generator derives only from (seed, i), every cut of
 // the index space — parallel workers, interrupt/resume, shards across

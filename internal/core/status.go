@@ -1,0 +1,185 @@
+// Shard heartbeat/status records: the campaign control plane's on-disk
+// contract. While a shard runs, its supervisor periodically emits a
+// ShardStatus — shard coordinates, trials done/total, dispositions,
+// throughput, ETA, outcome taxonomy counts so far, and a full obsv
+// registry snapshot — through the CampaignConfig.StatusSink hook. The
+// facade writes each record to a well-known file next to the shard's
+// journal (atomic temp-file + rename, the manifest's discipline), so
+// any observer — the coordinator's live /statusz, `hrmsim status`, or a
+// human with cat — can read a consistent view of a live or dead
+// campaign without touching the journal. The final record of a run has
+// Running=false, which is what lets `hrmsim status` render a finished
+// campaign directory identically to a live one.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"hrmsim/internal/obsv"
+)
+
+// StatusSchemaVersion identifies the shard status record schema,
+// versioned independently of the journal, manifest, and -json envelope.
+// The usual rule: renaming or reinterpreting a field bumps it, additions
+// do not.
+const StatusSchemaVersion = 1
+
+// StatusStream is the stream identifier in every status record.
+const StatusStream = "hrmsim-shard-status"
+
+// ShardStatus is one shard's heartbeat: a point-in-time progress record
+// the supervisor emits through CampaignConfig.StatusSink. The supervisor
+// fills every campaign-engine field; the facade stamps the identity
+// fields (ConfigHash, Campaign, shard coordinates) it alone knows, then
+// persists the record.
+type ShardStatus struct {
+	SchemaVersion int    `json:"schema_version"`
+	Stream        string `json:"stream"`
+	// ConfigHash / Campaign are the same identity evidence the shard
+	// manifest carries, so status files from different campaigns cannot
+	// be silently aggregated (stamped by the facade).
+	ConfigHash string      `json:"config_hash,omitempty"`
+	Campaign   JournalMeta `json:"campaign,omitempty"`
+	// ShardIndex / ShardCount are the shard coordinates; TrialLo/TrialHi
+	// is the owned half-open trial index range.
+	ShardIndex int `json:"shard_index"`
+	ShardCount int `json:"shard_count"`
+	TrialLo    int `json:"trial_lo"`
+	TrialHi    int `json:"trial_hi"`
+	// Done counts trials with a result so far (completed + aborted,
+	// including resumed records); Total is the shard's range size.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Dispositions: Completed trials reached Fig. 1 classification,
+	// Aborted ones were given up on, Resumed ones were merged from a
+	// previous run's journal (Resumed trials also count under their
+	// disposition).
+	Completed int `json:"completed"`
+	Aborted   int `json:"aborted,omitempty"`
+	Resumed   int `json:"resumed,omitempty"`
+	// Outcomes counts completed trials per Fig. 1 taxonomy label
+	// (Outcome.String() keys: "crash", "masked-by-overwrite", ...).
+	Outcomes map[string]int `json:"outcomes,omitempty"`
+	// TrialsPerSec / EtaSeconds / ElapsedSeconds mirror ProgressInfo,
+	// flattened to JSON-friendly units.
+	TrialsPerSec   float64 `json:"trials_per_sec,omitempty"`
+	EtaSeconds     float64 `json:"eta_seconds,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+	// Running is true on every heartbeat but the final one; Interrupted
+	// is set on the final record of a cancelled run.
+	Running     bool `json:"running"`
+	Interrupted bool `json:"interrupted,omitempty"`
+	// WallUnixNanos is the host wall-clock instant the record was
+	// assembled — the heartbeat timestamp observers age against.
+	WallUnixNanos int64 `json:"wall_unix_ns"`
+	// Metrics is the shard's full obsv registry snapshot at heartbeat
+	// time, merged fleet-wide by obsv.MergeSnapshots.
+	Metrics *obsv.Snapshot `json:"metrics,omitempty"`
+}
+
+// DefaultStatusInterval is the heartbeat period when
+// CampaignConfig.StatusInterval is zero.
+const DefaultStatusInterval = 1 * time.Second
+
+// ShardStatusName returns the canonical status file name of shard i of
+// n: shard-0003-of-0008.status.json, sorting beside the shard's journal
+// and manifest.
+func ShardStatusName(index, count int) string {
+	return fmt.Sprintf("shard-%04d-of-%04d.status.json", index, count)
+}
+
+// StatusPathFor derives the canonical status path for a journal path:
+// the .jsonl suffix (when present) replaced by .status.json.
+func StatusPathFor(journalPath string) string {
+	return strings.TrimSuffix(journalPath, ".jsonl") + ".status.json"
+}
+
+// WriteStatus writes the status record to path, stamping the stream id
+// and schema version. Like WriteManifest the write is atomic (temp file
+// + rename), so a tailing observer never reads a torn record; each
+// heartbeat simply replaces the last.
+func WriteStatus(path string, st ShardStatus) error {
+	st.SchemaVersion = StatusSchemaVersion
+	st.Stream = StatusStream
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: encoding shard status: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("core: writing shard status: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: writing shard status: %w", err)
+	}
+	return nil
+}
+
+// ReadStatus reads and validates one shard status record: stream, schema
+// version, and shard coordinates.
+func ReadStatus(path string) (ShardStatus, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ShardStatus{}, fmt.Errorf("core: reading shard status: %w", err)
+	}
+	var st ShardStatus
+	if err := json.Unmarshal(b, &st); err != nil {
+		return ShardStatus{}, fmt.Errorf("core: parsing shard status %s: %w", path, err)
+	}
+	if st.Stream != StatusStream {
+		return ShardStatus{}, fmt.Errorf("core: %s is not a shard status record (stream %q)", path, st.Stream)
+	}
+	if st.SchemaVersion != StatusSchemaVersion {
+		return ShardStatus{}, fmt.Errorf("core: %s: unsupported status schema version %d (want %d)",
+			path, st.SchemaVersion, StatusSchemaVersion)
+	}
+	if err := (ShardSpec{Index: st.ShardIndex, Count: st.ShardCount}).Validate(); err != nil {
+		return ShardStatus{}, fmt.Errorf("core: %s: %w", path, err)
+	}
+	return st, nil
+}
+
+// LoadStatusDir discovers every *.status.json in dir and loads it,
+// sorted by shard index (ties broken by file name). Unlike LoadShardDir
+// an empty result is not an error: a campaign directory legitimately has
+// no status files before the first heartbeat (or when run without a
+// status sink).
+func LoadStatusDir(dir string) ([]ShardStatus, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading shard directory: %w", err)
+	}
+	type loaded struct {
+		st   ShardStatus
+		name string
+	}
+	var all []loaded
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".status.json") {
+			continue
+		}
+		st, err := ReadStatus(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, loaded{st, e.Name()})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].st.ShardIndex != all[j].st.ShardIndex {
+			return all[i].st.ShardIndex < all[j].st.ShardIndex
+		}
+		return all[i].name < all[j].name
+	})
+	out := make([]ShardStatus, len(all))
+	for i, l := range all {
+		out[i] = l.st
+	}
+	return out, nil
+}

@@ -20,20 +20,29 @@ import (
 // which trials run, for how long, and what happens when they don't
 // finish.
 type supervisor struct {
-	cfg         CampaignConfig
-	golden      []uint64
-	par         int
-	sb          apps.SnapshotBuilder
-	useSnapshot bool
-	maxRetries  int
-	backoff     time.Duration
-	m           *campaignMetrics
+	cfg            CampaignConfig
+	golden         []uint64
+	par            int
+	sb             apps.SnapshotBuilder
+	useSnapshot    bool
+	maxRetries     int
+	backoff        time.Duration
+	statusInterval time.Duration
+	m              *campaignMetrics
 
+	// progressMu serializes the progress/status accounting below; the
+	// Progress and StatusSink hooks are both called under it.
 	progressMu sync.Mutex
 	start      time.Time
 	total      int
 	done       int
 	virtSum    time.Duration
+	lo, hi     int
+	completed  int
+	aborted    int
+	resumed    int
+	counts     map[Outcome]int
+	lastStatus time.Time
 }
 
 // run executes the campaign: pre-merges resumed results, dispatches the
@@ -52,6 +61,7 @@ func (s *supervisor) run(ctx context.Context) (*CampaignResult, error) {
 		lo, hi = cfg.Shard.Range(cfg.Trials)
 	}
 	resumed := 0
+	s.counts = make(map[Outcome]int)
 	for i, tr := range cfg.Resume {
 		if i < lo || i >= hi {
 			continue
@@ -61,6 +71,14 @@ func (s *supervisor) run(ctx context.Context) (*CampaignResult, error) {
 		have[i] = true
 		resumed++
 		s.m.recordResumeSkip()
+		// Resumed trials count toward the shard's dispositions so the
+		// status record's totals always describe the whole range.
+		if tr.Disposition == DispositionCompleted {
+			s.completed++
+			s.counts[tr.Outcome]++
+		} else {
+			s.aborted++
+		}
 	}
 	var toRun []int
 	for i := lo; i < hi; i++ {
@@ -70,8 +88,18 @@ func (s *supervisor) run(ctx context.Context) (*CampaignResult, error) {
 	}
 
 	s.start = time.Now()
+	s.lo, s.hi = lo, hi
 	s.total = hi - lo
 	s.done = resumed
+	s.resumed = resumed
+
+	// Announce the shard before the first trial finishes: observers learn
+	// the shard exists (and how much is resumed) even if trials are slow.
+	if cfg.StatusSink != nil {
+		s.progressMu.Lock()
+		s.emitStatusLocked(true, false)
+		s.progressMu.Unlock()
+	}
 
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
@@ -110,6 +138,14 @@ dispatch:
 		// Cancellation landed after the last dispatch; the result is
 		// complete but the caller's intent to stop is still recorded.
 		interrupted = true
+	}
+
+	// The final status record: Running=false marks the shard done (or
+	// interrupted), so a dead campaign directory still renders.
+	if cfg.StatusSink != nil {
+		s.progressMu.Lock()
+		s.emitStatusLocked(false, interrupted)
+		s.progressMu.Unlock()
 	}
 
 	res := &CampaignResult{
@@ -255,34 +291,86 @@ func (s *supervisor) journalTrial(tr TrialResult) {
 	}
 }
 
-// finished records metrics and progress for one finished trial
-// (completed or aborted).
+// finished records metrics, progress, and heartbeat accounting for one
+// finished trial (completed or aborted).
 func (s *supervisor) finished(tr TrialResult, wall time.Duration) {
 	if tr.Disposition == DispositionCompleted {
 		s.m.record(tr, wall)
 	}
-	if s.cfg.Progress == nil {
+	if s.cfg.Progress == nil && s.cfg.StatusSink == nil {
 		return
 	}
 	s.progressMu.Lock()
 	s.done++
 	if tr.Disposition == DispositionCompleted {
+		s.completed++
+		s.counts[tr.Outcome]++
 		s.virtSum += tr.EndedAt - tr.InjectedAt
+	} else {
+		s.aborted++
 	}
-	info := ProgressInfo{
-		Done:                    s.done,
-		Total:                   s.total,
-		Elapsed:                 time.Since(s.start),
-		MeanTrialVirtualMinutes: s.virtSum.Minutes() / float64(s.done),
+	if s.cfg.Progress != nil {
+		info := ProgressInfo{
+			Done:                    s.done,
+			Total:                   s.total,
+			Elapsed:                 time.Since(s.start),
+			MeanTrialVirtualMinutes: s.virtSum.Minutes() / float64(s.done),
+		}
+		if info.Elapsed > 0 {
+			info.TrialsPerSec = float64(s.done) / info.Elapsed.Seconds()
+		}
+		if rem := s.total - s.done; rem > 0 && info.TrialsPerSec > 0 {
+			info.ETA = time.Duration(float64(rem) / info.TrialsPerSec * float64(time.Second))
+		}
+		s.cfg.Progress(info)
 	}
-	if info.Elapsed > 0 {
-		info.TrialsPerSec = float64(s.done) / info.Elapsed.Seconds()
+	// Heartbeat, throttled off the hot path: at most one record per
+	// statusInterval, no matter how fast trials finish.
+	if s.cfg.StatusSink != nil && time.Since(s.lastStatus) >= s.statusInterval {
+		s.emitStatusLocked(true, false)
 	}
-	if rem := s.total - s.done; rem > 0 && info.TrialsPerSec > 0 {
-		info.ETA = time.Duration(float64(rem) / info.TrialsPerSec * float64(time.Second))
-	}
-	s.cfg.Progress(info)
 	s.progressMu.Unlock()
+}
+
+// emitStatusLocked assembles and delivers one ShardStatus under
+// progressMu. The supervisor fills the campaign-engine fields; identity
+// fields (ConfigHash, Campaign) are the status sink's to stamp.
+func (s *supervisor) emitStatusLocked(running, interrupted bool) {
+	st := ShardStatus{
+		ShardCount:     1,
+		TrialLo:        s.lo,
+		TrialHi:        s.hi,
+		Done:           s.done,
+		Total:          s.total,
+		Completed:      s.completed,
+		Aborted:        s.aborted,
+		Resumed:        s.resumed,
+		Running:        running,
+		Interrupted:    interrupted,
+		WallUnixNanos:  time.Now().UnixNano(),
+		ElapsedSeconds: time.Since(s.start).Seconds(),
+	}
+	if s.cfg.Shard != nil {
+		st.ShardIndex, st.ShardCount = s.cfg.Shard.Index, s.cfg.Shard.Count
+	}
+	if len(s.counts) > 0 {
+		st.Outcomes = make(map[string]int, len(s.counts))
+		for o, n := range s.counts {
+			st.Outcomes[o.String()] = n
+		}
+	}
+	if st.ElapsedSeconds > 0 {
+		st.TrialsPerSec = float64(s.done) / st.ElapsedSeconds
+	}
+	if rem := s.total - s.done; rem > 0 && st.TrialsPerSec > 0 && running {
+		st.EtaSeconds = float64(rem) / st.TrialsPerSec
+	}
+	if s.m != nil {
+		snap := s.m.reg.Snapshot()
+		st.Metrics = &snap
+	}
+	s.lastStatus = time.Now()
+	s.cfg.StatusSink(st)
 }
 
 // trialAbort is the sentinel the in-trial watchdogs panic with; it

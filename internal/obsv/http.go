@@ -10,10 +10,19 @@ import (
 // preferring application/json. Used by the kvserve -metrics-addr sidecar;
 // the same encoders back `hrmsim -json`.
 func Handler(r *Registry) http.Handler {
+	return SnapshotHandler(r.Snapshot)
+}
+
+// SnapshotHandler serves whatever snapshot the callback returns, through
+// the same text/JSON content negotiation as Handler. The callback runs
+// once per request, so it can compute derived views — the hrmsim
+// coordinator uses it to serve the merged fleet snapshot (its own
+// registry plus every shard heartbeat's metrics) at /metrics.
+func SnapshotHandler(snap func() Snapshot) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		snap := r.Snapshot()
+		s := snap()
 		if wantsJSON(req) {
-			b, err := snap.MarshalJSONIndent()
+			b, err := s.MarshalJSONIndent()
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
@@ -23,7 +32,7 @@ func Handler(r *Registry) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_ = snap.WriteText(w)
+		_ = s.WriteText(w)
 	})
 }
 

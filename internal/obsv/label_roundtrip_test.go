@@ -1,0 +1,109 @@
+package obsv
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Label values arrive from the outside world (abort reasons carry error
+// text, shard labels carry paths) and may contain quotes, braces, spaces,
+// or backslashes. LabeledName %q-quotes the value, so the resulting
+// metric name must survive both encoders losslessly.
+var hostileLabelValues = []string{
+	`plain`,
+	`has space`,
+	`quo"te`,
+	`brace{y}`,
+	`back\slash`,
+	`all{of="it"} \ done`,
+	`trailing\`,
+	"tab\tand\nnewline",
+}
+
+func TestLabeledNameTextExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	wantCounters := make(map[string]int64)
+	for i, v := range hostileLabelValues {
+		name := LabeledName("campaign_trials_aborted_total", "reason", v)
+		r.Counter(name).Add(int64(i + 1))
+		wantCounters[name] = int64(i + 1)
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The exposition contract: one metric per line, the value after the
+	// final space. %q escapes embedded newlines/tabs, so a hostile label
+	// can never split or spoof a line.
+	got := make(map[string]int64)
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		i := strings.LastIndex(line, " ")
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		name, valText := line[:i], line[i+1:]
+		val, err := strconv.ParseInt(valText, 10, 64)
+		if err != nil {
+			t.Fatalf("line %q: value %q: %v", line, valText, err)
+		}
+		got[name] = val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, wantCounters) {
+		t.Errorf("text round-trip:\ngot  %v\nwant %v", got, wantCounters)
+	}
+	// Each parsed name must decode back to its original label value.
+	for _, v := range hostileLabelValues {
+		name := LabeledName("campaign_trials_aborted_total", "reason", v)
+		const prefix = `campaign_trials_aborted_total{reason=`
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, "}") {
+			t.Fatalf("unexpected LabeledName shape %q", name)
+		}
+		decoded, err := strconv.Unquote(name[len(prefix) : len(name)-1])
+		if err != nil {
+			t.Fatalf("label for %q does not unquote: %v", v, err)
+		}
+		if decoded != v {
+			t.Errorf("label round-trip: got %q, want %q", decoded, v)
+		}
+	}
+}
+
+func TestLabeledNameJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	for i, v := range hostileLabelValues {
+		r.Counter(LabeledName("campaign_trials_aborted_total", "reason", v)).Add(int64(i + 1))
+		r.Gauge(LabeledName("level", "shard", v)).Set(float64(i) + 0.5)
+		r.Histogram(LabeledName("lat_ms", "op", v), []float64{1, 10}).Observe(float64(i))
+	}
+	want := r.Snapshot()
+
+	// The -json envelope embeds the snapshot via encoding/json exactly as
+	// MarshalJSONIndent does; unmarshalling must reproduce it bit-for-bit.
+	b, err := want.MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v\njson: %s", err, b)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("JSON round-trip:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// Hostile names must also survive a merge unchanged.
+	if merged := MergeSnapshots(got); !reflect.DeepEqual(merged, want) {
+		t.Errorf("merge of round-tripped snapshot differs:\ngot  %+v\nwant %+v", merged, want)
+	}
+}

@@ -1,0 +1,173 @@
+package obsv
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// mergeTestSnapshot builds a snapshot through a real registry so the
+// merge tests exercise the same shapes production snapshots have.
+func mergeTestSnapshot(counters map[string]int64, gauges map[string]float64, hist map[string][]float64) Snapshot {
+	r := NewRegistry()
+	for name, v := range counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, samples := range hist {
+		h := r.Histogram(name, []float64{1, 10, 100})
+		for _, x := range samples {
+			h.Observe(x)
+		}
+	}
+	return r.Snapshot()
+}
+
+func TestMergeSnapshotsCounters(t *testing.T) {
+	a := mergeTestSnapshot(map[string]int64{"x_total": 3, "y_total": 1}, nil, nil)
+	b := mergeTestSnapshot(map[string]int64{"x_total": 4, "z_total": 7}, nil, nil)
+	got := MergeSnapshots(a, b)
+	want := map[string]int64{"x_total": 7, "y_total": 1, "z_total": 7}
+	if !reflect.DeepEqual(got.Counters, want) {
+		t.Errorf("merged counters = %v, want %v", got.Counters, want)
+	}
+}
+
+func TestMergeSnapshotsGaugesMax(t *testing.T) {
+	a := mergeTestSnapshot(nil, map[string]float64{"level": 2.5, "only_a": -1}, nil)
+	b := mergeTestSnapshot(nil, map[string]float64{"level": 1.25, "only_b": 0}, nil)
+	got := MergeSnapshots(a, b)
+	want := map[string]float64{"level": 2.5, "only_a": -1, "only_b": 0}
+	if !reflect.DeepEqual(got.Gauges, want) {
+		t.Errorf("merged gauges = %v, want %v", got.Gauges, want)
+	}
+	// Max must be symmetric: the same result regardless of argument order.
+	if rev := MergeSnapshots(b, a); !reflect.DeepEqual(rev.Gauges, got.Gauges) {
+		t.Errorf("gauge merge order-dependent: %v vs %v", rev.Gauges, got.Gauges)
+	}
+}
+
+func TestMergeSnapshotsHistograms(t *testing.T) {
+	a := mergeTestSnapshot(nil, nil, map[string][]float64{"lat_ms": {0.5, 5, 500}})
+	b := mergeTestSnapshot(nil, nil, map[string][]float64{"lat_ms": {2, 50}})
+	got := MergeSnapshots(a, b).Histograms["lat_ms"]
+	want := HistogramSnapshot{
+		Bounds: []float64{1, 10, 100},
+		Counts: []int64{1, 2, 1, 1},
+		Count:  5,
+		Sum:    557.5,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged histogram = %+v, want %+v", got, want)
+	}
+}
+
+func TestMergeSnapshotsMismatchedBoundsFoldIntoInf(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ha := ra.Histogram("h", []float64{1, 2})
+	hb := rb.Histogram("h", []float64{10})
+	ha.Observe(0.5)
+	ha.Observe(1.5)
+	hb.Observe(3)
+	hb.Observe(30)
+	got := MergeSnapshots(ra.Snapshot(), rb.Snapshot()).Histograms["h"]
+	// First-seen layout ({1,2}) wins; b's total count folds into +Inf.
+	want := HistogramSnapshot{
+		Bounds: []float64{1, 2},
+		Counts: []int64{1, 1, 2},
+		Count:  4,
+		Sum:    35,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("mismatched-bounds merge = %+v, want %+v", got, want)
+	}
+}
+
+func TestMergeSnapshotsDoesNotMutateInputs(t *testing.T) {
+	a := mergeTestSnapshot(map[string]int64{"x": 1}, map[string]float64{"g": 1}, map[string][]float64{"h": {5}})
+	b := mergeTestSnapshot(map[string]int64{"x": 2}, map[string]float64{"g": 2}, map[string][]float64{"h": {50}})
+	aCopy := mergeTestSnapshot(map[string]int64{"x": 1}, map[string]float64{"g": 1}, map[string][]float64{"h": {5}})
+	bCopy := mergeTestSnapshot(map[string]int64{"x": 2}, map[string]float64{"g": 2}, map[string][]float64{"h": {50}})
+	merged := MergeSnapshots(a, b)
+	if !reflect.DeepEqual(a, aCopy) || !reflect.DeepEqual(b, bCopy) {
+		t.Fatal("MergeSnapshots mutated an input snapshot")
+	}
+	// Mutating the merged result must not reach back into the inputs.
+	merged.Histograms["h"].Counts[0] = 999
+	if !reflect.DeepEqual(a, aCopy) || !reflect.DeepEqual(b, bCopy) {
+		t.Fatal("merged histogram aliases an input's Counts slice")
+	}
+}
+
+func TestMergeSnapshotsEmpty(t *testing.T) {
+	got := MergeSnapshots()
+	if got.Counters != nil || got.Gauges != nil || got.Histograms != nil {
+		t.Errorf("empty merge allocated maps: %+v", got)
+	}
+	one := mergeTestSnapshot(map[string]int64{"x": 1}, nil, nil)
+	if merged := MergeSnapshots(one); !reflect.DeepEqual(merged, one) {
+		t.Errorf("single-snapshot merge = %+v, want %+v", merged, one)
+	}
+}
+
+// randomSnapshot builds a pseudo-random snapshot over a shared metric
+// namespace so merges genuinely overlap.
+func randomSnapshot(rng *rand.Rand) Snapshot {
+	r := NewRegistry()
+	names := []string{"a_total", "b_total", "c_total"}
+	for _, n := range names {
+		if rng.Intn(2) == 0 {
+			r.Counter(n).Add(int64(rng.Intn(100)))
+		}
+	}
+	for _, n := range []string{"g1", "g2"} {
+		if rng.Intn(2) == 0 {
+			r.Gauge(n).Set(float64(rng.Intn(400)) * 0.25)
+		}
+	}
+	// Samples are multiples of 0.25 so histogram sums are exact in
+	// float64 and associativity can be checked with strict equality
+	// (float addition is only associative when no rounding occurs).
+	for _, n := range []string{"h1", "h2"} {
+		if rng.Intn(2) == 0 {
+			h := r.Histogram(n, []float64{1, 10, 100})
+			for k := rng.Intn(5); k > 0; k-- {
+				h.Observe(float64(rng.Intn(800)) * 0.25)
+			}
+		}
+	}
+	return r.Snapshot()
+}
+
+func TestMergeSnapshotsAssociativeAndOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		snaps := make([]Snapshot, 4)
+		for i := range snaps {
+			snaps[i] = randomSnapshot(rng)
+		}
+		want := MergeSnapshots(snaps...)
+
+		// Associativity: ((a⊕b)⊕c)⊕d == a⊕(b⊕(c⊕d)) == (a⊕b)⊕(c⊕d).
+		left := MergeSnapshots(MergeSnapshots(MergeSnapshots(snaps[0], snaps[1]), snaps[2]), snaps[3])
+		right := MergeSnapshots(snaps[0], MergeSnapshots(snaps[1], MergeSnapshots(snaps[2], snaps[3])))
+		pairs := MergeSnapshots(MergeSnapshots(snaps[0], snaps[1]), MergeSnapshots(snaps[2], snaps[3]))
+		for i, got := range []Snapshot{left, right, pairs} {
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: grouping %d differs:\ngot  %+v\nwant %+v", trial, i, got, want)
+			}
+		}
+
+		// Order independence: every permutation of 4 snapshots merges equal.
+		perm := rng.Perm(len(snaps))
+		shuffled := make([]Snapshot, len(snaps))
+		for i, p := range perm {
+			shuffled[i] = snaps[p]
+		}
+		if got := MergeSnapshots(shuffled...); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: permutation %v differs:\ngot  %+v\nwant %+v", trial, perm, got, want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package hrmsim
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"hrmsim/internal/core"
@@ -47,6 +48,12 @@ type MergeInfo struct {
 	Records    int
 	Duplicates int
 	Missing    int
+	// Metrics is the deterministic aggregate of every input shard's
+	// manifest metrics snapshot (obsv.MergeSnapshots: counters summed,
+	// fixed-bucket histograms merged, gauges by max — the same rule the
+	// live fleet view applies, so a post-hoc merge and /statusz report
+	// the same numbers). Nil when no shard recorded metrics.
+	Metrics *obsv.Snapshot
 }
 
 // MergeShards merges a directory of shard journals (written by sharded
@@ -81,6 +88,7 @@ func MergeShards(cfg MergeConfig) (*Characterization, *MergeInfo, error) {
 		Duplicates: stats.Duplicates,
 		Missing:    stats.Missing,
 	}
+	var shardSnaps []obsv.Snapshot
 	for _, s := range shards {
 		info.Shards = append(info.Shards, MergeShardInfo{
 			Index:       s.Manifest.ShardIndex,
@@ -92,6 +100,18 @@ func MergeShards(cfg MergeConfig) (*Characterization, *MergeInfo, error) {
 			Aborted:     s.Manifest.Aborted,
 			Interrupted: s.Manifest.Interrupted,
 		})
+		if len(s.Manifest.Metrics) > 0 {
+			var snap obsv.Snapshot
+			if err := json.Unmarshal(s.Manifest.Metrics, &snap); err != nil {
+				return nil, nil, fmt.Errorf("hrmsim: shard %d/%d manifest metrics snapshot: %w",
+					s.Manifest.ShardIndex, s.Manifest.ShardCount, err)
+			}
+			shardSnaps = append(shardSnaps, snap)
+		}
+	}
+	if len(shardSnaps) > 0 {
+		merged := obsv.MergeSnapshots(shardSnaps...)
+		info.Metrics = &merged
 	}
 	if cfg.Metrics != nil {
 		cfg.Metrics.Counter("merge_shards_total").Add(int64(stats.Shards))

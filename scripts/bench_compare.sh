@@ -1,0 +1,48 @@
+#!/bin/sh
+# Regression ratchet: compare the current campaign throughput (the
+# trials/s metric BenchmarkCampaignLifecycle reports) against the
+# latest committed scripts/bench.sh capture, and fail when it drops
+# more than THRESHOLD.
+#
+#   scripts/bench_compare.sh                   # 10% ratchet vs latest BENCH_*.json
+#   THRESHOLD=0.5 scripts/bench_compare.sh     # relaxed gate (cross-machine CI)
+#   BASELINE=BENCH_2026-08-06.json scripts/bench_compare.sh
+#   CAPTURE_OUT=/tmp/cur.json scripts/bench_compare.sh  # keep the capture
+#   CURRENT=/tmp/cur.json scripts/bench_compare.sh      # reuse a capture
+#
+# The baseline must be a real `go test -json` event stream: hand-written
+# summary documents (like BENCH_2026-08-08-sharding.json) carry no
+# benchmark events and are skipped when auto-picking, and rejected by
+# benchgate when forced. Absolute trials/s is machine-dependent, so CI
+# runs this twice off one capture: an advisory 10% step and a blocking
+# relaxed-threshold step (see .github/workflows/ci.yml).
+set -eu
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${THRESHOLD:-0.10}"
+
+if [ -z "${BASELINE:-}" ]; then
+    # Latest committed capture that actually holds trials/s benchmark
+    # events, newest first by the date-stamped file name.
+    for f in $(ls -r BENCH_*.json 2>/dev/null); do
+        if grep -q '"Action":"output"' "$f" && grep -q 'trials/s' "$f"; then
+            BASELINE="$f"
+            break
+        fi
+    done
+fi
+if [ -z "${BASELINE:-}" ]; then
+    echo "bench_compare: no committed BENCH_*.json capture with trials/s events found" >&2
+    exit 1
+fi
+
+if [ -z "${CURRENT:-}" ]; then
+    CURRENT="${CAPTURE_OUT:-$(mktemp /tmp/bench_current.XXXXXX.json)}"
+    echo "bench_compare: capturing current throughput -> $CURRENT" >&2
+    go test -json -run '^$' -bench BenchmarkCampaignLifecycle -benchtime 1x . >"$CURRENT"
+else
+    echo "bench_compare: reusing capture $CURRENT" >&2
+fi
+
+echo "bench_compare: ratchet vs $BASELINE (threshold $THRESHOLD)" >&2
+go run ./cmd/benchgate -baseline "$BASELINE" -current "$CURRENT" -threshold "$THRESHOLD"

@@ -9,7 +9,10 @@
 #      a journal + manifest, and `hrmsim merge` the shard directory,
 #   3. run it once more through `-coordinator -shards 2` (spawns real
 #      worker processes, auto-merges),
-#   4. diff both merged -json results against the baseline.
+#   4. diff both merged -json results against the baseline,
+#   5. assert the control plane: the manual workers' `-status`
+#      heartbeat records exist and `hrmsim status` reports the settled
+#      fleet view (all trials done, 0 running) that matches the merge.
 #
 # Both merged results must be bit-identical to the single-process run,
 # modulo the documented run-shape bookkeeping (`parallelism`,
@@ -38,7 +41,8 @@ mkdir "$TMP/shards"
 for i in 0 1; do
     "$BIN" characterize -app "$APP" -size small -trials "$TRIALS" \
         -seed "$SEED" -shard "$i/2" \
-        -journal "$TMP/shards/shard-000$i-of-0002.jsonl" &
+        -journal "$TMP/shards/shard-000$i-of-0002.jsonl" \
+        -status "$TMP/shards/shard-000$i-of-0002.status.json" &
 done
 wait
 
@@ -47,24 +51,38 @@ for i in 0 1; do
         echo "shard_smoke: FAIL — shard $i wrote no manifest" >&2
         exit 1
     fi
+    if [ ! -s "$TMP/shards/shard-000$i-of-0002.status.json" ]; then
+        echo "shard_smoke: FAIL — shard $i wrote no status record" >&2
+        exit 1
+    fi
 done
 
 echo "shard_smoke: merging the shard directory" >&2
 "$BIN" merge -dir "$TMP/shards" -json >"$TMP/merged.json"
+
+echo "shard_smoke: reading the final heartbeats back (hrmsim status)" >&2
+"$BIN" status -json "$TMP/shards" >"$TMP/status.json"
+"$BIN" status "$TMP/shards" >"$TMP/status.txt"
+grep -q '(100%)' "$TMP/status.txt" || {
+    echo "shard_smoke: FAIL — status view does not show 100%:" >&2
+    cat "$TMP/status.txt" >&2
+    exit 1
+}
 
 echo "shard_smoke: coordinator run (-coordinator -shards 2)" >&2
 "$BIN" characterize -app "$APP" -size small -trials "$TRIALS" \
     -seed "$SEED" -coordinator -shards 2 -json >"$TMP/coordinated.json"
 
 echo "shard_smoke: comparing merged results to baseline" >&2
-python3 - "$TMP/baseline.json" "$TMP/merged.json" "$TMP/coordinated.json" <<'PY'
+python3 - "$TMP/baseline.json" "$TMP/merged.json" "$TMP/coordinated.json" \
+    "$TMP/status.json" <<'PY'
 import json, sys
 
 docs = []
 for path in sys.argv[1:]:
     with open(path) as f:
         docs.append((json.load(f), path))
-(base, _), merged, coordinated = docs
+(base, _), merged, coordinated, (status, status_path) = docs
 
 # Everything except the run-shape bookkeeping must match bit-for-bit
 # (SHARDING.md: a merge has no worker pool, so `parallelism` is 0).
@@ -96,8 +114,31 @@ for got, path in (merged, coordinated):
         failed = True
         print(f"shard_smoke: {path} merged {len(m.get('shards', []))} shards, want 2",
               file=sys.stderr)
+# The settled fleet view must agree with the merged science: every
+# trial accounted for, nobody still running, and the outcome taxonomy
+# identical to the merged result's.
+fleet = status["result"]
+want = base["result"]
+if fleet.get("done") != want["trials"] or fleet.get("trials") != want["trials"]:
+    failed = True
+    print(f"shard_smoke: status done/trials {fleet.get('done')}/{fleet.get('trials')}"
+          f" != campaign trials {want['trials']}", file=sys.stderr)
+if fleet.get("running") != 0:
+    failed = True
+    print(f"shard_smoke: status reports {fleet.get('running')} running after the run",
+          file=sys.stderr)
+if len(fleet.get("shards", [])) != 2:
+    failed = True
+    print(f"shard_smoke: status sees {len(fleet.get('shards', []))} shards, want 2",
+          file=sys.stderr)
+if fleet.get("outcomes") != want.get("outcomes"):
+    failed = True
+    print(f"shard_smoke: status outcomes {fleet.get('outcomes')}"
+          f" != baseline {want.get('outcomes')}", file=sys.stderr)
+
 if failed:
     sys.exit(1)
 print("shard_smoke: PASS — manual 2-shard merge and coordinator run both "
-      "bit-identical to the single-process baseline")
+      "bit-identical to the single-process baseline, and the status "
+      "heartbeats settle to the same counts")
 PY

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"hrmsim/internal/core"
+	"hrmsim/internal/obsv"
 )
 
 // TestShardMergeEquivalence pins the tentpole guarantee of the sharding
@@ -75,6 +76,78 @@ func TestShardMergeEquivalence(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestShardMetricsSnapshotMergeEquivalence pins the metrics half of the
+// sharding contract: merging the per-shard registry snapshots
+// (obsv.MergeSnapshots) reproduces the single-process registry for the
+// same equivalence campaigns TestShardMergeEquivalence runs — for every
+// deterministic metric. Host-time metrics are excluded by name:
+// campaign_trial_wall_ms measures wall clocks, campaign_snapshot_dirty_pages
+// depends on how trials landed on worker sessions, and the
+// simmem_tainted_pages gauge is last-writer-wins within a process. Every
+// counter and the virtual-time histogram are deterministic and must
+// merge to exactly the single-process values.
+func TestShardMetricsSnapshotMergeEquivalence(t *testing.T) {
+	for _, app := range Apps() {
+		base := CharacterizeConfig{
+			App:         app,
+			Error:       SoftSingleBit,
+			Size:        SizeSmall,
+			Trials:      30,
+			Seed:        13,
+			Parallelism: 2,
+		}
+		singleReg := obsv.NewRegistry()
+		cfg := base
+		cfg.Metrics = singleReg
+		if _, err := Characterize(cfg); err != nil {
+			t.Fatal(err)
+		}
+		want := singleReg.Snapshot()
+		for _, shards := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", app, shards), func(t *testing.T) {
+				snaps := make([]obsv.Snapshot, shards)
+				for i := 0; i < shards; i++ {
+					reg := obsv.NewRegistry()
+					cfg := base
+					cfg.ShardIndex, cfg.ShardCount = i, shards
+					cfg.Metrics = reg
+					if _, err := Characterize(cfg); err != nil {
+						t.Fatal(err)
+					}
+					snaps[i] = reg.Snapshot()
+				}
+				got := obsv.MergeSnapshots(snaps...)
+				if !reflect.DeepEqual(got.Counters, want.Counters) {
+					t.Errorf("merged counters diverged from single-process run:\nmerged: %v\nsingle: %v",
+						got.Counters, want.Counters)
+				}
+				// The virtual-time histogram's bucket counts are exact;
+				// Sum is a float accumulated in worker-completion order,
+				// so it agrees only up to addition-reordering rounding.
+				const virtHist = "campaign_trial_virtual_minutes"
+				gh, wh := got.Histograms[virtHist], want.Histograms[virtHist]
+				if !reflect.DeepEqual(gh.Bounds, wh.Bounds) || !reflect.DeepEqual(gh.Counts, wh.Counts) || gh.Count != wh.Count {
+					t.Errorf("merged %s diverged:\nmerged: %+v\nsingle: %+v", virtHist, gh, wh)
+				}
+				if diff := gh.Sum - wh.Sum; diff < -1e-9 || diff > 1e-9 {
+					t.Errorf("merged %s sum = %v, single-process %v", virtHist, gh.Sum, wh.Sum)
+				}
+				// Merge order must not matter for real campaign snapshots
+				// either (beyond the obsv unit tests' synthetic ones).
+				rev := make([]obsv.Snapshot, shards)
+				for i := range snaps {
+					rev[shards-1-i] = snaps[i]
+				}
+				back := obsv.MergeSnapshots(rev...)
+				if !reflect.DeepEqual(back.Counters, got.Counters) {
+					t.Errorf("counter merge is order-dependent:\nfwd: %v\nrev: %v",
+						got.Counters, back.Counters)
+				}
+			})
 		}
 	}
 }

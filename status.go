@@ -1,0 +1,168 @@
+package hrmsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hrmsim/internal/core"
+	"hrmsim/internal/obsv"
+)
+
+// ErrNoStatus reports a campaign directory with no shard status records
+// — either the campaign runs without a status sink, or no shard has
+// heartbeat yet. Pollers (the coordinator's tick loop) treat it as "not
+// yet", not as a failure.
+var ErrNoStatus = errors.New("hrmsim: no shard status records (*.status.json)")
+
+// ShardStatusInfo is one shard's latest heartbeat, in facade types (see
+// core.ShardStatus for the on-disk record it mirrors).
+type ShardStatusInfo struct {
+	// Index / Count are the shard coordinates; TrialLo/TrialHi is the
+	// owned half-open trial index range.
+	Index, Count     int
+	TrialLo, TrialHi int
+	// Done counts trials with a result so far out of Total (the range
+	// size); Completed/Aborted/Resumed break Done down by disposition.
+	Done, Total                 int
+	Completed, Aborted, Resumed int
+	// Outcomes counts completed trials per Fig. 1 taxonomy label.
+	Outcomes map[string]int
+	// TrialsPerSec, ETA, and Elapsed mirror the shard's own progress
+	// accounting at heartbeat time.
+	TrialsPerSec float64
+	ETA          time.Duration
+	Elapsed      time.Duration
+	// Running is false only on a shard's final record; Interrupted marks
+	// a cancelled shard.
+	Running     bool
+	Interrupted bool
+	// UpdatedAt is the host wall-clock instant of the heartbeat; its age
+	// is the liveness signal straggler detection keys on.
+	UpdatedAt time.Time
+}
+
+// Age returns how old the shard's heartbeat is at the given instant.
+func (s ShardStatusInfo) Age(now time.Time) time.Duration {
+	return now.Sub(s.UpdatedAt)
+}
+
+// FleetStatus is the cross-shard aggregate of a campaign directory's
+// heartbeats: the live (or final) fleet-wide view the coordinator serves
+// at /statusz and `hrmsim status` renders. All counts are sums over the
+// shards that have reported; Trials is the whole campaign's size, so
+// Done < Trials either because work remains or because some shard has
+// not heartbeat yet.
+type FleetStatus struct {
+	// ConfigHash and the campaign identity every shard agreed on.
+	ConfigHash string
+	App        App
+	Error      ErrorType
+	Region     Region
+	Trials     int
+	Seed       int64
+	// Shards holds each shard's latest heartbeat, ascending by index.
+	Shards []ShardStatusInfo
+	// Done/Total and the disposition counts are sums over Shards (Total
+	// can be less than Trials while shards are still registering).
+	Done, Total                 int
+	Completed, Aborted, Resumed int
+	// Outcomes sums the per-shard Fig. 1 taxonomy counts.
+	Outcomes map[string]int
+	// TrialsPerSec sums the running shards' rates; ETA projects the
+	// whole campaign's remaining trials at that rate (zero when nothing
+	// is running).
+	TrialsPerSec float64
+	ETA          time.Duration
+	// Running counts shards whose latest record is live; Interrupted
+	// counts shards whose final record reports cancellation.
+	Running     int
+	Interrupted int
+	// Metrics is the obsv.MergeSnapshots aggregate of every shard's
+	// heartbeat snapshot — the same merge rule `hrmsim merge` applies to
+	// manifests, so live and post-hoc metrics agree. Nil when no shard
+	// reported metrics.
+	Metrics *obsv.Snapshot
+}
+
+// LoadFleetStatus reads every shard status record in dir and aggregates
+// it into the fleet view. It validates that all records belong to one
+// campaign (config hash equality, like MergeShards) and returns
+// ErrNoStatus when the directory holds none. The directory may be live
+// (shards still writing; each read is atomic per record) or dead (final
+// Running=false records) — the same view works for both.
+func LoadFleetStatus(dir string) (*FleetStatus, error) {
+	records, err := core.LoadStatusDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("hrmsim: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("%w in %s", ErrNoStatus, dir)
+	}
+	ref := records[0]
+	fs := &FleetStatus{
+		ConfigHash: ref.ConfigHash,
+		App:        App(ref.Campaign.App),
+		Error:      ErrorType(ref.Campaign.Error),
+		Region:     Region(ref.Campaign.Region),
+		Trials:     ref.Campaign.Trials,
+		Seed:       ref.Campaign.Seed,
+		Outcomes:   make(map[string]int),
+	}
+	var snaps []obsv.Snapshot
+	for _, st := range records {
+		if st.ConfigHash != ref.ConfigHash {
+			detail := ref.Campaign.Matches(st.Campaign)
+			if detail == nil {
+				detail = fmt.Errorf("config hashes differ (%s vs %s)", ref.ConfigHash, st.ConfigHash)
+			}
+			return nil, fmt.Errorf("hrmsim: shard %d/%d status belongs to a different campaign than shard %d/%d: %w",
+				st.ShardIndex, st.ShardCount, ref.ShardIndex, ref.ShardCount, detail)
+		}
+		info := ShardStatusInfo{
+			Index:        st.ShardIndex,
+			Count:        st.ShardCount,
+			TrialLo:      st.TrialLo,
+			TrialHi:      st.TrialHi,
+			Done:         st.Done,
+			Total:        st.Total,
+			Completed:    st.Completed,
+			Aborted:      st.Aborted,
+			Resumed:      st.Resumed,
+			Outcomes:     st.Outcomes,
+			TrialsPerSec: st.TrialsPerSec,
+			ETA:          time.Duration(st.EtaSeconds * float64(time.Second)),
+			Elapsed:      time.Duration(st.ElapsedSeconds * float64(time.Second)),
+			Running:      st.Running,
+			Interrupted:  st.Interrupted,
+			UpdatedAt:    time.Unix(0, st.WallUnixNanos),
+		}
+		fs.Shards = append(fs.Shards, info)
+		fs.Done += st.Done
+		fs.Total += st.Total
+		fs.Completed += st.Completed
+		fs.Aborted += st.Aborted
+		fs.Resumed += st.Resumed
+		for o, n := range st.Outcomes {
+			fs.Outcomes[o] += n
+		}
+		if st.Running {
+			fs.Running++
+			fs.TrialsPerSec += st.TrialsPerSec
+		}
+		if st.Interrupted {
+			fs.Interrupted++
+		}
+		if st.Metrics != nil {
+			snaps = append(snaps, *st.Metrics)
+		}
+	}
+	if rem := fs.Trials - fs.Done; rem > 0 && fs.TrialsPerSec > 0 {
+		fs.ETA = time.Duration(float64(rem) / fs.TrialsPerSec * float64(time.Second))
+	}
+	if len(snaps) > 0 {
+		merged := obsv.MergeSnapshots(snaps...)
+		fs.Metrics = &merged
+	}
+	return fs, nil
+}
