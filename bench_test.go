@@ -9,6 +9,7 @@ import (
 	"hrmsim/internal/core"
 	"hrmsim/internal/ecc"
 	"hrmsim/internal/faults"
+	"hrmsim/internal/stats"
 )
 
 // benchLab builds a lab at benchmark scale. Campaign cells are cached
@@ -216,6 +217,63 @@ func benchCampaignLifecycles(b *testing.B, prefix string, builder apps.Builder) 
 				}
 			}
 			b.ReportMetric(float64(trials*b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
+
+// BenchmarkAdaptiveCampaign pits the classic fixed-N trial plan against
+// the CI-targeted adaptive planner on the same WebSearch soft-error
+// campaign (same seed, same trial budget). Besides wall-clock time, each
+// variant reports trials-to-target-ci — how many trials it spent to
+// deliver its crash-probability estimate. The plan is deterministic (the
+// stopping boundaries depend only on trial outcomes, which depend only
+// on the seed), so the metric is machine-independent and scripts/
+// bench_compare.sh ratchets it: the adaptive planner must keep reaching
+// the target CI without spending more trials than the committed capture.
+func BenchmarkAdaptiveCampaign(b *testing.B) {
+	builder, err := NewBuilder(AppWebSearch, SizeSmall, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden, err := core.GoldenRun(builder)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const budget = 400
+	rule := stats.SequentialStopping{
+		TargetHalfWidth: 0.04,
+		Level:           0.90,
+		MinTrials:       30,
+		MaxTrials:       budget,
+	}
+	for _, tc := range []struct {
+		name    string
+		planner func() core.TrialPlanner
+	}{
+		{"fixed", func() core.TrialPlanner { return nil }},
+		{"adaptive", func() core.TrialPlanner { return core.NewAdaptivePlanner(rule) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var planned int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(core.CampaignConfig{
+					Builder: builder,
+					Spec:    faults.SingleBitSoft,
+					Trials:  budget,
+					Seed:    1,
+					Golden:  golden,
+					Planner: tc.planner(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.PlanFinal {
+					b.Fatalf("non-final plan after %d of %d trials", res.Planned, budget)
+				}
+				planned = res.Planned
+			}
+			b.ReportMetric(float64(planned), "trials-to-target-ci")
 		})
 	}
 }

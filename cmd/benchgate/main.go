@@ -1,8 +1,13 @@
-// Command benchgate compares the campaign throughput (the trials/s
-// metric BenchmarkCampaignLifecycle reports) between a committed
-// baseline capture and a fresh run, and fails when the current numbers
-// regress beyond a threshold — the regression ratchet scripts/
-// bench_compare.sh wires into CI.
+// Command benchgate compares a custom benchmark metric between a
+// committed baseline capture and a fresh run, and fails when the
+// current numbers regress beyond a threshold — the regression ratchet
+// scripts/bench_compare.sh wires into CI.
+//
+// By default it ratchets campaign throughput (the trials/s metric
+// BenchmarkCampaignLifecycle reports), where higher is better. Pass
+// -metric/-direction to ratchet a different reported metric, e.g. the
+// adaptive planner's statistical efficiency (the trials-to-target-ci
+// metric BenchmarkAdaptiveCampaign reports), where lower is better.
 //
 // Both inputs are `go test -json` event streams (what scripts/bench.sh
 // writes as the dated BENCH_*.json files). Hand-written summary
@@ -13,6 +18,8 @@
 //	benchgate -baseline BENCH_2026-08-06-fastpath.json -current /tmp/now.json
 //	benchgate ... -threshold 0.5   # tolerate up to a 50% drop
 //	benchgate ... -bench BenchmarkCampaignLifecycle/fresh
+//	benchgate ... -bench BenchmarkAdaptiveCampaign \
+//	              -metric trials-to-target-ci -direction lower
 //
 // Exit status: 0 when every benchmark common to both captures is
 // within threshold, 1 on any regression or unusable input.
@@ -30,9 +37,11 @@ import (
 	"strings"
 )
 
-// trialsPerSecRe extracts the custom trials/s metric from a benchmark
-// result line ("... 22.49 trials/s ...").
-var trialsPerSecRe = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)\s+trials/s`)
+// metricRe builds the extractor for a custom benchmark metric on a
+// result line, e.g. "... 22.49 trials/s ..." for metric "trials/s".
+func metricRe(metric string) *regexp.Regexp {
+	return regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)\s+` + regexp.QuoteMeta(metric) + `(?:\s|$)`)
+}
 
 // event is the subset of a `go test -json` stream record the gate
 // reads. The benchmark name line and its numbers arrive as separate
@@ -44,11 +53,11 @@ type event struct {
 	Output string `json:"Output"`
 }
 
-// parseBenchFile extracts benchmark → trials/s from a go test -json
-// stream. Non-JSONL files (or streams without benchmark output) yield
-// an empty map, never an error: the caller decides whether empty is
-// fatal. A benchmark reported more than once keeps the last value.
-func parseBenchFile(path string) (map[string]float64, error) {
+// parseBenchFile extracts benchmark → metric value from a go test
+// -json stream. Non-JSONL files (or streams without benchmark output)
+// yield an empty map, never an error: the caller decides whether empty
+// is fatal. A benchmark reported more than once keeps the last value.
+func parseBenchFile(path string, re *regexp.Regexp) (map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -66,7 +75,7 @@ func parseBenchFile(path string) (map[string]float64, error) {
 		if ev.Action != "output" || ev.Test == "" {
 			continue
 		}
-		m := trialsPerSecRe.FindStringSubmatch(ev.Output)
+		m := re.FindStringSubmatch(ev.Output)
 		if m == nil {
 			continue
 		}
@@ -79,18 +88,21 @@ func parseBenchFile(path string) (map[string]float64, error) {
 	return out, sc.Err()
 }
 
-// regression is one benchmark whose current throughput fell beyond the
-// threshold.
+// regression is one benchmark whose current metric moved in the bad
+// direction beyond the threshold.
 type regression struct {
 	Name              string
 	Baseline, Current float64
-	Drop              float64 // fractional drop, e.g. 0.25 = 25% slower
+	Drop              float64 // fractional regression, e.g. 0.25 = 25% worse
 }
 
 // compare evaluates every benchmark present in both captures whose
-// name starts with prefix. It returns the regressions and the names
-// compared (sorted), so the caller can render a full table.
-func compare(baseline, current map[string]float64, prefix string, threshold float64) (regs []regression, compared []string) {
+// name starts with prefix. lowerBetter selects the regression sense:
+// false means a drop in the metric regresses (throughput), true means
+// a rise does (cost metrics like trials-to-target-ci). It returns the
+// regressions and the names compared (sorted), so the caller can
+// render a full table.
+func compare(baseline, current map[string]float64, prefix string, threshold float64, lowerBetter bool) (regs []regression, compared []string) {
 	for name, base := range baseline {
 		if !strings.HasPrefix(name, prefix) || base <= 0 {
 			continue
@@ -100,7 +112,11 @@ func compare(baseline, current map[string]float64, prefix string, threshold floa
 			continue
 		}
 		compared = append(compared, name)
-		if drop := 1 - cur/base; drop > threshold {
+		drop := 1 - cur/base
+		if lowerBetter {
+			drop = cur/base - 1
+		}
+		if drop > threshold {
 			regs = append(regs, regression{Name: name, Baseline: base, Current: cur, Drop: drop})
 		}
 	}
@@ -112,42 +128,53 @@ func compare(baseline, current map[string]float64, prefix string, threshold floa
 func run() error {
 	baselinePath := flag.String("baseline", "", "committed go test -json capture to ratchet against (required)")
 	currentPath := flag.String("current", "", "fresh go test -json capture to check (required)")
-	threshold := flag.Float64("threshold", 0.10, "maximum tolerated fractional trials/s drop (0.10 = 10%)")
+	threshold := flag.Float64("threshold", 0.10, "maximum tolerated fractional regression (0.10 = 10%)")
 	prefix := flag.String("bench", "BenchmarkCampaignLifecycle", "benchmark name prefix to compare")
+	metric := flag.String("metric", "trials/s", "custom benchmark metric to compare")
+	direction := flag.String("direction", "higher", "which way is better for the metric: higher (throughput) or lower (cost, e.g. trials-to-target-ci)")
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
 		return fmt.Errorf("both -baseline and -current are required")
 	}
-	baseline, err := parseBenchFile(*baselinePath)
+	var lowerBetter bool
+	switch *direction {
+	case "higher":
+	case "lower":
+		lowerBetter = true
+	default:
+		return fmt.Errorf("-direction must be higher or lower, got %q", *direction)
+	}
+	re := metricRe(*metric)
+	baseline, err := parseBenchFile(*baselinePath, re)
 	if err != nil {
 		return fmt.Errorf("reading baseline: %w", err)
 	}
-	current, err := parseBenchFile(*currentPath)
+	current, err := parseBenchFile(*currentPath, re)
 	if err != nil {
 		return fmt.Errorf("reading current capture: %w", err)
 	}
 	if len(baseline) == 0 {
-		return fmt.Errorf("baseline %s holds no trials/s benchmark events (hand-written summary? pick a scripts/bench.sh capture)", *baselinePath)
+		return fmt.Errorf("baseline %s holds no %s benchmark events (hand-written summary? pick a scripts/bench.sh capture)", *baselinePath, *metric)
 	}
 	if len(current) == 0 {
-		return fmt.Errorf("current capture %s holds no trials/s benchmark events", *currentPath)
+		return fmt.Errorf("current capture %s holds no %s benchmark events", *currentPath, *metric)
 	}
-	regs, compared := compare(baseline, current, *prefix, *threshold)
+	regs, compared := compare(baseline, current, *prefix, *threshold, lowerBetter)
 	if len(compared) == 0 {
 		return fmt.Errorf("no %s* benchmarks common to both captures", *prefix)
 	}
 	for _, name := range compared {
 		delta := 100 * (current[name]/baseline[name] - 1)
-		fmt.Printf("%-50s %10.1f -> %10.1f trials/s  (%+.1f%%)\n",
-			name, baseline[name], current[name], delta)
+		fmt.Printf("%-50s %10.1f -> %10.1f %s  (%+.1f%%)\n",
+			name, baseline[name], current[name], *metric, delta)
 	}
 	if len(regs) > 0 {
 		fmt.Printf("\nbenchgate: %d benchmark(s) regressed more than %.0f%% vs %s:\n",
 			len(regs), *threshold*100, *baselinePath)
 		for _, r := range regs {
-			fmt.Printf("  %s: %.1f -> %.1f trials/s (-%.1f%%)\n", r.Name, r.Baseline, r.Current, r.Drop*100)
+			fmt.Printf("  %s: %.1f -> %.1f %s (%.1f%% worse)\n", r.Name, r.Baseline, r.Current, *metric, r.Drop*100)
 		}
-		return fmt.Errorf("throughput regression beyond %.0f%%", *threshold*100)
+		return fmt.Errorf("%s regression beyond %.0f%%", *metric, *threshold*100)
 	}
 	fmt.Printf("\nbenchgate: %d benchmark(s) within %.0f%% of %s\n", len(compared), *threshold*100, *baselinePath)
 	return nil

@@ -35,7 +35,7 @@ func capture(t *testing.T, name, fresh, resume string) string {
 
 func TestParseBenchFile(t *testing.T) {
 	p := capture(t, "base.json", "22.49", "30.00")
-	got, err := parseBenchFile(p)
+	got, err := parseBenchFile(p, metricRe("trials/s"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,12 +66,28 @@ func TestParseBenchFileHandWrittenSummary(t *testing.T) {
   ]
 }
 `)
-	got, err := parseBenchFile(p)
+	got, err := parseBenchFile(p, metricRe("trials/s"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 0 {
 		t.Errorf("hand-written summary parsed to %v, want empty", got)
+	}
+}
+
+// TestParseBenchFileCustomMetric: the parser keys on whichever metric
+// the caller ratchets, so one capture can hold both the throughput and
+// the adaptive-efficiency benchmarks without cross-talk.
+func TestParseBenchFileCustomMetric(t *testing.T) {
+	p := writeFile(t, "adaptive.json", `{"Action":"output","Test":"BenchmarkAdaptiveCampaign/adaptive","Output":"       1\t 698779804 ns/op\t        58.00 trials-to-target-ci\n"}
+{"Action":"output","Test":"BenchmarkCampaignLifecycle/fresh","Output":"       1\t 711479310 ns/op\t        22.49 trials/s\n"}
+`)
+	got, err := parseBenchFile(p, metricRe("trials-to-target-ci"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["BenchmarkAdaptiveCampaign/adaptive"] != 58 {
+		t.Errorf("parsed %v, want only the adaptive benchmark at 58", got)
 	}
 }
 
@@ -86,7 +102,7 @@ func TestCompare(t *testing.T) {
 		"BenchmarkCampaignLifecycle/resume": 40, // -20%: regression
 		"BenchmarkOther":                    1,
 	}
-	regs, compared := compare(baseline, current, "BenchmarkCampaignLifecycle", 0.10)
+	regs, compared := compare(baseline, current, "BenchmarkCampaignLifecycle", 0.10, false)
 	if len(compared) != 2 {
 		t.Fatalf("compared %v, want the two lifecycle benchmarks", compared)
 	}
@@ -98,7 +114,7 @@ func TestCompare(t *testing.T) {
 	}
 
 	// The relaxed threshold tolerates the same capture.
-	regs, _ = compare(baseline, current, "BenchmarkCampaignLifecycle", 0.50)
+	regs, _ = compare(baseline, current, "BenchmarkCampaignLifecycle", 0.50, false)
 	if len(regs) != 0 {
 		t.Errorf("relaxed threshold still flags %+v", regs)
 	}
@@ -108,7 +124,41 @@ func TestCompare(t *testing.T) {
 		"BenchmarkCampaignLifecycle/fresh":  200,
 		"BenchmarkCampaignLifecycle/resume": 51,
 	}
-	regs, _ = compare(baseline, better, "BenchmarkCampaignLifecycle", 0.10)
+	regs, _ = compare(baseline, better, "BenchmarkCampaignLifecycle", 0.10, false)
+	if len(regs) != 0 {
+		t.Errorf("improvement flagged as regression: %+v", regs)
+	}
+}
+
+// TestCompareLowerBetter: the inverted sense used for cost metrics —
+// spending more trials than the baseline regresses, spending fewer
+// never does.
+func TestCompareLowerBetter(t *testing.T) {
+	baseline := map[string]float64{
+		"BenchmarkAdaptiveCampaign/adaptive": 58,
+		"BenchmarkAdaptiveCampaign/fixed":    400,
+	}
+	worse := map[string]float64{
+		"BenchmarkAdaptiveCampaign/adaptive": 80,  // +38%: the planner got wasteful
+		"BenchmarkAdaptiveCampaign/fixed":    400, // unchanged
+	}
+	regs, compared := compare(baseline, worse, "BenchmarkAdaptiveCampaign", 0.10, true)
+	if len(compared) != 2 {
+		t.Fatalf("compared %v, want both adaptive benchmarks", compared)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkAdaptiveCampaign/adaptive" {
+		t.Fatalf("regressions = %+v, want only adaptive", regs)
+	}
+	if regs[0].Drop < 0.37 || regs[0].Drop > 0.39 {
+		t.Errorf("adaptive regression = %v, want ~0.38", regs[0].Drop)
+	}
+
+	// Spending fewer trials at the same target is an improvement.
+	better := map[string]float64{
+		"BenchmarkAdaptiveCampaign/adaptive": 40,
+		"BenchmarkAdaptiveCampaign/fixed":    400,
+	}
+	regs, _ = compare(baseline, better, "BenchmarkAdaptiveCampaign", 0.10, true)
 	if len(regs) != 0 {
 		t.Errorf("improvement flagged as regression: %+v", regs)
 	}
@@ -118,7 +168,7 @@ func TestCompare(t *testing.T) {
 // committed baseline format: the latest event-stream BENCH file must
 // yield the lifecycle benchmarks the ratchet keys on.
 func TestCompareAgainstCommittedCapture(t *testing.T) {
-	got, err := parseBenchFile("../../BENCH_2026-08-06-fastpath.json")
+	got, err := parseBenchFile("../../BENCH_2026-08-06-fastpath.json", metricRe("trials/s"))
 	if err != nil {
 		t.Skipf("committed capture unavailable: %v", err)
 	}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	hrmsim characterize -app websearch -error hard-1bit -region stack -trials 400
+//	hrmsim characterize -app websearch -trials 2000 -target-ci 0.02
 //	hrmsim characterize -app kvstore -trials 1000000 -shard 3/8 -journal shards/shard-0003-of-0008.jsonl
 //	hrmsim characterize -app kvstore -trials 1000000 -coordinator -shards 8 -status-addr :8080
 //	hrmsim merge -dir shards/
@@ -15,7 +16,16 @@
 //	hrmsim plan -target 0.999
 //	hrmsim tolerable
 //	hrmsim lifetime -protection secded+scrub -errors 200000 -hours 24
-//	hrmsim tables [-t fig3] [-trials 400]
+//	hrmsim tables [-t fig3] [-trials 400] [-target-ci 0.06]
+//
+// Campaigns run either a fixed trial count (-trials) or, with
+// -target-ci, an adaptive plan: stop as soon as the 90% Wilson CI
+// half-width on the crash probability reaches the target, with -trials
+// as the hard budget and -min-trials/-max-trials as guard rails. The
+// plan is deterministic and resumable exactly like a fixed campaign,
+// but incompatible with -shard/-coordinator (it needs the whole trial
+// index space). Under tables, -target-ci applies per campaign cell and
+// the cells share the worker pool widest-CI-first.
 //
 // characterize runs a campaign whole, as one shard of a multi-process
 // campaign (-shard i/N, emitting a journal plus a shard manifest, and

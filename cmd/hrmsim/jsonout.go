@@ -139,6 +139,13 @@ type fleetStatusJSON struct {
 	Outcomes     map[string]int `json:"outcomes"`
 	TrialsPerSec float64        `json:"trials_per_sec,omitempty"`
 	EtaSeconds   float64        `json:"eta_seconds,omitempty"`
+	// Adaptive planner telemetry (absent for fixed-plan campaigns):
+	// the widest reported CI half-width, the summed current trial
+	// budget, and the trials the stopping rules saved so far.
+	Adaptive      bool    `json:"adaptive,omitempty"`
+	CIHalfWidth   float64 `json:"ci_half_width,omitempty"`
+	PlannedTrials int     `json:"planned_trials,omitempty"`
+	TrialsSaved   int     `json:"trials_saved,omitempty"`
 	// Running / Interrupted count shards in each state.
 	Running     int               `json:"running"`
 	Interrupted int               `json:"interrupted,omitempty"`
@@ -160,8 +167,15 @@ type shardStatusJSON struct {
 	TrialsPerSec   float64        `json:"trials_per_sec,omitempty"`
 	EtaSeconds     float64        `json:"eta_seconds,omitempty"`
 	ElapsedSeconds float64        `json:"elapsed_seconds,omitempty"`
-	Running        bool           `json:"running"`
-	Interrupted    bool           `json:"interrupted,omitempty"`
+	// Adaptive planner telemetry, mirroring the shard's heartbeat
+	// record (absent for fixed-plan shards).
+	Adaptive      bool    `json:"adaptive,omitempty"`
+	CIHalfWidth   float64 `json:"ci_half_width,omitempty"`
+	PlannedTrials int     `json:"planned_trials,omitempty"`
+	PlanFinal     bool    `json:"plan_final,omitempty"`
+	TrialsSaved   int     `json:"trials_saved,omitempty"`
+	Running       bool    `json:"running"`
+	Interrupted   bool    `json:"interrupted,omitempty"`
 	// UpdatedUnixNs is the heartbeat instant; AgeSeconds its age at
 	// render time — the liveness signal straggler detection keys on.
 	UpdatedUnixNs int64   `json:"updated_unix_ns"`
@@ -170,23 +184,27 @@ type shardStatusJSON struct {
 
 func toFleetJSON(fs *hrmsim.FleetStatus, now time.Time) fleetStatusJSON {
 	out := fleetStatusJSON{
-		ConfigHash:   fs.ConfigHash,
-		App:          string(fs.App),
-		Error:        string(fs.Error),
-		Region:       string(fs.Region),
-		Trials:       fs.Trials,
-		Seed:         fs.Seed,
-		Done:         fs.Done,
-		Total:        fs.Total,
-		Completed:    fs.Completed,
-		Aborted:      fs.Aborted,
-		Resumed:      fs.Resumed,
-		Outcomes:     fs.Outcomes,
-		TrialsPerSec: fs.TrialsPerSec,
-		EtaSeconds:   fs.ETA.Seconds(),
-		Running:      fs.Running,
-		Interrupted:  fs.Interrupted,
-		Shards:       []shardStatusJSON{},
+		ConfigHash:    fs.ConfigHash,
+		App:           string(fs.App),
+		Error:         string(fs.Error),
+		Region:        string(fs.Region),
+		Trials:        fs.Trials,
+		Seed:          fs.Seed,
+		Done:          fs.Done,
+		Total:         fs.Total,
+		Completed:     fs.Completed,
+		Aborted:       fs.Aborted,
+		Resumed:       fs.Resumed,
+		Outcomes:      fs.Outcomes,
+		TrialsPerSec:  fs.TrialsPerSec,
+		EtaSeconds:    fs.ETA.Seconds(),
+		Adaptive:      fs.Adaptive,
+		CIHalfWidth:   fs.CIHalfWidth,
+		PlannedTrials: fs.Planned,
+		TrialsSaved:   fs.TrialsSaved,
+		Running:       fs.Running,
+		Interrupted:   fs.Interrupted,
+		Shards:        []shardStatusJSON{},
 	}
 	if out.Outcomes == nil {
 		out.Outcomes = map[string]int{}
@@ -206,6 +224,11 @@ func toFleetJSON(fs *hrmsim.FleetStatus, now time.Time) fleetStatusJSON {
 			TrialsPerSec:   sh.TrialsPerSec,
 			EtaSeconds:     sh.ETA.Seconds(),
 			ElapsedSeconds: sh.Elapsed.Seconds(),
+			Adaptive:       sh.Adaptive,
+			CIHalfWidth:    sh.CIHalfWidth,
+			PlannedTrials:  sh.Planned,
+			PlanFinal:      sh.PlanFinal,
+			TrialsSaved:    sh.TrialsSaved,
 			Running:        sh.Running,
 			Interrupted:    sh.Interrupted,
 			UpdatedUnixNs:  sh.UpdatedAt.UnixNano(),
@@ -267,18 +290,24 @@ func emitJSON(command string, interrupted bool, result any, metrics *obsv.Snapsh
 
 // characterizeJSON is the `characterize -json` result.
 type characterizeJSON struct {
-	App                     string         `json:"app"`
-	Error                   string         `json:"error"`
-	Region                  string         `json:"region"` // "" = all regions
-	Trials                  int            `json:"trials"`
-	Parallelism             int            `json:"parallelism"`
-	CrashProbability        float64        `json:"crash_probability"`
-	CrashCILow              float64        `json:"crash_ci_low"`
-	CrashCIHigh             float64        `json:"crash_ci_high"`
-	ToleratedProbability    float64        `json:"tolerated_probability"`
-	IncorrectPerBillion     float64        `json:"incorrect_per_billion"`
-	MaxIncorrectPerBillion  float64        `json:"max_incorrect_per_billion"`
-	Outcomes                map[string]int `json:"outcomes"`
+	App                    string         `json:"app"`
+	Error                  string         `json:"error"`
+	Region                 string         `json:"region"` // "" = all regions
+	Trials                 int            `json:"trials"`
+	Parallelism            int            `json:"parallelism"`
+	CrashProbability       float64        `json:"crash_probability"`
+	CrashCILow             float64        `json:"crash_ci_low"`
+	CrashCIHigh            float64        `json:"crash_ci_high"`
+	ToleratedProbability   float64        `json:"tolerated_probability"`
+	IncorrectPerBillion    float64        `json:"incorrect_per_billion"`
+	MaxIncorrectPerBillion float64        `json:"max_incorrect_per_billion"`
+	Outcomes               map[string]int `json:"outcomes"`
+	// Adaptive-plan fields, present only when the campaign ran with
+	// -target-ci: the requested CI half-width target, the trial count
+	// the stopping rule settled on, and the budget trials it saved.
+	TargetCI                float64        `json:"target_ci,omitempty"`
+	PlannedTrials           int            `json:"planned_trials,omitempty"`
+	TrialsSaved             int            `json:"trials_saved,omitempty"`
 	Interrupted             bool           `json:"interrupted,omitempty"`
 	CompletedTrials         int            `json:"completed_trials"`
 	AbortedTrials           int            `json:"aborted_trials,omitempty"`
@@ -308,7 +337,7 @@ func nonNil(xs []float64) []float64 {
 }
 
 func toCharacterizeJSON(c *hrmsim.Characterization) characterizeJSON {
-	return characterizeJSON{
+	out := characterizeJSON{
 		App:                     string(c.App),
 		Error:                   string(c.Error),
 		Region:                  string(c.Region),
@@ -331,6 +360,12 @@ func toCharacterizeJSON(c *hrmsim.Characterization) characterizeJSON {
 		CrashMinutesSummary:     summarize(c.CrashMinutes),
 		IncorrectMinutesSummary: summarize(c.IncorrectMinutes),
 	}
+	if c.TargetCI > 0 {
+		out.TargetCI = c.TargetCI
+		out.PlannedTrials = c.Planned
+		out.TrialsSaved = c.TrialsSaved
+	}
+	return out
 }
 
 // profileJSON is the `profile -json` result.

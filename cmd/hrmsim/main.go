@@ -87,7 +87,10 @@ Run 'hrmsim <subcommand> -h' for flags.`)
 // stderr status line — done/total plus the live wall-clock trial rate
 // and projected time remaining — throttled to 5% steps so heavy
 // campaigns are not slowed by terminal writes. Core serializes the
-// calls.
+// calls. The Total (and hence the ETA) is planner-aware: under an
+// adaptive plan it is the planner's current trial budget — the next CI
+// evaluation boundary — so the line carries an "adaptive" marker while
+// the plan is still open-ended and the budget can grow.
 func progressFunc(label string) func(hrmsim.ProgressInfo) {
 	last := -1
 	return func(p hrmsim.ProgressInfo) {
@@ -99,10 +102,14 @@ func progressFunc(label string) func(hrmsim.ProgressInfo) {
 			return
 		}
 		last = p.Done / step
-		fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials (%d%%) | %.1f trials/s | ETA %s",
+		marker := ""
+		if p.Adaptive {
+			marker = " (adaptive)"
+		}
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials (%d%%) | %.1f trials/s | ETA %s%s",
 			label, p.Done, p.Total, 100*p.Done/p.Total,
-			p.TrialsPerSec, p.ETA.Round(time.Second))
-		if p.Done == p.Total {
+			p.TrialsPerSec, p.ETA.Round(time.Second), marker)
+		if p.Done == p.Total && !p.Adaptive {
 			fmt.Fprintln(os.Stderr)
 		}
 	}
@@ -127,7 +134,10 @@ func cmdCharacterize(args []string) error {
 	app := fs.String("app", "websearch", "application: websearch|kvstore|graphmine")
 	errType := fs.String("error", "soft-1bit", "error type: soft-1bit|hard-1bit|hard-2bit")
 	region := fs.String("region", "", "region: private|heap|stack (empty = all)")
-	trials := fs.Int("trials", 400, "injection trials")
+	trials := fs.Int("trials", 400, "injection trials (with -target-ci: the hard trial budget)")
+	targetCI := fs.Float64("target-ci", 0, "adaptive stopping: end the campaign once the 90% Wilson CI half-width of the crash probability is at most this (e.g. 0.02 for ±2 points; 0 = run exactly -trials); deterministic and resumable like fixed campaigns, but incompatible with -shard/-coordinator")
+	minTrials := fs.Int("min-trials", 0, "adaptive stopping: never stop before this many trials (requires -target-ci; 0 = the default 30)")
+	maxTrials := fs.Int("max-trials", 0, "adaptive stopping: trial budget cap (requires -target-ci; 0 = -trials)")
 	seed := fs.Int64("seed", 1, "random seed")
 	size := fs.String("size", "medium", "workload size: small|medium|large")
 	parallelism := fs.Int("parallelism", 0, "concurrent trial workers (0 = GOMAXPROCS); results are identical at any value")
@@ -156,9 +166,15 @@ func cmdCharacterize(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *targetCI == 0 && (*minTrials != 0 || *maxTrials != 0) {
+		return fmt.Errorf("-min-trials and -max-trials are adaptive guard rails and require -target-ci")
+	}
 	if *coordinator {
 		if *shardFlag != "" {
 			return fmt.Errorf("-coordinator and -shard are mutually exclusive (the coordinator assigns shards itself)")
+		}
+		if *targetCI != 0 {
+			return fmt.Errorf("-target-ci cannot be combined with -coordinator: an adaptive plan needs the whole trial index space, but coordinator workers each own a shard of it — run adaptive campaigns as one process (see SHARDING.md)")
 		}
 		if *journalPath != "" || *resumePath != "" || *traceFile != "" || *statusPath != "" {
 			return fmt.Errorf("-coordinator manages its own shard journals and status records; -journal, -resume, -trace, and -status apply to single-process runs")
@@ -199,6 +215,9 @@ func cmdCharacterize(args []string) error {
 		Error:         hrmsim.ErrorType(*errType),
 		Region:        hrmsim.Region(*region),
 		Trials:        *trials,
+		TargetCI:      *targetCI,
+		MinTrials:     *minTrials,
+		MaxTrials:     *maxTrials,
 		Seed:          *seed,
 		Size:          sz,
 		Parallelism:   *parallelism,
@@ -209,6 +228,9 @@ func cmdCharacterize(args []string) error {
 		ResumePath:    *resumePath,
 	}
 	if *shardFlag != "" {
+		if *targetCI != 0 {
+			return fmt.Errorf("-target-ci cannot be combined with -shard: an adaptive plan needs the whole trial index space — run adaptive campaigns unsharded (see SHARDING.md)")
+		}
 		spec, err := core.ParseShardSpec(*shardFlag)
 		if err != nil {
 			return err
@@ -295,6 +317,14 @@ func printCharacterization(c *hrmsim.Characterization) {
 	if c.Shard != nil {
 		fmt.Printf("  shard %d/%d: trials [%d,%d) — merge with the sibling shards for campaign statistics\n",
 			c.Shard.Index, c.Shard.Count, c.Shard.TrialLo, c.Shard.TrialHi)
+	}
+	if c.TargetCI > 0 {
+		saved := ""
+		if c.TrialsSaved > 0 {
+			saved = fmt.Sprintf(" — %d of the %d-trial budget saved", c.TrialsSaved, c.Trials)
+		}
+		fmt.Printf("  adaptive plan: target CI half-width %.3g, stopped at %d trials%s\n",
+			c.TargetCI, c.Planned, saved)
 	}
 	fmt.Println()
 	fmt.Printf("  crash probability:     %.2f%%  (90%% CI [%.2f%%, %.2f%%])\n",
@@ -537,7 +567,8 @@ func cmdTables(args []string) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	id := fs.String("t", "", "experiment ID (empty = all): "+
 		fmt.Sprint(hrmsim.ExperimentIDs())+" and extensions "+fmt.Sprint(hrmsim.ExtensionIDs()))
-	trials := fs.Int("trials", 400, "injection trials per campaign cell")
+	trials := fs.Int("trials", 400, "injection trials per campaign cell (with -target-ci: each cell's hard budget)")
+	targetCI := fs.Float64("target-ci", 0, "stop each campaign cell once the 90% CI half-width on its crash probability reaches this target (0 = fixed -trials per cell); cells share the worker pool widest-CI-first")
 	seed := fs.Int64("seed", 1, "random seed")
 	ext := fs.Bool("ext", false, "also run the extension experiments")
 	jsonOut := fs.Bool("json", false, "emit the results as JSON (schema: OBSERVABILITY.md)")
@@ -545,7 +576,7 @@ func cmdTables(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	lcfg := hrmsim.LabConfig{Trials: *trials, Seed: *seed}
+	lcfg := hrmsim.LabConfig{Trials: *trials, TargetCI: *targetCI, Seed: *seed}
 	if *progress {
 		lcfg.Progress = progressFunc("tables")
 	}

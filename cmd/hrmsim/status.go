@@ -171,6 +171,13 @@ func renderFleetStatus(fs *hrmsim.FleetStatus, now time.Time) string {
 	}
 	fmt.Fprintf(&b, "\n  dispositions: %d completed, %d aborted, %d resumed\n",
 		fs.Completed, fs.Aborted, fs.Resumed)
+	if fs.Adaptive {
+		fmt.Fprintf(&b, "  adaptive plan: CI half-width %.4f, %d planned trials", fs.CIHalfWidth, fs.Planned)
+		if fs.TrialsSaved > 0 {
+			fmt.Fprintf(&b, ", %d of the %d-trial budget saved", fs.TrialsSaved, fs.Trials)
+		}
+		b.WriteString("\n")
+	}
 	if len(fs.Outcomes) > 0 {
 		var keys []string
 		for k := range fs.Outcomes {
@@ -195,6 +202,9 @@ func renderFleetStatus(fs *hrmsim.FleetStatus, now time.Time) string {
 			sh.TrialLo, sh.TrialHi, sh.Done, sh.Total, state)
 		if sh.Running && sh.TrialsPerSec > 0 {
 			fmt.Fprintf(&b, " | %.1f trials/s | ETA %s", sh.TrialsPerSec, sh.ETA.Round(time.Second))
+		}
+		if sh.Adaptive {
+			fmt.Fprintf(&b, " | CI ±%.4f", sh.CIHalfWidth)
 		}
 		fmt.Fprintf(&b, " | heartbeat %s ago\n", sh.Age(now).Round(time.Second))
 	}

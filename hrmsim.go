@@ -21,6 +21,7 @@ import (
 	"hrmsim/internal/monitor"
 	"hrmsim/internal/obsv"
 	"hrmsim/internal/simmem"
+	"hrmsim/internal/stats"
 )
 
 // App names a case-study application.
@@ -181,8 +182,27 @@ type CharacterizeConfig struct {
 	// Region restricts injection (default AnyRegion: whole address
 	// space, weighted by region size).
 	Region Region
-	// Trials is the number of injection experiments (default 200).
+	// Trials is the size of the campaign's trial index space (default
+	// 200). With TargetCI unset every index runs exactly once (the
+	// classic fixed-N campaign); with TargetCI set, Trials is the hard
+	// budget the adaptive planner may stop short of.
 	Trials int
+	// TargetCI, if positive, switches the campaign from the fixed plan
+	// to the adaptive planner: trials run in deterministic batches
+	// until the 90% Wilson confidence interval on the crash probability
+	// has half-width at most TargetCI (e.g. 0.02 for ±2 points), within
+	// the MinTrials/MaxTrials guard rails. Results are bit-identical
+	// across Parallelism and across interrupt/resume, exactly like
+	// fixed campaigns. Incompatible with ShardCount (an adaptive plan
+	// needs the whole trial index space — see SHARDING.md).
+	TargetCI float64
+	// MinTrials, with TargetCI, is the first CI evaluation boundary:
+	// the campaign never stops earlier, however tight the interval
+	// (default DefaultAdaptiveMinTrials, clamped to the budget).
+	MinTrials int
+	// MaxTrials, with TargetCI, caps the adaptive campaign's trial
+	// budget (default Trials; must not exceed Trials).
+	MaxTrials int
 	// Seed makes the campaign deterministic (default 1).
 	Seed int64
 	// Size selects the workload scale (default SizeMedium).
@@ -272,6 +292,12 @@ type ProgressInfo struct {
 	TrialsPerSec            float64
 	ETA                     time.Duration
 	MeanTrialVirtualMinutes float64
+	// Adaptive marks an open-ended campaign (TargetCI set, stopping
+	// rule not yet fired): Total is the adaptive planner's current
+	// trial budget — the next CI evaluation boundary — not a fixed
+	// size, and may grow between calls; the ETA extrapolates to that
+	// moving budget.
+	Adaptive bool
 }
 
 // coreProgress adapts a public Progress hook to the engine's.
@@ -281,6 +307,19 @@ func coreProgress(hook func(ProgressInfo)) func(core.ProgressInfo) {
 	}
 	return func(p core.ProgressInfo) { hook(ProgressInfo(p)) }
 }
+
+// Adaptive-campaign defaults (see CharacterizeConfig.TargetCI).
+const (
+	// DefaultAdaptiveMinTrials is the first CI evaluation boundary when
+	// CharacterizeConfig.MinTrials is zero: enough observations that an
+	// early all-quiet or all-crash prefix cannot stop a campaign on
+	// noise alone.
+	DefaultAdaptiveMinTrials = 30
+	// adaptiveCILevel is the confidence level of the stopping rule's
+	// Wilson interval — the paper's 90%, matching the reported
+	// CrashCILow/CrashCIHigh bounds.
+	adaptiveCILevel = 0.90
+)
 
 // Characterization is the result of one campaign: the application's
 // measured tolerance to the injected error type.
@@ -328,6 +367,14 @@ type Characterization struct {
 	Completed int
 	Aborted   int
 	Resumed   int
+	// TargetCI echoes CharacterizeConfig.TargetCI (zero for fixed
+	// campaigns). Planned is the trial count the planner settled on —
+	// Trials under the fixed plan, the adaptive stopping boundary
+	// otherwise — and TrialsSaved is Trials − Planned once the adaptive
+	// rule fired: the trials the requested CI made unnecessary.
+	TargetCI    float64
+	Planned     int
+	TrialsSaved int
 	// Shard, when the campaign ran as one shard of a larger campaign
 	// (CharacterizeConfig.ShardCount > 0), records the shard coordinates
 	// and owned trial range; the aggregates above then cover only that
@@ -359,6 +406,34 @@ func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	adaptive := cfg.TargetCI > 0
+	switch {
+	case !adaptive && cfg.TargetCI != 0:
+		return nil, fmt.Errorf("hrmsim: TargetCI must be positive, got %g", cfg.TargetCI)
+	case !adaptive && (cfg.MinTrials != 0 || cfg.MaxTrials != 0):
+		return nil, fmt.Errorf("hrmsim: MinTrials/MaxTrials are adaptive-campaign guard rails and require TargetCI")
+	case adaptive && cfg.TargetCI >= 1:
+		return nil, fmt.Errorf("hrmsim: TargetCI is a probability half-width and must be below 1, got %g", cfg.TargetCI)
+	case adaptive && cfg.ShardCount > 0:
+		return nil, fmt.Errorf("hrmsim: TargetCI cannot be combined with ShardCount — an adaptive plan needs the whole trial index space; run adaptive campaigns unsharded (see SHARDING.md)")
+	}
+	if adaptive {
+		if cfg.MaxTrials == 0 {
+			cfg.MaxTrials = cfg.Trials
+		}
+		if cfg.MaxTrials < 0 || cfg.MaxTrials > cfg.Trials {
+			return nil, fmt.Errorf("hrmsim: MaxTrials %d outside [1,%d] (Trials is the index space)", cfg.MaxTrials, cfg.Trials)
+		}
+		if cfg.MinTrials == 0 {
+			cfg.MinTrials = DefaultAdaptiveMinTrials
+			if cfg.MinTrials > cfg.MaxTrials {
+				cfg.MinTrials = cfg.MaxTrials
+			}
+		}
+		if cfg.MinTrials < 0 || cfg.MinTrials > cfg.MaxTrials {
+			return nil, fmt.Errorf("hrmsim: MinTrials %d outside [1,%d]", cfg.MinTrials, cfg.MaxTrials)
+		}
+	}
 	spec, err := specFor(cfg.Error)
 	if err != nil {
 		return nil, err
@@ -387,6 +462,14 @@ func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
 	if kind != 0 {
 		ccfg.Filter = func(r *simmem.Region) bool { return r.Kind() == kind }
 	}
+	if adaptive {
+		ccfg.Planner = core.NewAdaptivePlanner(stats.SequentialStopping{
+			TargetHalfWidth: cfg.TargetCI,
+			Level:           adaptiveCILevel,
+			MinTrials:       cfg.MinTrials,
+			MaxTrials:       cfg.MaxTrials,
+		})
+	}
 	var shard *core.ShardSpec
 	if cfg.ShardCount > 0 {
 		s := core.ShardSpec{Index: cfg.ShardIndex, Count: cfg.ShardCount}
@@ -412,6 +495,16 @@ func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
 		Trials: cfg.Trials,
 		Seed:   cfg.Seed,
 		Size:   int64(cfg.Size),
+	}
+	if adaptive {
+		// The stopping rule is part of the campaign identity: a journal
+		// resumed under a different rule would replay to a different
+		// stop boundary. These fields also flow into the shard
+		// manifest's ConfigHash via this meta.
+		meta.TargetCI = cfg.TargetCI
+		meta.CILevel = adaptiveCILevel
+		meta.MinTrials = cfg.MinTrials
+		meta.MaxTrials = cfg.MaxTrials
 	}
 	if cfg.ResumePath != "" {
 		f, err := os.Open(cfg.ResumePath)
@@ -507,6 +600,7 @@ func Characterize(cfg CharacterizeConfig) (*Characterization, error) {
 	if err != nil {
 		return nil, err
 	}
+	out.TargetCI = cfg.TargetCI
 	if shard != nil {
 		lo, hi := shard.Range(cfg.Trials)
 		out.Shard = &ShardInfo{
@@ -557,6 +651,10 @@ func newCharacterization(app App, errType ErrorType, region Region, trials, par 
 		Completed:           res.Completed(),
 		Aborted:             res.AbortedCount(),
 		Resumed:             res.Resumed,
+		Planned:             res.Planned,
+	}
+	if res.PlanFinal && res.Planned > 0 && res.Planned < res.Requested {
+		out.TrialsSaved = res.Requested - res.Planned
 	}
 	// The probability estimates need at least one completed trial; an
 	// immediately interrupted (or fully aborted) campaign reports zeros.

@@ -65,8 +65,18 @@ type CampaignConfig struct {
 	Lifecycle Lifecycle
 	// Spec is the error type to inject.
 	Spec faults.Spec
-	// Trials is the number of injection experiments.
+	// Trials is the size of the campaign's trial index space. With the
+	// default fixed plan every index runs exactly once; an adaptive
+	// planner may stop earlier (Trials then acts as the hard budget).
 	Trials int
+	// Planner decides which trial indices run and when the campaign
+	// stops (see TrialPlanner). nil means NewFixedPlanner() — the
+	// classic "every owned index, ascending" fixed-N campaign, which is
+	// bit-identical to the pre-planner engine. AdaptivePlanner stops
+	// once the Wilson CI half-width of the crash probability reaches a
+	// target; it requires the whole index space, so it cannot be
+	// combined with a multi-shard Shard spec.
+	Planner TrialPlanner
 	// Seed makes the campaign deterministic; trial i derives its own
 	// generator from it, so results are independent of Parallelism.
 	Seed int64
@@ -180,6 +190,11 @@ type ProgressInfo struct {
 	// MeanTrialVirtualMinutes is the mean simulated span of the
 	// finished trials, in virtual minutes.
 	MeanTrialVirtualMinutes float64
+	// Adaptive marks an open-ended campaign: an adaptive planner is
+	// still narrowing its CI, so Total is the planner's current budget
+	// estimate (the next evaluation boundary), not a fixed size, and
+	// may grow between calls until the stopping rule fires.
+	Adaptive bool
 }
 
 // CampaignResult aggregates a campaign.
@@ -199,6 +214,16 @@ type CampaignResult struct {
 	// Requested is the configured campaign size (cfg.Trials);
 	// len(Trials) < Requested when the campaign was interrupted.
 	Requested int
+	// Planned is the trial count the campaign's planner settled on:
+	// Requested under the fixed plan, the stopping boundary under an
+	// adaptive one (Requested − Planned is the trials the adaptive rule
+	// saved). For a worker shard it is always the whole campaign's
+	// Requested.
+	Planned int
+	// PlanFinal reports the planner reached its final verdict — false
+	// when an adaptive plan was paused (AdaptivePlanner.PauseAfterRounds)
+	// and resuming it could grow Planned further.
+	PlanFinal bool
 	// Resumed counts trials whose results were merged from
 	// CampaignConfig.Resume instead of being re-run.
 	Resumed int
@@ -277,6 +302,13 @@ func RunContext(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error
 	if cfg.Shard != nil {
 		if err := cfg.Shard.Validate(); err != nil {
 			return nil, err
+		}
+		// Fail sharded adaptive campaigns before the golden run: the
+		// planner's own Start check would catch it, but only after the
+		// expensive build. (A 1-shard spec covers the whole index space
+		// and is allowed.)
+		if _, adaptive := cfg.Planner.(*AdaptivePlanner); adaptive && cfg.Shard.Count > 1 {
+			return nil, fmt.Errorf("core: the adaptive planner needs the whole trial index space; shard %d/%d campaigns must use the fixed plan", cfg.Shard.Index, cfg.Shard.Count)
 		}
 	}
 	golden := cfg.Golden
@@ -437,6 +469,26 @@ func (m *campaignMetrics) recordAbort(reason string) {
 		return
 	}
 	m.reg.Counter(obsv.LabeledName("campaign_trials_aborted_total", "reason", reason)).Inc()
+}
+
+// recordDecision meters one planner stop/continue verdict. The handles
+// are resolved lazily through the registry (decisions are a cold path —
+// one per evaluation boundary) so fixed campaigns, which make no
+// decisions, expose no adaptive metric rows at all.
+func (m *campaignMetrics) recordDecision(d PlannerDecision, requested int) {
+	if m == nil {
+		return
+	}
+	m.reg.Gauge("campaign_ci_half_width").Set(d.HalfWidth)
+	if d.Replayed || !d.Stop {
+		return
+	}
+	if !d.Exhausted {
+		m.reg.Counter("campaign_adaptive_stopped_total").Inc()
+	}
+	if saved := requested - d.Boundary; saved > 0 {
+		m.reg.Counter("campaign_trials_saved_total").Add(int64(saved))
+	}
 }
 
 // recordRetry counts one retried trial attempt.

@@ -8,11 +8,17 @@
 // Campaign execution is a two-tier supervision hierarchy:
 //
 //   - The in-process trial supervisor (supervisor.go, driven by Run)
-//     dispatches trials to a worker pool, bounds each trial with
-//     wall-clock and virtual-operation watchdogs, retries transient
-//     worker failures, checkpoints every finished trial to an
-//     append-only journal (journal.go), and fills resumed trials from a
-//     prior journal instead of re-running them.
+//     dispatches the trials a TrialPlanner (planner.go) releases to a
+//     worker pool, bounds each trial with wall-clock and
+//     virtual-operation watchdogs, retries transient worker failures,
+//     checkpoints every finished trial to an append-only journal
+//     (journal.go), and fills resumed trials from a prior journal
+//     instead of re-running them. FixedPlanner releases the classic
+//     0..Trials-1 sequence; AdaptivePlanner implements CI-targeted
+//     sequential stopping (stats.SequentialStopping): it evaluates the
+//     Wilson half-width on the crash probability at deterministic
+//     boundaries and ends the campaign at the target, journaling every
+//     verdict so a resumed plan replays bit-identically.
 //
 //   - The process-level coordinator (cmd/hrmsim) spawns N worker
 //     processes, each running one shard of the trial index space, and
@@ -32,4 +38,7 @@
 // the index space — parallel workers, interrupt/resume, shards across
 // processes — reproduces the single-process result bit-identically; see
 // SHARDING.md at the repository root for the operator-facing contract.
+// Adaptive plans keep that determinism (stopping boundaries depend only
+// on trial outcomes, never on arrival order) but need the whole index
+// space, so they are rejected in worker-shard mode.
 package core

@@ -358,6 +358,10 @@ func ResultFromTrials(app string, spec faults.Spec, requested int, trials map[in
 		App:       app,
 		Spec:      spec,
 		Requested: requested,
+		// Shard journals only exist for fixed plans (adaptive campaigns
+		// are unsharded), so the merged plan is the fixed one.
+		Planned:   requested,
+		PlanFinal: true,
 		counts:    make(map[Outcome]int),
 	}
 	idxs := make([]int, 0, len(trials))

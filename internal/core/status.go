@@ -71,6 +71,20 @@ type ShardStatus struct {
 	TrialsPerSec   float64 `json:"trials_per_sec,omitempty"`
 	EtaSeconds     float64 `json:"eta_seconds,omitempty"`
 	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+	// Adaptive planner telemetry, present only when the campaign runs
+	// under a non-fixed TrialPlanner (all omitempty, so fixed-campaign
+	// status records are byte-identical to earlier schema-1 writers):
+	// CIHalfWidth is the latest Wilson CI half-width verdict on the
+	// crash probability (1 until the first evaluation boundary);
+	// PlannedTrials is the planner's current campaign-level trial
+	// budget (Total tracks it, so done/total stays meaningful);
+	// PlanFinal marks the stopping rule has fired; TrialsSaved is the
+	// requested-minus-planned trial count once the plan is final.
+	Adaptive      bool    `json:"adaptive,omitempty"`
+	CIHalfWidth   float64 `json:"ci_half_width,omitempty"`
+	PlannedTrials int     `json:"planned_trials,omitempty"`
+	PlanFinal     bool    `json:"plan_final,omitempty"`
+	TrialsSaved   int     `json:"trials_saved,omitempty"`
 	// Running is true on every heartbeat but the final one; Interrupted
 	// is set on the final record of a cancelled run.
 	Running     bool `json:"running"`

@@ -30,6 +30,15 @@ type supervisor struct {
 	statusInterval time.Duration
 	m              *campaignMetrics
 
+	// plannerMu serializes all TrialPlanner calls (the planner needs no
+	// locking of its own); resultEv wakes the dispatch loop out of
+	// PlanWait after a result has been fed back. Lock order: plannerMu
+	// before progressMu, never the reverse.
+	plannerMu sync.Mutex
+	planner   TrialPlanner
+	resultEv  chan struct{}
+	adaptive  bool // planner is not the fixed plan: surface CI/budget fields
+
 	// progressMu serializes the progress/status accounting below; the
 	// Progress and StatusSink hooks are both called under it.
 	progressMu sync.Mutex
@@ -43,11 +52,15 @@ type supervisor struct {
 	resumed    int
 	counts     map[Outcome]int
 	lastStatus time.Time
+	planned    int     // planner's current campaign-level trial budget
+	planFinal  bool    // the budget is the plan's last word
+	halfWidth  float64 // latest CI half-width verdict (adaptive only)
 }
 
 // run executes the campaign: pre-merges resumed results, dispatches the
-// remaining indices to par workers, and stops dispatching (draining
-// in-flight trials) when ctx is cancelled.
+// planner's indices to par workers, and stops dispatching (draining
+// in-flight trials) when ctx is cancelled or the planner's stopping
+// rule fires.
 func (s *supervisor) run(ctx context.Context) (*CampaignResult, error) {
 	cfg := s.cfg
 	results := make([]TrialResult, cfg.Trials)
@@ -62,6 +75,7 @@ func (s *supervisor) run(ctx context.Context) (*CampaignResult, error) {
 	}
 	resumed := 0
 	s.counts = make(map[Outcome]int)
+	var resumedInRange map[int]TrialResult
 	for i, tr := range cfg.Resume {
 		if i < lo || i >= hi {
 			continue
@@ -70,6 +84,10 @@ func (s *supervisor) run(ctx context.Context) (*CampaignResult, error) {
 		results[i] = tr
 		have[i] = true
 		resumed++
+		if resumedInRange == nil {
+			resumedInRange = make(map[int]TrialResult)
+		}
+		resumedInRange[i] = tr
 		s.m.recordResumeSkip()
 		// Resumed trials count toward the shard's dispositions so the
 		// status record's totals always describe the whole range.
@@ -80,18 +98,31 @@ func (s *supervisor) run(ctx context.Context) (*CampaignResult, error) {
 			s.aborted++
 		}
 	}
-	var toRun []int
-	for i := lo; i < hi; i++ {
-		if !have[i] {
-			toRun = append(toRun, i)
-		}
+
+	// The planner decides which indices run and when the campaign
+	// stops; the default fixed plan is bit-identical to the classic
+	// "every owned index, ascending" engine. Resumed results replay
+	// through the planner so an adaptive plan continues exactly where
+	// the interrupted run stopped.
+	planner := cfg.Planner
+	if planner == nil {
+		planner = NewFixedPlanner()
 	}
+	if err := planner.Start(lo, hi, cfg.Trials, resumedInRange); err != nil {
+		return nil, err
+	}
+	_, fixed := planner.(*FixedPlanner)
+	s.planner = planner
+	s.adaptive = !fixed
+	s.resultEv = make(chan struct{}, 1)
+	s.halfWidth = 1
 
 	s.start = time.Now()
 	s.lo, s.hi = lo, hi
-	s.total = hi - lo
 	s.done = resumed
 	s.resumed = resumed
+	total, final := planner.Budget()
+	s.notePlan(planner.TakeDecisions(), total, final)
 
 	// Announce the shard before the first trial finishes: observers learn
 	// the shard exists (and how much is resumed) even if trials are slow.
@@ -118,18 +149,37 @@ func (s *supervisor) run(ctx context.Context) (*CampaignResult, error) {
 				results[i] = tr
 				have[i] = true
 				s.journalTrial(tr)
+				s.observePlanner(tr)
 				s.finished(tr, time.Since(start))
 			}
 		}()
 	}
 	interrupted := false
 dispatch:
-	for _, i := range toRun {
-		select {
-		case idxCh <- i:
-		case <-ctx.Done():
-			interrupted = true
+	for {
+		s.plannerMu.Lock()
+		i, state := planner.Next()
+		s.plannerMu.Unlock()
+		switch state {
+		case PlanDone:
 			break dispatch
+		case PlanWait:
+			// The planner is holding at an evaluation boundary; an
+			// in-flight trial's Observe will either advance it or stop
+			// the campaign, and signals resultEv either way.
+			select {
+			case <-s.resultEv:
+			case <-ctx.Done():
+				interrupted = true
+				break dispatch
+			}
+		default:
+			select {
+			case idxCh <- i:
+			case <-ctx.Done():
+				interrupted = true
+				break dispatch
+			}
 		}
 	}
 	close(idxCh)
@@ -148,11 +198,22 @@ dispatch:
 		s.progressMu.Unlock()
 	}
 
+	s.plannerMu.Lock()
+	finalTotal, finalDone := planner.Budget()
+	s.plannerMu.Unlock()
+	planned, planFinal := cfg.Trials, true
+	if lo == 0 && hi == cfg.Trials {
+		// Unsharded: the planner's budget is the campaign's. A shard's
+		// budget is only its slice, and shards run fixed plans anyway.
+		planned, planFinal = finalTotal, finalDone
+	}
 	res := &CampaignResult{
 		App:         cfg.Builder.AppName(),
 		Spec:        cfg.Spec,
 		Golden:      s.golden,
 		Requested:   cfg.Trials,
+		Planned:     planned,
+		PlanFinal:   planFinal,
 		Resumed:     resumed,
 		Interrupted: interrupted,
 		counts:      make(map[Outcome]int),
@@ -291,6 +352,47 @@ func (s *supervisor) journalTrial(tr TrialResult) {
 	}
 }
 
+// observePlanner feeds one finished trial back to the planner, records
+// any stop/continue verdicts it produced, and wakes the dispatch loop
+// (which may be parked in PlanWait at an evaluation boundary).
+func (s *supervisor) observePlanner(tr TrialResult) {
+	s.plannerMu.Lock()
+	s.planner.Observe(tr)
+	decs := s.planner.TakeDecisions()
+	total, final := s.planner.Budget()
+	s.plannerMu.Unlock()
+	s.notePlan(decs, total, final)
+	select {
+	case s.resultEv <- struct{}{}:
+	default: // a wakeup is already pending; Next() re-reads planner state
+	}
+}
+
+// notePlan journals and meters drained planner decisions and refreshes
+// the budget-derived progress state. decs must already be drained (the
+// caller holds no planner lock here).
+func (s *supervisor) notePlan(decs []PlannerDecision, total int, final bool) {
+	for _, d := range decs {
+		if s.cfg.Journal != nil {
+			if err := s.cfg.Journal.AppendDecision(d); err == nil {
+				s.m.recordJournal()
+			}
+		}
+		s.m.recordDecision(d, s.cfg.Trials)
+	}
+	s.progressMu.Lock()
+	s.total = total
+	s.planFinal = final
+	s.planned = s.cfg.Trials
+	if s.lo == 0 && s.hi == s.cfg.Trials {
+		s.planned = total
+	}
+	if n := len(decs); n > 0 {
+		s.halfWidth = decs[n-1].HalfWidth
+	}
+	s.progressMu.Unlock()
+}
+
 // finished records metrics, progress, and heartbeat accounting for one
 // finished trial (completed or aborted).
 func (s *supervisor) finished(tr TrialResult, wall time.Duration) {
@@ -315,6 +417,10 @@ func (s *supervisor) finished(tr TrialResult, wall time.Duration) {
 			Total:                   s.total,
 			Elapsed:                 time.Since(s.start),
 			MeanTrialVirtualMinutes: s.virtSum.Minutes() / float64(s.done),
+			// Open-ended plan: Total is the planner's current budget
+			// estimate, not a fixed size, so the ETA extrapolates to
+			// the next evaluation boundary rather than the old fixed N.
+			Adaptive: s.adaptive && !s.planFinal,
 		}
 		if info.Elapsed > 0 {
 			info.TrialsPerSec = float64(s.done) / info.Elapsed.Seconds()
@@ -352,6 +458,15 @@ func (s *supervisor) emitStatusLocked(running, interrupted bool) {
 	}
 	if s.cfg.Shard != nil {
 		st.ShardIndex, st.ShardCount = s.cfg.Shard.Index, s.cfg.Shard.Count
+	}
+	if s.adaptive {
+		st.Adaptive = true
+		st.CIHalfWidth = s.halfWidth
+		st.PlannedTrials = s.planned
+		st.PlanFinal = s.planFinal
+		if saved := s.cfg.Trials - s.planned; s.planFinal && saved > 0 {
+			st.TrialsSaved = saved
+		}
 	}
 	if len(s.counts) > 0 {
 		st.Outcomes = make(map[string]int, len(s.counts))

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"hrmsim/internal/core"
+	"hrmsim/internal/faults"
+)
+
+// TestAdaptiveCellMatchesSingleShot: a cell run through the suite's
+// round-chained widest-CI-first scheduler is bit-identical to the same
+// cell run as one uninterrupted adaptive campaign.
+func TestAdaptiveCellMatchesSingleShot(t *testing.T) {
+	s, err := NewSuite(Scale{Trials: 80, Fig5aTrials: 80, Watchpoints: 50, TargetCI: 0.15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.campaign("kvstore", faults.SingleBitSoft, 0, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.PlanFinal {
+		t.Fatal("scheduler cached a non-final plan")
+	}
+
+	entry, err := s.app("kvstore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Run(core.CampaignConfig{
+		Builder: entry.builder,
+		Spec:    faults.SingleBitSoft,
+		Trials:  80,
+		Seed:    1,
+		Golden:  entry.golden,
+		Planner: core.NewAdaptivePlanner(s.cellRule(80)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Planned != want.Planned {
+		t.Errorf("scheduler stopped at %d trials, single shot at %d", got.Planned, want.Planned)
+	}
+	if !reflect.DeepEqual(got.Trials, want.Trials) {
+		t.Error("scheduler trials diverged from the single-shot campaign")
+	}
+}
+
+// TestPrefetchAdaptiveSweep: a multi-cell prefetch finishes every cell
+// with a final plan inside its budget, and the cached results are what
+// campaign() then serves.
+func TestPrefetchAdaptiveSweep(t *testing.T) {
+	s, err := NewSuite(Scale{Trials: 80, Fig5aTrials: 80, Watchpoints: 50, TargetCI: 0.15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []cellReq{
+		{app: "websearch", spec: faults.SingleBitSoft, trials: 80},
+		{app: "kvstore", spec: faults.SingleBitSoft, trials: 80},
+		// Duplicate entries must be coalesced, not run twice.
+		{app: "kvstore", spec: faults.SingleBitSoft, trials: 80},
+	}
+	if err := s.prefetch(reqs); err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range reqs[:2] {
+		res, err := s.campaign(req.app, req.spec, req.kind, req.trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.PlanFinal || res.Planned <= 0 || res.Planned > req.trials {
+			t.Errorf("%s: Planned = %d (final %v) of budget %d", req.app, res.Planned, res.PlanFinal, req.trials)
+		}
+		if len(res.Trials) != res.Planned {
+			t.Errorf("%s: %d trials for a %d-trial plan", req.app, len(res.Trials), res.Planned)
+		}
+	}
+}
+
+// TestFixedScaleKeepsFixedPlans: with TargetCI unset the suite still
+// runs classic fixed-N cells.
+func TestFixedScaleKeepsFixedPlans(t *testing.T) {
+	s, err := NewSuite(Scale{Trials: 20, Fig5aTrials: 20, Watchpoints: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.campaign("kvstore", faults.SingleBitSoft, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PlanFinal || res.Planned != 20 || len(res.Trials) != 20 {
+		t.Errorf("fixed cell: Planned = %d (final %v), %d trials", res.Planned, res.PlanFinal, len(res.Trials))
+	}
+}

@@ -6,48 +6,211 @@ import (
 	"hrmsim/internal/core"
 	"hrmsim/internal/faults"
 	"hrmsim/internal/simmem"
+	"hrmsim/internal/stats"
 )
 
+// Adaptive-cell defaults, matching the facade's characterize path: the
+// paper quotes crash probabilities with 90% Wilson intervals, and 30
+// trials is the smallest sample the stopping rule may judge.
+const (
+	adaptiveCILevel   = 0.90
+	adaptiveMinTrials = 30
+)
+
+// cellReq identifies one campaign cell: an application, an error type,
+// an optional region restriction (kind 0 = all regions), and the cell's
+// trial index space (the hard budget under an adaptive scale).
+type cellReq struct {
+	app    string
+	spec   faults.Spec
+	kind   simmem.RegionKind
+	trials int
+}
+
+func (s *Suite) cellKey(r cellReq) string {
+	return fmt.Sprintf("%s|%v|%d|%d|%g", r.app, r.spec, r.kind, r.trials, s.scale.TargetCI)
+}
+
+// cellState tracks one uncached cell through the adaptive scheduler's
+// rounds: the results accumulated so far (fed back as Resume), the
+// current CI half-width (the scheduling priority), and the final result
+// once the cell's stopping rule fires.
+type cellState struct {
+	req    cellReq
+	key    string
+	entry  *appEntry
+	resume map[int]core.TrialResult
+	// halfWidth is the Wilson CI half-width over the trials resolved so
+	// far (1 before the first round, so every cell gets scheduled).
+	halfWidth float64
+	res       *core.CampaignResult
+	done      bool
+}
+
 // campaign runs (or returns the cached result of) one injection campaign
-// cell: an application, an error type, and an optional region restriction
-// (kind 0 = all regions).
+// cell.
 func (s *Suite) campaign(app string, spec faults.Spec, kind simmem.RegionKind, trials int) (*core.CampaignResult, error) {
-	key := fmt.Sprintf("%s|%v|%d|%d", app, spec, kind, trials)
+	req := cellReq{app: app, spec: spec, kind: kind, trials: trials}
+	if err := s.prefetch([]cellReq{req}); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	res := s.campaigns[s.cellKey(req)]
+	s.mu.Unlock()
+	if res == nil {
+		return nil, fmt.Errorf("experiments: campaign %s: prefetch produced no result", s.cellKey(req))
+	}
+	return res, nil
+}
+
+// prefetch ensures every listed cell has a cached result. Cells already
+// cached (or listed twice) are skipped. Under a fixed scale the
+// remaining cells run one after another — each one already saturates
+// the worker pool. Under an adaptive scale (TargetCI > 0) the remaining
+// cells share the pool widest-CI-first: each scheduling round, the cell
+// whose crash-probability CI is currently widest gets the whole pool
+// for one evaluation round of its stopping rule
+// (core.AdaptivePlanner.PauseAfterRounds), so the sweep spends its
+// trials where the statistics are weakest. Every cell's final result is
+// bit-identical to running that cell's adaptive campaign alone: the
+// planner's boundary schedule and verdicts depend only on the cell's
+// own trial data, never on the interleaving.
+func (s *Suite) prefetch(reqs []cellReq) error {
+	var todo []*cellState
+	seen := make(map[string]bool)
+	for _, req := range reqs {
+		key := s.cellKey(req)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		s.mu.Lock()
+		if s.campaigns == nil {
+			s.campaigns = make(map[string]*core.CampaignResult)
+		}
+		_, ok := s.campaigns[key]
+		s.mu.Unlock()
+		if ok {
+			continue
+		}
+		entry, err := s.app(req.app)
+		if err != nil {
+			return err
+		}
+		todo = append(todo, &cellState{req: req, key: key, entry: entry, halfWidth: 1})
+	}
+	if len(todo) == 0 {
+		return nil
+	}
+	if s.scale.TargetCI <= 0 {
+		for _, st := range todo {
+			res, err := core.Run(s.cellConfig(st))
+			if err != nil {
+				return fmt.Errorf("experiments: campaign %s: %w", st.key, err)
+			}
+			s.store(st.key, res)
+		}
+		return nil
+	}
+	for {
+		// Pick the open cell with the widest CI (ties: listed order).
+		var next *cellState
+		for _, st := range todo {
+			if st.done {
+				continue
+			}
+			if next == nil || st.halfWidth > next.halfWidth {
+				next = st
+			}
+		}
+		if next == nil {
+			break
+		}
+		if err := s.runCellRound(next); err != nil {
+			return fmt.Errorf("experiments: campaign %s: %w", next.key, err)
+		}
+		if next.done {
+			s.store(next.key, next.res)
+		}
+	}
+	return nil
+}
+
+// runCellRound advances one adaptive cell by a single evaluation round:
+// a fresh paused planner replays the rounds already run from the
+// accumulated Resume records (replay is deterministic, so it lands in
+// exactly the pre-pause state), dispatches one new boundary batch, and
+// pauses again — or stops for good, making the cell's result final.
+func (s *Suite) runCellRound(st *cellState) error {
+	planner := core.NewAdaptivePlanner(s.cellRule(st.req.trials))
+	planner.PauseAfterRounds = 1
+	cfg := s.cellConfig(st)
+	cfg.Planner = planner
+	cfg.Resume = st.resume
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+	st.res = res
+	st.done = res.PlanFinal
+	st.resume = make(map[int]core.TrialResult, len(res.Trials))
+	crashes, completed := 0, 0
+	for _, tr := range res.Trials {
+		st.resume[tr.Index] = tr
+		if tr.Disposition == core.DispositionCompleted {
+			completed++
+			if tr.Outcome == core.OutcomeCrash {
+				crashes++
+			}
+		}
+	}
+	if hw, err := stats.WilsonHalfWidth(crashes, completed, adaptiveCILevel); err == nil {
+		st.halfWidth = hw
+	}
+	return nil
+}
+
+// cellRule is the stopping rule every adaptive cell runs under.
+func (s *Suite) cellRule(trials int) stats.SequentialStopping {
+	min := adaptiveMinTrials
+	if min > trials {
+		min = trials
+	}
+	return stats.SequentialStopping{
+		TargetHalfWidth: s.scale.TargetCI,
+		Level:           adaptiveCILevel,
+		MinTrials:       min,
+		MaxTrials:       trials,
+	}
+}
+
+// cellConfig assembles the cell's campaign configuration (fixed-plan
+// unless the caller attaches a planner).
+func (s *Suite) cellConfig(st *cellState) core.CampaignConfig {
+	cfg := core.CampaignConfig{
+		Builder:     st.entry.builder,
+		Spec:        st.req.spec,
+		Trials:      st.req.trials,
+		Seed:        s.scale.Seed,
+		Parallelism: s.scale.Parallelism,
+		Golden:      st.entry.golden,
+		Progress:    s.scale.Progress,
+	}
+	if st.req.kind != 0 {
+		k := st.req.kind
+		cfg.Filter = func(r *simmem.Region) bool { return r.Kind() == k }
+	}
+	return cfg
+}
+
+// store caches one cell's final result.
+func (s *Suite) store(key string, res *core.CampaignResult) {
 	s.mu.Lock()
 	if s.campaigns == nil {
 		s.campaigns = make(map[string]*core.CampaignResult)
 	}
-	if r, ok := s.campaigns[key]; ok {
-		s.mu.Unlock()
-		return r, nil
-	}
-	s.mu.Unlock()
-
-	entry, err := s.app(app)
-	if err != nil {
-		return nil, err
-	}
-	cfg := core.CampaignConfig{
-		Builder:     entry.builder,
-		Spec:        spec,
-		Trials:      trials,
-		Seed:        s.scale.Seed,
-		Parallelism: s.scale.Parallelism,
-		Golden:      entry.golden,
-		Progress:    s.scale.Progress,
-	}
-	if kind != 0 {
-		k := kind
-		cfg.Filter = func(r *simmem.Region) bool { return r.Kind() == k }
-	}
-	res, err := core.Run(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: campaign %s: %w", key, err)
-	}
-	s.mu.Lock()
 	s.campaigns[key] = res
 	s.mu.Unlock()
-	return res, nil
 }
 
 // regionsOf lists the region kinds an application actually maps.

@@ -29,6 +29,12 @@ type Scale struct {
 	// Watchpoints is the address sample size for safe-ratio and
 	// recoverability analysis.
 	Watchpoints int
+	// TargetCI, when positive, runs campaign cells under the adaptive
+	// planner (Wilson CI half-width target on the crash probability at
+	// level 0.90, Trials as the hard budget) and schedules multi-cell
+	// sweeps widest-CI-first through the shared worker pool. 0 keeps
+	// fixed-N cells.
+	TargetCI float64
 	// Seed drives everything.
 	Seed int64
 	// Parallelism caps concurrent trials (0 = GOMAXPROCS).

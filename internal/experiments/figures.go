@@ -52,6 +52,15 @@ func renderVulnerability(title string, cells []cell) (string, error) {
 // single-bit soft and hard errors.
 func (s *Suite) Figure3() (*Report, error) {
 	rep := &Report{ID: "fig3", Title: "Inter-application vulnerability (Fig. 3)"}
+	var reqs []cellReq
+	for _, spec := range []faults.Spec{faults.SingleBitSoft, faults.SingleBitHard} {
+		for _, name := range AppNames() {
+			reqs = append(reqs, cellReq{app: name, spec: spec, trials: s.scale.Trials})
+		}
+	}
+	if err := s.prefetch(reqs); err != nil {
+		return nil, err
+	}
 	var cells []cell
 	for _, spec := range []faults.Spec{faults.SingleBitSoft, faults.SingleBitHard} {
 		for _, name := range AppNames() {
@@ -97,6 +106,21 @@ func (s *Suite) Figure3() (*Report, error) {
 // application, soft and hard single-bit errors.
 func (s *Suite) Figure4() (*Report, error) {
 	rep := &Report{ID: "fig4", Title: "Per-region vulnerability (Fig. 4)"}
+	var reqs []cellReq
+	for _, spec := range []faults.Spec{faults.SingleBitSoft, faults.SingleBitHard} {
+		for _, name := range AppNames() {
+			kinds, err := s.regionsOf(name)
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range kinds {
+				reqs = append(reqs, cellReq{app: name, spec: spec, kind: k, trials: s.scale.Trials})
+			}
+		}
+	}
+	if err := s.prefetch(reqs); err != nil {
+		return nil, err
+	}
 	var cells []cell
 	for _, spec := range []faults.Spec{faults.SingleBitSoft, faults.SingleBitHard} {
 		for _, name := range AppNames() {
@@ -334,6 +358,15 @@ func (s *Suite) Figure6() (*Report, error) {
 	specs := []faults.Spec{faults.SingleBitSoft, faults.SingleBitHard, faults.DoubleBitHard}
 	kinds, err := s.regionsOf("websearch")
 	if err != nil {
+		return nil, err
+	}
+	var reqs []cellReq
+	for _, spec := range specs {
+		for _, k := range kinds {
+			reqs = append(reqs, cellReq{app: "websearch", spec: spec, kind: k, trials: s.scale.Trials})
+		}
+	}
+	if err := s.prefetch(reqs); err != nil {
 		return nil, err
 	}
 	var cells []cell

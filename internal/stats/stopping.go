@@ -1,0 +1,123 @@
+// Sequential stopping on binomial confidence-interval width: the
+// statistical core of the adaptive trial planner. A characterization
+// campaign estimates a crash probability with a Wilson interval; once
+// the interval's half-width reaches the requested target there is no
+// statistical reason to keep burning trials on that cell. The rule here
+// answers two questions deterministically — "is the estimate tight
+// enough to stop?" and "when should it next be evaluated?" — so the
+// campaign engine can consult it at reproducible batch boundaries and
+// stay bit-identical across parallelism, interruption, and resume.
+
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// WilsonHalfWidth returns the half-width of the Wilson score interval
+// for the given observation, before clamping to [0,1] — the symmetric
+// uncertainty the sequential stopping rule compares against its target.
+// (WilsonInterval's Lo/Hi are clamped, so their spread can understate
+// the width near the extremes.)
+func WilsonHalfWidth(successes, trials int, level float64) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("stats: trials must be positive, got %d", trials)
+	}
+	if successes < 0 || successes > trials {
+		return 0, fmt.Errorf("stats: successes %d out of range [0,%d]", successes, trials)
+	}
+	z := zForLevel(level)
+	n := float64(trials)
+	p := float64(successes) / n
+	denom := 1 + z*z/n
+	return z / denom * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)), nil
+}
+
+// Boundary-schedule constants: evaluation boundaries grow geometrically
+// (~25% per step) with a minimum stride, so the schedule is coarse
+// enough to amortize evaluation yet never overshoots a reachable stop
+// point by more than a quarter of the trials already run.
+const (
+	boundaryMinStep   = 8
+	boundaryGrowthDiv = 4
+)
+
+// SequentialStopping is the adaptive campaign stopping rule: run trials
+// in deterministic batches, and stop as soon as the Wilson interval
+// half-width of the observed proportion is at most TargetHalfWidth —
+// never before MinTrials, never beyond MaxTrials. The boundary schedule
+// (FirstBoundary / NextBoundary) is a pure function of the rule, so
+// every consumer that replays the same trial results reaches the same
+// stop decision regardless of parallelism or arrival order.
+type SequentialStopping struct {
+	// TargetHalfWidth is the requested CI half-width (e.g. 0.02 for a
+	// ±2-point interval on a probability).
+	TargetHalfWidth float64
+	// Level is the confidence level of the interval (the paper uses
+	// 0.90).
+	Level float64
+	// MinTrials is the first evaluation boundary: the rule never stops
+	// before this many trials have resolved, however tight the interval.
+	MinTrials int
+	// MaxTrials is the hard budget: the rule stops there whether or not
+	// the target was reached (the Exhausted verdict).
+	MaxTrials int
+}
+
+// Validate checks the rule's parameters.
+func (r SequentialStopping) Validate() error {
+	if !(r.TargetHalfWidth > 0 && r.TargetHalfWidth < 1) {
+		return fmt.Errorf("stats: target CI half-width must be in (0,1), got %g", r.TargetHalfWidth)
+	}
+	if !(r.Level > 0 && r.Level < 1) {
+		return fmt.Errorf("stats: confidence level must be in (0,1), got %g", r.Level)
+	}
+	if r.MinTrials <= 0 {
+		return fmt.Errorf("stats: min trials must be positive, got %d", r.MinTrials)
+	}
+	if r.MaxTrials < r.MinTrials {
+		return fmt.Errorf("stats: max trials %d below min trials %d", r.MaxTrials, r.MinTrials)
+	}
+	return nil
+}
+
+// FirstBoundary returns the first evaluation boundary.
+func (r SequentialStopping) FirstBoundary() int {
+	if r.MinTrials > r.MaxTrials {
+		return r.MaxTrials
+	}
+	return r.MinTrials
+}
+
+// NextBoundary returns the evaluation boundary after k: k grown by ~25%
+// with a minimum stride of 8, capped at MaxTrials.
+func (r SequentialStopping) NextBoundary(k int) int {
+	step := k / boundaryGrowthDiv
+	if step < boundaryMinStep {
+		step = boundaryMinStep
+	}
+	next := k + step
+	if next > r.MaxTrials {
+		next = r.MaxTrials
+	}
+	return next
+}
+
+// ShouldStop evaluates the rule over completed trials (of which
+// successes had the outcome of interest) and returns the verdict and
+// the interval half-width it was based on. With zero completed trials
+// the half-width is 1 (total uncertainty) and the verdict is to
+// continue. The MinTrials/MaxTrials guard rails are the boundary
+// schedule's job, not ShouldStop's: callers evaluate only at boundaries
+// returned by FirstBoundary/NextBoundary.
+func (r SequentialStopping) ShouldStop(successes, completed int) (stop bool, halfWidth float64, err error) {
+	if completed == 0 {
+		return false, 1, nil
+	}
+	half, err := WilsonHalfWidth(successes, completed, r.Level)
+	if err != nil {
+		return false, 0, err
+	}
+	return half <= r.TargetHalfWidth, half, nil
+}

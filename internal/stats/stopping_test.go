@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWilsonHalfWidthErrors(t *testing.T) {
+	if _, err := WilsonHalfWidth(0, 0, 0.90); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := WilsonHalfWidth(0, -3, 0.90); err == nil {
+		t.Error("negative trials accepted")
+	}
+	if _, err := WilsonHalfWidth(-1, 10, 0.90); err == nil {
+		t.Error("negative successes accepted")
+	}
+	if _, err := WilsonHalfWidth(11, 10, 0.90); err == nil {
+		t.Error("successes above trials accepted")
+	}
+}
+
+// TestWilsonHalfWidthAgreesWithInterval: away from the [0,1] clamp the
+// half-width must equal half of WilsonInterval's Hi−Lo spread.
+func TestWilsonHalfWidthAgreesWithInterval(t *testing.T) {
+	half, err := WilsonHalfWidth(40, 100, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := WilsonInterval(40, 100, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := (p.Hi - p.Lo) / 2; math.Abs(half-got) > 1e-12 {
+		t.Errorf("half-width %v, interval spread/2 %v", half, got)
+	}
+}
+
+// TestWilsonHalfWidthExtremesSymmetric: zero successes and all
+// successes are the same distance from certainty, so their unclamped
+// half-widths must match exactly.
+func TestWilsonHalfWidthExtremesSymmetric(t *testing.T) {
+	for _, n := range []int{1, 8, 30, 200} {
+		zero, err := WilsonHalfWidth(0, n, 0.90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := WilsonHalfWidth(n, n, 0.90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zero != all {
+			t.Errorf("n=%d: half-width at 0 successes %v != at all successes %v", n, zero, all)
+		}
+		if !(zero > 0 && zero < 1) {
+			t.Errorf("n=%d: half-width %v outside (0,1)", n, zero)
+		}
+	}
+}
+
+// TestWilsonHalfWidthMonotoneNarrowing: at a held proportion, more
+// trials always tighten the interval.
+func TestWilsonHalfWidthMonotoneNarrowing(t *testing.T) {
+	for _, frac := range []float64{0, 0.1, 0.5, 1} {
+		prev := math.Inf(1)
+		for n := 10; n <= 10000; n *= 10 {
+			s := int(frac * float64(n))
+			half, err := WilsonHalfWidth(s, n, 0.90)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if half >= prev {
+				t.Errorf("frac=%g n=%d: half-width %v did not narrow from %v", frac, n, half, prev)
+			}
+			prev = half
+		}
+	}
+}
+
+func TestSequentialStoppingValidate(t *testing.T) {
+	good := SequentialStopping{TargetHalfWidth: 0.02, Level: 0.90, MinTrials: 30, MaxTrials: 400}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SequentialStopping{
+		{TargetHalfWidth: 0, Level: 0.90, MinTrials: 30, MaxTrials: 400},
+		{TargetHalfWidth: 1, Level: 0.90, MinTrials: 30, MaxTrials: 400},
+		{TargetHalfWidth: 0.02, Level: 0, MinTrials: 30, MaxTrials: 400},
+		{TargetHalfWidth: 0.02, Level: 1.5, MinTrials: 30, MaxTrials: 400},
+		{TargetHalfWidth: 0.02, Level: 0.90, MinTrials: 0, MaxTrials: 400},
+		{TargetHalfWidth: 0.02, Level: 0.90, MinTrials: 30, MaxTrials: 29},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("rule %d (%+v) validated", i, r)
+		}
+	}
+}
+
+// TestStoppingTargetWiderThanPrior: a target the very first evaluation
+// already satisfies stops immediately at MinTrials — the rule never
+// stops before its first boundary, however loose the target.
+func TestStoppingTargetWiderThanPrior(t *testing.T) {
+	r := SequentialStopping{TargetHalfWidth: 0.9, Level: 0.90, MinTrials: 5, MaxTrials: 400}
+	if b := r.FirstBoundary(); b != 5 {
+		t.Fatalf("FirstBoundary = %d, want 5", b)
+	}
+	stop, half, err := r.ShouldStop(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stop {
+		t.Errorf("target 0.9 did not stop at the first boundary (half-width %v)", half)
+	}
+}
+
+// TestStoppingZeroAndAllSuccesses: the boundary walk under a constant
+// extreme proportion stops at the first boundary whose half-width
+// reaches the target, and zero/all successes stop at the same boundary.
+func TestStoppingZeroAndAllSuccesses(t *testing.T) {
+	r := SequentialStopping{TargetHalfWidth: 0.03, Level: 0.90, MinTrials: 8, MaxTrials: 100000}
+	walk := func(all bool) int {
+		for k := r.FirstBoundary(); ; k = r.NextBoundary(k) {
+			s := 0
+			if all {
+				s = k
+			}
+			stop, _, err := r.ShouldStop(s, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stop {
+				return k
+			}
+			if k >= r.MaxTrials {
+				t.Fatal("never stopped within budget")
+			}
+		}
+	}
+	zeroAt, allAt := walk(false), walk(true)
+	if zeroAt != allAt {
+		t.Errorf("zero-success stop at %d, all-success stop at %d", zeroAt, allAt)
+	}
+	if zeroAt <= r.MinTrials {
+		t.Errorf("0.03 target reached suspiciously early (boundary %d)", zeroAt)
+	}
+}
+
+// TestStoppingHalfWidthMonotoneAlongSchedule: under a constant observed
+// proportion the verdict half-width narrows strictly boundary to
+// boundary, so every adaptive campaign under a stable estimate
+// converges on its target.
+func TestStoppingHalfWidthMonotoneAlongSchedule(t *testing.T) {
+	r := SequentialStopping{TargetHalfWidth: 0.001, Level: 0.90, MinTrials: 10, MaxTrials: 5000}
+	prev := math.Inf(1)
+	for k := r.FirstBoundary(); ; k = r.NextBoundary(k) {
+		_, half, err := r.ShouldStop(k/4, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if half >= prev {
+			t.Errorf("boundary %d: half-width %v did not narrow from %v", k, half, prev)
+		}
+		prev = half
+		if k >= r.MaxTrials {
+			break
+		}
+	}
+}
+
+func TestBoundarySchedule(t *testing.T) {
+	r := SequentialStopping{TargetHalfWidth: 0.02, Level: 0.90, MinTrials: 30, MaxTrials: 400}
+	if b := r.FirstBoundary(); b != 30 {
+		t.Errorf("FirstBoundary = %d, want 30", b)
+	}
+	// MinTrials above MaxTrials clamps (the planner normalizes configs
+	// this way when the campaign budget is tiny).
+	clamped := SequentialStopping{TargetHalfWidth: 0.02, Level: 0.90, MinTrials: 500, MaxTrials: 400}
+	if b := clamped.FirstBoundary(); b != 400 {
+		t.Errorf("clamped FirstBoundary = %d, want 400", b)
+	}
+	// The schedule grows strictly, respects the minimum stride, and caps
+	// at MaxTrials.
+	prev := r.FirstBoundary()
+	for {
+		next := r.NextBoundary(prev)
+		if next <= prev {
+			t.Fatalf("NextBoundary(%d) = %d did not grow", prev, next)
+		}
+		if step := next - prev; next < r.MaxTrials && step < 8 {
+			t.Errorf("step %d→%d below the minimum stride", prev, next)
+		}
+		if next > r.MaxTrials {
+			t.Fatalf("NextBoundary(%d) = %d beyond MaxTrials", prev, next)
+		}
+		if next == r.MaxTrials {
+			break
+		}
+		prev = next
+	}
+}
+
+func TestShouldStopZeroCompleted(t *testing.T) {
+	r := SequentialStopping{TargetHalfWidth: 0.02, Level: 0.90, MinTrials: 30, MaxTrials: 400}
+	stop, half, err := r.ShouldStop(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop || half != 1 {
+		t.Errorf("ShouldStop(0,0) = (%v, %v), want (false, 1)", stop, half)
+	}
+}
+
+// FuzzWilsonHalfWidth: any in-range observation yields a half-width in
+// (0, 1) that a larger same-proportion sample never widens.
+func FuzzWilsonHalfWidth(f *testing.F) {
+	f.Add(0, 30)
+	f.Add(30, 30)
+	f.Add(7, 100)
+	f.Add(1, 1)
+	f.Fuzz(func(t *testing.T, successes, trials int) {
+		if trials <= 0 || trials > 1<<20 || successes < 0 || successes > trials {
+			return
+		}
+		half, err := WilsonHalfWidth(successes, trials, 0.90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(half > 0 && half < 1) || math.IsNaN(half) {
+			t.Fatalf("WilsonHalfWidth(%d, %d) = %v outside (0,1)", successes, trials, half)
+		}
+		wider, err := WilsonHalfWidth(successes*2, trials*2, 0.90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wider > half+1e-12 {
+			t.Fatalf("doubling the sample widened the interval: %v → %v", half, wider)
+		}
+	})
+}

@@ -40,8 +40,19 @@ func ExtensionIDs() []string { return experiments.ExtensionIDs() }
 
 // LabConfig sizes a Lab's campaigns.
 type LabConfig struct {
-	// Trials per campaign cell (default 400; use ~60 for quick runs).
+	// Trials is the trial index space per campaign cell (default 400).
+	// With TargetCI unset every index runs exactly once; with TargetCI
+	// set, Trials is each cell's hard budget and the adaptive planner
+	// usually stops well short of it. For quick runs either lower
+	// Trials to ~60 or set TargetCI and let cells stop themselves.
 	Trials int
+	// TargetCI, when positive, runs every campaign cell under the
+	// adaptive planner: a cell stops as soon as the Wilson CI
+	// half-width (level 0.90) of its crash probability narrows to this
+	// target, and multi-cell sweeps share the worker pool
+	// widest-CI-first, so `tables` gets faster at equal statistical
+	// quality. 0 keeps the classic fixed-N cells.
+	TargetCI float64
 	// TimingTrials is the larger count for the Fig. 5a timing
 	// distribution (default 3× Trials).
 	TimingTrials int
@@ -78,10 +89,14 @@ func NewLab(cfg LabConfig) (*Lab, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.TargetCI < 0 || cfg.TargetCI >= 1 {
+		return nil, fmt.Errorf("hrmsim: TargetCI must be in (0, 1), got %g", cfg.TargetCI)
+	}
 	s, err := experiments.NewSuite(experiments.Scale{
 		Trials:      cfg.Trials,
 		Fig5aTrials: cfg.TimingTrials,
 		Watchpoints: cfg.Watchpoints,
+		TargetCI:    cfg.TargetCI,
 		Seed:        cfg.Seed,
 		Parallelism: cfg.Parallelism,
 		Progress:    coreProgress(cfg.Progress),

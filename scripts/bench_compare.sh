@@ -2,7 +2,12 @@
 # Regression ratchet: compare the current campaign throughput (the
 # trials/s metric BenchmarkCampaignLifecycle reports) against the
 # latest committed scripts/bench.sh capture, and fail when it drops
-# more than THRESHOLD.
+# more than THRESHOLD. When the baseline also carries the adaptive
+# planner's trials-to-target-ci metric (BenchmarkAdaptiveCampaign), a
+# second, lower-is-better ratchet checks that reaching the target CI
+# still costs no more trials than the committed capture — that metric
+# is deterministic (plan boundaries depend only on seeded trial
+# outcomes), so it holds exactly across machines.
 #
 #   scripts/bench_compare.sh                   # 10% ratchet vs latest BENCH_*.json
 #   THRESHOLD=0.5 scripts/bench_compare.sh     # relaxed gate (cross-machine CI)
@@ -39,10 +44,23 @@ fi
 if [ -z "${CURRENT:-}" ]; then
     CURRENT="${CAPTURE_OUT:-$(mktemp /tmp/bench_current.XXXXXX.json)}"
     echo "bench_compare: capturing current throughput -> $CURRENT" >&2
-    go test -json -run '^$' -bench BenchmarkCampaignLifecycle -benchtime 1x . >"$CURRENT"
+    go test -json -run '^$' \
+        -bench 'BenchmarkCampaignLifecycle|BenchmarkAdaptiveCampaign' \
+        -benchtime 1x . >"$CURRENT"
 else
     echo "bench_compare: reusing capture $CURRENT" >&2
 fi
 
-echo "bench_compare: ratchet vs $BASELINE (threshold $THRESHOLD)" >&2
+echo "bench_compare: throughput ratchet vs $BASELINE (threshold $THRESHOLD)" >&2
 go run ./cmd/benchgate -baseline "$BASELINE" -current "$CURRENT" -threshold "$THRESHOLD"
+
+# Adaptive-efficiency ratchet: only when the baseline already captures
+# the metric (older baselines predate the adaptive planner).
+if grep -q 'trials-to-target-ci' "$BASELINE"; then
+    echo "bench_compare: adaptive trials-to-target-ci ratchet vs $BASELINE" >&2
+    go run ./cmd/benchgate -baseline "$BASELINE" -current "$CURRENT" \
+        -threshold "$THRESHOLD" -bench BenchmarkAdaptiveCampaign \
+        -metric trials-to-target-ci -direction lower
+else
+    echo "bench_compare: baseline has no trials-to-target-ci events; skipping the adaptive ratchet" >&2
+fi

@@ -36,6 +36,21 @@ echo "shard_smoke: baseline ($APP, $TRIALS trials)" >&2
 "$BIN" characterize -app "$APP" -size small -trials "$TRIALS" \
     -seed "$SEED" -json >"$TMP/baseline.json"
 
+echo "shard_smoke: adaptive campaigns must refuse worker-shard mode" >&2
+for reject in "-shard 0/2" "-coordinator -shards 2"; do
+    # shellcheck disable=SC2086  # $reject is intentionally word-split
+    if "$BIN" characterize -app "$APP" -size small -trials "$TRIALS" \
+        -seed "$SEED" -target-ci 0.05 $reject 2>"$TMP/reject.err"; then
+        echo "shard_smoke: FAIL — -target-ci with $reject was accepted" >&2
+        exit 1
+    fi
+    grep -q 'index space' "$TMP/reject.err" || {
+        echo "shard_smoke: FAIL — rejection of -target-ci with $reject does not explain the conflict:" >&2
+        cat "$TMP/reject.err" >&2
+        exit 1
+    }
+done
+
 echo "shard_smoke: running 2 shard worker processes" >&2
 mkdir "$TMP/shards"
 for i in 0 1; do

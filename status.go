@@ -33,6 +33,17 @@ type ShardStatusInfo struct {
 	TrialsPerSec float64
 	ETA          time.Duration
 	Elapsed      time.Duration
+	// Adaptive marks a shard running under an adaptive trial planner;
+	// the remaining planner fields are zero otherwise. CIHalfWidth is
+	// the latest Wilson CI half-width verdict on the crash probability,
+	// Planned the planner's current trial budget, PlanFinal whether the
+	// stopping rule has fired, and TrialsSaved the requested-minus-
+	// planned count once the plan is final.
+	Adaptive    bool
+	CIHalfWidth float64
+	Planned     int
+	PlanFinal   bool
+	TrialsSaved int
 	// Running is false only on a shard's final record; Interrupted marks
 	// a cancelled shard.
 	Running     bool
@@ -74,6 +85,15 @@ type FleetStatus struct {
 	// is running).
 	TrialsPerSec float64
 	ETA          time.Duration
+	// Adaptive reports that any shard runs under an adaptive trial
+	// planner (in practice at most one: adaptive campaigns are
+	// unsharded). CIHalfWidth is the widest reported CI half-width,
+	// Planned sums the adaptive shards' current trial budgets, and
+	// TrialsSaved sums the trials their stopping rules saved.
+	Adaptive    bool
+	CIHalfWidth float64
+	Planned     int
+	TrialsSaved int
 	// Running counts shards whose latest record is live; Interrupted
 	// counts shards whose final record reports cancellation.
 	Running     int
@@ -133,11 +153,24 @@ func LoadFleetStatus(dir string) (*FleetStatus, error) {
 			TrialsPerSec: st.TrialsPerSec,
 			ETA:          time.Duration(st.EtaSeconds * float64(time.Second)),
 			Elapsed:      time.Duration(st.ElapsedSeconds * float64(time.Second)),
+			Adaptive:     st.Adaptive,
+			CIHalfWidth:  st.CIHalfWidth,
+			Planned:      st.PlannedTrials,
+			PlanFinal:    st.PlanFinal,
+			TrialsSaved:  st.TrialsSaved,
 			Running:      st.Running,
 			Interrupted:  st.Interrupted,
 			UpdatedAt:    time.Unix(0, st.WallUnixNanos),
 		}
 		fs.Shards = append(fs.Shards, info)
+		if st.Adaptive {
+			fs.Adaptive = true
+			if st.CIHalfWidth > fs.CIHalfWidth {
+				fs.CIHalfWidth = st.CIHalfWidth
+			}
+			fs.Planned += st.PlannedTrials
+			fs.TrialsSaved += st.TrialsSaved
+		}
 		fs.Done += st.Done
 		fs.Total += st.Total
 		fs.Completed += st.Completed
