@@ -1,0 +1,138 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// chaosArgs is a short self-hosted experiment sized for CI: small working
+// set, few connections, sub-second phases, read-only load.
+func chaosArgs(extra ...string) []string {
+	args := []string{"chaos",
+		"-keys", "128", "-conns", "4", "-read-fraction", "1",
+		"-steady", "150ms", "-chaos", "300ms", "-recovery", "150ms",
+		"-sample-every", "50ms", "-injections", "8", "-seed", "42",
+	}
+	return append(args, extra...)
+}
+
+func TestChaosJSONEnvelope(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(chaosArgs("-ecc", "secded", "-json"))
+	})
+	res := decodeEnvelope(t, out, "chaos")
+
+	if got := res["schema_version"]; got != float64(1) {
+		t.Errorf("verdict schema_version = %v", got)
+	}
+	if got := res["experiment"]; got != "kvserve-secded" {
+		t.Errorf("experiment = %v", got)
+	}
+	if got := res["seed"]; got != float64(42) {
+		t.Errorf("seed = %v", got)
+	}
+	if got := res["pass"]; got != true {
+		t.Errorf("SEC-DED verdict pass = %v; results: %v", got, res["results"])
+	}
+	if s, ok := res["samples"].(float64); !ok || s < 3 {
+		t.Errorf("samples = %v, want >= 3 (one per phase boundary)", res["samples"])
+	}
+
+	phases, ok := res["phases"].([]any)
+	if !ok || len(phases) != 3 {
+		t.Fatalf("phases = %v, want 3 reports", res["phases"])
+	}
+	wantPhases := []string{"steady", "chaos", "recovery"}
+	for i, raw := range phases {
+		p, ok := raw.(map[string]any)
+		if !ok {
+			t.Fatalf("phase %d not an object: %v", i, raw)
+		}
+		if p["phase"] != wantPhases[i] {
+			t.Errorf("phase %d = %v, want %s", i, p["phase"], wantPhases[i])
+		}
+		for _, key := range []string{"duration_ms", "ops", "gets", "errors",
+			"wrong_values", "injections", "corrected", "recovered", "retired", "signals"} {
+			if _, present := p[key]; !present {
+				t.Errorf("phase %s missing %q", wantPhases[i], key)
+			}
+		}
+		if ops, _ := p["ops"].(float64); ops <= 0 {
+			t.Errorf("phase %s saw no traffic", wantPhases[i])
+		}
+	}
+	chaosPhase := phases[1].(map[string]any)
+	if inj, _ := chaosPhase["injections"].(float64); inj <= 0 {
+		t.Errorf("chaos phase injections = %v", chaosPhase["injections"])
+	}
+	if corr, _ := chaosPhase["corrected"].(float64); corr <= 0 {
+		t.Errorf("chaos phase corrected = %v, want > 0 under SEC-DED", chaosPhase["corrected"])
+	}
+
+	results, ok := res["results"].([]any)
+	if !ok || len(results) == 0 {
+		t.Fatalf("results = %v", res["results"])
+	}
+	names := map[string]bool{}
+	for _, raw := range results {
+		r := raw.(map[string]any)
+		for _, key := range []string{"name", "signal", "phase", "comparison", "threshold", "pass"} {
+			if _, present := r[key]; !present {
+				t.Errorf("result %v missing %q", r["name"], key)
+			}
+		}
+		if r["pass"] != true {
+			t.Errorf("SEC-DED run failed objective %v in %v: %v", r["name"], r["phase"], r["reason"])
+		}
+		names[r["name"].(string)] = true
+	}
+	for _, want := range []string{"p50-latency", "p99-latency", "error-rate", "no-wrong-values"} {
+		if !names[want] {
+			t.Errorf("default objective %q missing from results", want)
+		}
+	}
+
+	// The envelope's metrics snapshot must carry the chaos_* and kvload_*
+	// instrumentation.
+	for _, metric := range []string{"chaos_injections_total", "chaos_probe_samples_total",
+		"kvload_ops_total", "kvload_op_latency_us"} {
+		if !strings.Contains(out, metric) {
+			t.Errorf("envelope metrics missing %s", metric)
+		}
+	}
+}
+
+// TestChaosUnprotectedFailsVerdict pins the CLI-level half of the
+// discriminating experiment: same flags, ecc none, verdict FAIL.
+func TestChaosUnprotectedFailsVerdict(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(chaosArgs("-ecc", "none", "-json"))
+	})
+	res := decodeEnvelope(t, out, "chaos")
+	if got := res["pass"]; got != false {
+		t.Errorf("unprotected verdict pass = %v, want false", got)
+	}
+	failedWrongValues := false
+	for _, raw := range res["results"].([]any) {
+		r := raw.(map[string]any)
+		if r["name"] == "no-wrong-values" && r["phase"] == "chaos" && r["pass"] == false {
+			failedWrongValues = true
+		}
+	}
+	if !failedWrongValues {
+		t.Error("no-wrong-values did not fail in the chaos phase")
+	}
+}
+
+// TestChaosRenderedVerdict checks the human-readable table path.
+func TestChaosRenderedVerdict(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(chaosArgs("-ecc", "parity", "-recover", "parr"))
+	})
+	for _, want := range []string{"chaos experiment", "PHASE", "SLO",
+		"recovery-active", "verdict: PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered verdict missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -46,6 +46,8 @@ func run(args []string) error {
 		return cmdTolerable(args[1:])
 	case "lifetime":
 		return cmdLifetime(args[1:])
+	case "chaos":
+		return cmdChaos(args[1:])
 	case "tables":
 		return cmdTables(args[1:])
 	case "traceview":
@@ -73,6 +75,8 @@ Subcommands:
   plan          search for the cheapest design meeting an availability target
   tolerable     tolerable error rates per availability target (Fig. 8)
   lifetime      simulate continuous operation under an error arrival process
+  chaos         run a live-traffic chaos experiment against a kvserve node
+                (steady → chaos → recovery, SLO probes, Pass/Fail verdict)
   tables        regenerate the paper's tables and figures
   traceview     inspect a JSONL event trace (per-trial timelines + stats)
 

@@ -1,0 +1,169 @@
+// Command kvload is a standalone load generator for kvserve: it drives
+// hundreds of concurrent connections of Zipfian GET/SET traffic at a
+// target rate, measures per-op latency, and — because every value in the
+// store is deterministically derived from (key, version) — verifies every
+// GET against the expected bytes, so silent memory corruption on the
+// server shows up as a wrong-value count in the report instead of
+// passing through unnoticed.
+//
+// The chaos harness (`hrmsim chaos`, internal/chaos) embeds the same
+// generator; this command exists to drive an external kvserve by hand:
+//
+//	kvserve -addr 127.0.0.1:11222 -ecc none &
+//	kvload  -addr 127.0.0.1:11222 -conns 100 -duration 10s
+//
+// With -json the report is a schema-versioned envelope (tool "kvload")
+// carrying the kvload_* metrics snapshot; see OBSERVABILITY.md.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hrmsim/internal/chaos"
+	"hrmsim/internal/obsv"
+)
+
+// schemaVersion identifies the kvload -json report layout.
+const schemaVersion = 1
+
+// reportJSON is the -json result payload.
+type reportJSON struct {
+	Addr            string  `json:"addr"`
+	Conns           int     `json:"conns"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Ops             int64   `json:"ops"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	Gets            int64   `json:"gets"`
+	Sets            int64   `json:"sets"`
+	Errors          int64   `json:"errors"`
+	Timeouts        int64   `json:"timeouts"`
+	WrongValues     int64   `json:"wrong_values"`
+	StaleValues     int64   `json:"stale_values"`
+	Reconnects      int64   `json:"reconnects"`
+	// Latency percentiles are null when no op completed (or the
+	// quantile fell beyond the histogram bounds).
+	P50LatencyUs  *float64 `json:"p50_latency_us"`
+	P99LatencyUs  *float64 `json:"p99_latency_us"`
+	MeanLatencyUs float64  `json:"mean_latency_us"`
+}
+
+// envelope mirrors the hrmsim -json envelope shape for a different tool.
+type envelope struct {
+	SchemaVersion int            `json:"schema_version"`
+	Tool          string         `json:"tool"`
+	Command       string         `json:"command"`
+	Result        reportJSON     `json:"result"`
+	Metrics       *obsv.Snapshot `json:"metrics,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11222", "kvserve protocol address")
+	conns := flag.Int("conns", 100, "concurrent connections")
+	qps := flag.Float64("qps", 0, "aggregate target ops/s (0 = closed loop)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive traffic")
+	keys := flag.Int("keys", 1024, "working-set size (must match the server's -keys)")
+	valueSize := flag.Int("value-size", 64, "value size in bytes (must match the server)")
+	readFraction := flag.Float64("read-fraction", 0.9, "GET share of the op mix")
+	zipfS := flag.Float64("zipf-s", 1.1, "Zipf key-popularity exponent (> 1)")
+	seed := flag.Int64("seed", 1, "per-connection RNG seed base")
+	opTimeout := flag.Duration("op-timeout", 2*time.Second, "per-op round-trip deadline")
+	jsonOut := flag.Bool("json", false, "emit the report as a JSON envelope")
+	flag.Parse()
+
+	reg := obsv.NewRegistry()
+	gen, err := chaos.NewGenerator(chaos.GenConfig{
+		Addr:         *addr,
+		Conns:        *conns,
+		QPS:          *qps,
+		Keys:         *keys,
+		ValueSize:    *valueSize,
+		ReadFraction: *readFraction,
+		ZipfS:        *zipfS,
+		Seed:         *seed,
+		OpTimeout:    *opTimeout,
+		Registry:     reg,
+	})
+	if err != nil {
+		log.Fatalf("kvload: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runCtx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+
+	start := time.Now()
+	gen.Run(runCtx)
+	elapsed := time.Since(start)
+
+	snap := reg.Snapshot()
+	rep := buildReport(*addr, *conns, elapsed, snap)
+	if *jsonOut {
+		env := envelope{
+			SchemaVersion: schemaVersion,
+			Tool:          "kvload",
+			Command:       "run",
+			Result:        rep,
+			Metrics:       &snap,
+		}
+		b, err := json.MarshalIndent(env, "", "  ")
+		if err != nil {
+			log.Fatalf("kvload: %v", err)
+		}
+		fmt.Println(string(b))
+		return
+	}
+	printReport(rep)
+}
+
+func buildReport(addr string, conns int, elapsed time.Duration, snap obsv.Snapshot) reportJSON {
+	c := func(name string) int64 { return snap.Counters[name] }
+	rep := reportJSON{
+		Addr:            addr,
+		Conns:           conns,
+		DurationSeconds: elapsed.Seconds(),
+		Ops:             c("kvload_ops_total"),
+		Gets:            c("kvload_gets_total"),
+		Sets:            c("kvload_sets_total"),
+		Errors:          c("kvload_errors_total"),
+		Timeouts:        c("kvload_timeouts_total"),
+		WrongValues:     c("kvload_wrong_values_total"),
+		StaleValues:     c("kvload_stale_values_total"),
+		Reconnects:      c("kvload_reconnects_total"),
+	}
+	if elapsed > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / elapsed.Seconds()
+	}
+	h := snap.Histograms["kvload_op_latency_us"]
+	rep.MeanLatencyUs = h.Mean()
+	if v, ok := chaos.Percentile(obsv.HistogramSnapshot{}, h, 0.50); ok {
+		rep.P50LatencyUs = &v
+	}
+	if v, ok := chaos.Percentile(obsv.HistogramSnapshot{}, h, 0.99); ok {
+		rep.P99LatencyUs = &v
+	}
+	return rep
+}
+
+func printReport(r reportJSON) {
+	fmt.Printf("kvload: %s — %d conns, %.1fs\n", r.Addr, r.Conns, r.DurationSeconds)
+	fmt.Printf("  ops        %10d (%.0f/s; %d get, %d set)\n", r.Ops, r.OpsPerSec, r.Gets, r.Sets)
+	fmt.Printf("  errors     %10d (%d timeouts, %d reconnects)\n", r.Errors, r.Timeouts, r.Reconnects)
+	fmt.Printf("  integrity  %10d wrong values, %d stale reads\n", r.WrongValues, r.StaleValues)
+	p50, p99 := "-", "-"
+	if r.P50LatencyUs != nil {
+		p50 = fmt.Sprintf("%.0fµs", *r.P50LatencyUs)
+	}
+	if r.P99LatencyUs != nil {
+		p99 = fmt.Sprintf("%.0fµs", *r.P99LatencyUs)
+	}
+	fmt.Printf("  latency    p50 %s, p99 %s, mean %.0fµs\n", p50, p99, r.MeanLatencyUs)
+}

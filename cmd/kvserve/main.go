@@ -1,51 +1,45 @@
 // Command kvserve runs the simulated in-memory key–value store behind a
 // tiny memcached-like TCP text protocol, with memory errors arriving on a
 // virtual clock — a live demonstration of what a given error rate does to
-// an unprotected (or protected) cache node.
+// an unprotected (or protected) cache node. The server itself lives in
+// internal/kvnode (see its package comment for the protocol and the
+// concurrency model); this command adds flags, signal handling, and the
+// HTTP observability sidecar.
 //
-// Protocol (one command per line):
+// Connections are served concurrently: per-connection goroutines
+// interleave at command granularity on the shared simulated memory
+// (serialized by its exclusion gate), which is what lets a chaos
+// experiment (`hrmsim chaos`, internal/chaos) inject faults into the live
+// server while hundreds of clients are talking to it.
 //
-//	get <key>            -> VALUE <version> <hex bytes> | MISS | SERVER_ERROR ...
-//	set <key> <version>  -> STORED | SERVER_ERROR ...
-//	inject <soft|hard>   -> INJECTED <region> (one random error now)
-//	stats                -> counters (ops, errors injected, faults)
-//	quit                 -> closes the connection
-//
-// Flags select the protection technique, so the same session can be run
-// with -ecc secded to watch the errors disappear.
+// Flags select the protection technique and software recovery response, so
+// the same session can be run with -ecc secded to watch the errors
+// disappear, or -ecc parity -recover parr to watch Par+R repair them from
+// the backing copy.
 //
 // With -metrics-addr, an HTTP observability sidecar serves /metrics (the
 // obsv snapshot, plain text or ?format=json — see OBSERVABILITY.md for
 // every metric name), /healthz, and the standard net/http/pprof handlers
 // under /debug/pprof/. The process shuts down gracefully on SIGINT or
-// SIGTERM: the TCP listener closes, the active connection finishes, and
-// the sidecar drains.
+// SIGTERM: the TCP listener closes, in-flight connections drain (bounded
+// by -drain-timeout), and the sidecar stops.
 package main
 
 import (
-	"bufio"
 	"context"
-	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
-	"hrmsim/internal/apps/kvstore"
-	"hrmsim/internal/ecc"
-	"hrmsim/internal/faults"
-	"hrmsim/internal/inject"
+	"hrmsim/internal/kvnode"
 	"hrmsim/internal/obsv"
-	"hrmsim/internal/simmem"
 )
 
 func main() {
@@ -53,12 +47,30 @@ func main() {
 	keys := flag.Int("keys", 1024, "pre-populated key count")
 	eccName := flag.String("ecc", "none", "heap protection: none|parity|secded|chipkill")
 	seed := flag.Int64("seed", 1, "random seed")
+	recoverMode := flag.String("recover", "",
+		"software recovery on the heap: parr|parr-page|parr-escalate|retire (empty = none)")
+	retireThreshold := flag.Uint64("retire-threshold", 2,
+		"corrected errors per page before -recover retire replaces the frame")
+	checkpoint := flag.Duration("checkpoint", 0,
+		"virtual-time interval between heap checkpoints (0 = build-time checkpoint only; needs -recover)")
+	maxLine := flag.Int("max-line", kvnode.DefaultMaxLine, "protocol line length bound in bytes")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second,
+		"graceful-shutdown wait for in-flight connections")
 	once := flag.Bool("once", false, "serve a single connection then exit (for scripted demos)")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics, /healthz, and /debug/pprof on this HTTP address (empty = disabled)")
 	flag.Parse()
 
-	srv, err := newServer(*keys, *eccName, *seed)
+	srv, err := kvnode.New(kvnode.Config{
+		Keys:            *keys,
+		ECC:             *eccName,
+		Seed:            *seed,
+		Recover:         *recoverMode,
+		RetireThreshold: *retireThreshold,
+		CheckpointEvery: *checkpoint,
+		MaxLine:         *maxLine,
+		DrainTimeout:    *drainTimeout,
+	})
 	if err != nil {
 		log.Fatalf("kvserve: %v", err)
 	}
@@ -66,8 +78,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("kvserve: %v", err)
 	}
-	defer func() { _ = ln.Close() }()
-	log.Printf("kvserve: listening on %s (heap protection: %s, %d keys)", ln.Addr(), *eccName, *keys)
+	log.Printf("kvserve: listening on %s (heap protection: %s, recovery: %s, %d keys)",
+		ln.Addr(), *eccName, orNone(*recoverMode), *keys)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -83,7 +95,7 @@ func main() {
 		// goroutine) forever. No WriteTimeout: pprof profile captures
 		// legitimately stream for tens of seconds.
 		metrics = &http.Server{
-			Handler:           metricsMux(srv.metrics),
+			Handler:           metricsMux(srv.Registry()),
 			ReadHeaderTimeout: 5 * time.Second,
 			ReadTimeout:       10 * time.Second,
 			IdleTimeout:       120 * time.Second,
@@ -96,34 +108,29 @@ func main() {
 		log.Printf("kvserve: metrics on http://%s/metrics", mln.Addr())
 	}
 
-	// On SIGINT/SIGTERM (or the -once exit path calling stop), close the
-	// TCP listener so Accept returns; the in-flight connection finishes
-	// its handle loop before main returns.
-	go func() {
-		<-ctx.Done()
-		_ = ln.Close()
-	}()
-
-	for {
+	if *once {
 		conn, err := ln.Accept()
 		if err != nil {
-			if ctx.Err() != nil {
-				log.Printf("kvserve: shutting down")
-				break
-			}
-			log.Printf("kvserve: accept: %v", err)
-			break
+			log.Fatalf("kvserve: accept: %v", err)
 		}
-		srv.handle(conn) // single-threaded: one simulated memory, one server loop
-		if *once {
-			break
-		}
+		srv.Handle(conn)
+		_ = ln.Close()
+	} else if err := srv.Serve(ctx, ln); err != nil {
+		log.Printf("kvserve: %v", err)
 	}
+	log.Printf("kvserve: shutting down")
 	if metrics != nil {
 		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 		defer cancel()
 		_ = metrics.Shutdown(sctx)
 	}
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
 }
 
 // metricsMux builds the observability sidecar: the obsv snapshot, a
@@ -141,170 +148,4 @@ func metricsMux(reg *obsv.Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
-}
-
-// server wraps one kvstore instance. The protocol loop is single-threaded,
-// but every metric is atomic, so the HTTP sidecar snapshots them safely
-// while requests are in flight.
-type server struct {
-	app *kvstore.App
-	rng *rand.Rand
-
-	metrics *obsv.Registry
-	// Pre-resolved handles (names per OBSERVABILITY.md).
-	ops, gets, sets, hits, misses      *obsv.Counter
-	injected, faultsC, clientErrs      *obsv.Counter
-	opWallUs                           *obsv.Histogram
-	correctedGauge, uncorrectableGauge *obsv.Gauge
-}
-
-func newServer(keys int, eccName string, seed int64) (*server, error) {
-	var codec simmem.Codec
-	switch eccName {
-	case "none":
-	case "parity":
-		codec = ecc.NewParity()
-	case "secded":
-		codec = ecc.NewSECDED()
-	case "chipkill":
-		codec = ecc.NewChipkill()
-	default:
-		return nil, fmt.Errorf("unknown ecc %q", eccName)
-	}
-	cfg := kvstore.DefaultConfig(seed)
-	cfg.Keys = keys
-	cfg.Ops = 1 // the recorded workload is unused; the network drives requests
-	cfg.HeapCodec = codec
-	cfg.RequestCost = time.Millisecond
-	b, err := kvstore.NewBuilder(cfg)
-	if err != nil {
-		return nil, err
-	}
-	app, err := b.Build()
-	if err != nil {
-		return nil, err
-	}
-	reg := obsv.NewRegistry()
-	s := &server{
-		app:                app.(*kvstore.App),
-		rng:                rand.New(rand.NewSource(seed)),
-		metrics:            reg,
-		ops:                reg.Counter("kvserve_ops_total"),
-		gets:               reg.Counter("kvserve_gets_total"),
-		sets:               reg.Counter("kvserve_sets_total"),
-		hits:               reg.Counter("kvserve_hits_total"),
-		misses:             reg.Counter("kvserve_misses_total"),
-		injected:           reg.Counter("kvserve_injections_total"),
-		faultsC:            reg.Counter("kvserve_faults_total"),
-		clientErrs:         reg.Counter("kvserve_client_errors_total"),
-		opWallUs:           reg.Histogram("kvserve_op_wall_us", obsv.ExpBuckets(1, 4, 10)),
-		correctedGauge:     reg.Gauge("kvserve_ecc_corrected"),
-		uncorrectableGauge: reg.Gauge("kvserve_ecc_uncorrectable"),
-	}
-	return s, nil
-}
-
-// handle serves one connection.
-func (s *server) handle(conn net.Conn) {
-	defer func() { _ = conn.Close() }()
-	sc := bufio.NewScanner(conn)
-	w := bufio.NewWriter(conn)
-	defer func() { _ = w.Flush() }()
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		if line == "quit" {
-			return
-		}
-		resp := s.dispatch(line)
-		fmt.Fprintln(w, resp)
-		if err := w.Flush(); err != nil {
-			return
-		}
-	}
-}
-
-// dispatch executes one protocol command.
-func (s *server) dispatch(line string) string {
-	start := time.Now()
-	resp := s.execute(line)
-	s.opWallUs.Observe(float64(time.Since(start)) / float64(time.Microsecond))
-	if strings.HasPrefix(resp, "CLIENT_ERROR") {
-		s.clientErrs.Inc()
-	}
-	c := s.app.Space().Counters()
-	s.correctedGauge.Set(float64(c.Corrected))
-	s.uncorrectableGauge.Set(float64(c.Uncorrectable))
-	return resp
-}
-
-func (s *server) execute(line string) string {
-	parts := strings.Fields(line)
-	s.app.Space().Clock().Advance(time.Millisecond)
-	switch parts[0] {
-	case "get":
-		if len(parts) != 2 {
-			return "CLIENT_ERROR usage: get <key>"
-		}
-		key, err := strconv.ParseUint(parts[1], 10, 64)
-		if err != nil {
-			return "CLIENT_ERROR bad key"
-		}
-		s.ops.Inc()
-		s.gets.Inc()
-		version, val, err := s.app.Get(key)
-		if err != nil {
-			if simmem.IsFault(err) {
-				s.faultsC.Inc()
-				return "SERVER_ERROR memory fault: " + err.Error()
-			}
-			s.misses.Inc()
-			return "MISS"
-		}
-		s.hits.Inc()
-		return fmt.Sprintf("VALUE %d %s", version, hex.EncodeToString(val))
-	case "set":
-		if len(parts) != 3 {
-			return "CLIENT_ERROR usage: set <key> <version>"
-		}
-		key, err1 := strconv.ParseUint(parts[1], 10, 64)
-		version, err2 := strconv.ParseUint(parts[2], 10, 32)
-		if err1 != nil || err2 != nil {
-			return "CLIENT_ERROR bad arguments"
-		}
-		s.ops.Inc()
-		s.sets.Inc()
-		if err := s.app.Set(key, uint32(version)); err != nil {
-			if simmem.IsFault(err) {
-				s.faultsC.Inc()
-			}
-			return "SERVER_ERROR " + err.Error()
-		}
-		return "STORED"
-	case "inject":
-		if len(parts) != 2 {
-			return "CLIENT_ERROR usage: inject <soft|hard>"
-		}
-		spec := faults.SingleBitSoft
-		if parts[1] == "hard" {
-			spec = faults.SingleBitHard
-		} else if parts[1] != "soft" {
-			return "CLIENT_ERROR unknown error class"
-		}
-		inj, err := inject.Random(s.app.Space(), s.rng, spec, nil)
-		if err != nil {
-			return "SERVER_ERROR " + err.Error()
-		}
-		s.injected.Inc()
-		return fmt.Sprintf("INJECTED %s @%#x bit %d",
-			inj.Region.Name(), uint64(inj.Targets[0].Addr), inj.Targets[0].Bits[0])
-	case "stats":
-		c := s.app.Space().Counters()
-		return fmt.Sprintf("STATS ops=%d injected=%d faults=%d corrected=%d uncorrectable=%d",
-			s.ops.Value(), s.injected.Value(), s.faultsC.Value(), c.Corrected, c.Uncorrectable)
-	default:
-		return "CLIENT_ERROR unknown command"
-	}
 }

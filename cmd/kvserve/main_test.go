@@ -1,120 +1,35 @@
 package main
 
 import (
-	"bufio"
-	"encoding/hex"
 	"encoding/json"
 	"io"
-	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
-	"hrmsim/internal/trace"
+	"hrmsim/internal/kvnode"
 )
 
-func newTestServer(t *testing.T, eccName string) *server {
-	t.Helper()
-	srv, err := newServer(64, eccName, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return srv
-}
-
-func TestDispatchGetSet(t *testing.T) {
-	srv := newTestServer(t, "none")
-
-	resp := srv.dispatch("get 5")
-	if !strings.HasPrefix(resp, "VALUE 0 ") {
-		t.Fatalf("get: %q", resp)
-	}
-	wantVal := hex.EncodeToString(trace.ValueFor(5, 0, 64))
-	if !strings.HasSuffix(resp, wantVal) {
-		t.Errorf("get returned wrong bytes: %q", resp)
-	}
-
-	if resp := srv.dispatch("set 5 3"); resp != "STORED" {
-		t.Fatalf("set: %q", resp)
-	}
-	resp = srv.dispatch("get 5")
-	if !strings.HasPrefix(resp, "VALUE 3 ") {
-		t.Errorf("get after set: %q", resp)
-	}
-
-	if resp := srv.dispatch("get 9999"); resp != "MISS" {
-		t.Errorf("missing key: %q", resp)
-	}
-}
-
-func TestDispatchInjectAndStats(t *testing.T) {
-	srv := newTestServer(t, "none")
-	resp := srv.dispatch("inject soft")
-	if !strings.HasPrefix(resp, "INJECTED ") {
-		t.Fatalf("inject: %q", resp)
-	}
-	resp = srv.dispatch("stats")
-	if !strings.Contains(resp, "injected=1") {
-		t.Errorf("stats: %q", resp)
-	}
-}
-
-func TestDispatchClientErrors(t *testing.T) {
-	srv := newTestServer(t, "none")
-	for _, cmd := range []string{
-		"get", "get abc", "set 1", "set a b", "inject", "inject gamma", "frobnicate",
-	} {
-		if resp := srv.dispatch(cmd); !strings.HasPrefix(resp, "CLIENT_ERROR") {
-			t.Errorf("%q: %q", cmd, resp)
-		}
-	}
-}
-
-func TestECCServerCorrectsInjectedErrors(t *testing.T) {
-	srv := newTestServer(t, "secded")
-	before := srv.dispatch("get 7")
-	// Inject a burst of soft errors; SEC-DED should keep every value
-	// intact.
-	for i := 0; i < 50; i++ {
-		if resp := srv.dispatch("inject soft"); !strings.HasPrefix(resp, "INJECTED") {
-			t.Fatalf("inject %d: %q", i, resp)
-		}
-	}
-	after := srv.dispatch("get 7")
-	if before != after {
-		t.Errorf("value changed despite SEC-DED:\n%q\n%q", before, after)
-	}
-	stats := srv.dispatch("stats")
-	if !strings.Contains(stats, "injected=50") {
-		t.Errorf("stats: %q", stats)
-	}
-}
-
-func TestNewServerValidation(t *testing.T) {
-	if _, err := newServer(64, "rot13", 1); err == nil {
-		t.Error("unknown ecc accepted")
-	}
-	for _, name := range []string{"none", "parity", "secded", "chipkill"} {
-		if _, err := newServer(16, name, 1); err != nil {
-			t.Errorf("%s: %v", name, err)
-		}
-	}
-}
+// The protocol itself is tested in internal/kvnode; here we cover the
+// pieces this command adds on top — the observability sidecar.
 
 // TestMetricsSidecarEndpoints starts the observability mux on a real
 // loopback listener — exactly what `-metrics-addr 127.0.0.1:0` does — and
 // exercises /healthz and /metrics in both exposition formats.
 func TestMetricsSidecarEndpoints(t *testing.T) {
-	srv := newTestServer(t, "none")
+	srv, err := kvnode.New(kvnode.Config{Keys: 64, ECC: "none", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Generate some traffic so the metrics are non-trivial.
-	srv.dispatch("get 1")
-	srv.dispatch("set 1 2")
-	srv.dispatch("get 9999")
-	srv.dispatch("inject soft")
-	srv.dispatch("bogus")
+	srv.Dispatch("get 1")
+	srv.Dispatch("set 1 2")
+	srv.Dispatch("get 9999")
+	srv.Dispatch("inject soft")
+	srv.Dispatch("bogus")
 
-	ts := httptest.NewServer(metricsMux(srv.metrics))
+	ts := httptest.NewServer(metricsMux(srv.Registry()))
 	defer ts.Close()
 
 	get := func(path string) (string, string) {
@@ -170,45 +85,4 @@ func TestMetricsSidecarEndpoints(t *testing.T) {
 	if snap.Counters["kvserve_ops_total"] != 3 {
 		t.Errorf("kvserve_ops_total = %d, want 3", snap.Counters["kvserve_ops_total"])
 	}
-}
-
-func TestHandleOverConnection(t *testing.T) {
-	srv := newTestServer(t, "none")
-	client, server := net.Pipe()
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		srv.handle(server)
-	}()
-
-	w := bufio.NewWriter(client)
-	r := bufio.NewScanner(client)
-	send := func(cmd string) string {
-		t.Helper()
-		if _, err := w.WriteString(cmd + "\n"); err != nil {
-			t.Fatal(err)
-		}
-		if err := w.Flush(); err != nil {
-			t.Fatal(err)
-		}
-		if !r.Scan() {
-			t.Fatalf("no response to %q: %v", cmd, r.Err())
-		}
-		return r.Text()
-	}
-
-	if resp := send("get 1"); !strings.HasPrefix(resp, "VALUE ") {
-		t.Errorf("get over pipe: %q", resp)
-	}
-	if resp := send("set 1 9"); resp != "STORED" {
-		t.Errorf("set over pipe: %q", resp)
-	}
-	if _, err := w.WriteString("quit\n"); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	<-done
-	_ = client.Close()
 }

@@ -53,6 +53,12 @@ type Config struct {
 	// in front of memory (the paper notes caches delay error visibility;
 	// the default off matches its conservative methodology).
 	CacheLines int
+	// HeapBacked gives the heap a persistent-storage shadow copy
+	// (synchronized to the pre-populated store at build time), enabling
+	// Par+R-style software recovery of store data. The live server uses
+	// it; the paper's Table 2 classifies cache data as explicitly
+	// recoverable from the backing database.
+	HeapBacked bool
 	// HeapCodec / StackCodec optionally protect regions.
 	HeapCodec, StackCodec simmem.Codec
 	// HeapMC / StackMC install software responses.
@@ -146,7 +152,7 @@ func (b *Builder) Build() (apps.App, error) {
 	}
 	heap, err := as.AddRegion(simmem.RegionSpec{
 		Name: "heap", Kind: simmem.RegionHeap, Size: heapSize,
-		Codec: cfg.HeapCodec, MC: cfg.HeapMC,
+		Backed: cfg.HeapBacked, Codec: cfg.HeapCodec, MC: cfg.HeapMC,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: mapping heap: %w", err)
@@ -189,6 +195,13 @@ func (b *Builder) Build() (apps.App, error) {
 	for k := 0; k < cfg.Keys; k++ {
 		if err := app.insert(uint64(k), 0); err != nil {
 			return nil, fmt.Errorf("kvstore: pre-populating key %d: %w", k, err)
+		}
+	}
+	// A backed heap checkpoints the populated store, so recovery
+	// handlers restore the warm-cache contents, not zeroes.
+	if cfg.HeapBacked {
+		if err := heap.FlushAll(); err != nil {
+			return nil, fmt.Errorf("kvstore: checkpointing heap: %w", err)
 		}
 	}
 	return app, nil
@@ -484,6 +497,45 @@ func (a *App) Set(key uint64, version uint32) error {
 		}
 	}
 	return a.insert(key, version)
+}
+
+// ValueAddr resolves the address of key's value bytes by walking its
+// bucket chain through raw (unsensed, undecoded) memory — no fault can
+// fire and no ECC event is emitted, so a fault injector can target a
+// specific key's value without perturbing the experiment. Returns an
+// error if the chain is broken (a corrupted pointer walked out of the
+// heap) or the key is absent.
+func (a *App) ValueAddr(key uint64) (simmem.Addr, error) {
+	slot := a.buckets + simmem.Addr(hashKey(key, a.cfg.Buckets)*8)
+	var buf [8]byte
+	if err := a.as.ReadRaw(slot, buf[:]); err != nil {
+		return 0, err
+	}
+	cur := simmem.Addr(getU64(buf[:]))
+	for hops := 0; cur != 0; hops++ {
+		if hops > a.cfg.Keys || !a.heap.Contains(cur) {
+			return 0, fmt.Errorf("kvstore: chain for key %d is corrupt", key)
+		}
+		if err := a.as.ReadRaw(cur, buf[:]); err != nil {
+			return 0, err
+		}
+		if getU64(buf[:]) == key {
+			return cur + entryHeaderBytes, nil
+		}
+		if err := a.as.ReadRaw(cur+16, buf[:]); err != nil {
+			return 0, err
+		}
+		cur = simmem.Addr(getU64(buf[:]))
+	}
+	return 0, fmt.Errorf("kvstore: key %d not found", key)
+}
+
+// ValueSize returns the configured value payload size.
+func (a *App) ValueSize() int { return a.cfg.ValueSize }
+
+func getU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
 }
 
 func putU32(b []byte, v uint32) {

@@ -1,0 +1,86 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+
+	"hrmsim/internal/trace"
+)
+
+func buildApp(t *testing.T, cfg Config) *App {
+	t.Helper()
+	b, err := NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app.(*App)
+}
+
+func TestValueAddrResolvesEveryKey(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Keys = 64
+	cfg.Ops = 1
+	app := buildApp(t, cfg)
+	for k := uint64(0); k < 64; k++ {
+		addr, err := app.ValueAddr(k)
+		if err != nil {
+			t.Fatalf("key %d: %v", k, err)
+		}
+		raw := make([]byte, cfg.ValueSize)
+		if err := app.Space().ReadRaw(addr, raw); err != nil {
+			t.Fatalf("key %d: reading value: %v", k, err)
+		}
+		if want := trace.ValueFor(k, 0, cfg.ValueSize); !bytes.Equal(raw, want) {
+			t.Errorf("key %d: value bytes at %#x do not match ValueFor", k, uint64(addr))
+		}
+	}
+	if _, err := app.ValueAddr(1 << 40); err == nil {
+		t.Error("absent key resolved")
+	}
+}
+
+func TestHeapBackedCheckpointsPopulatedStore(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Keys = 32
+	cfg.Ops = 1
+	cfg.HeapBacked = true
+	app := buildApp(t, cfg)
+	heap := app.Space().RegionByName("heap")
+	if !heap.Backed() {
+		t.Fatal("heap not backed")
+	}
+	// Corrupt a value byte, then restore the word from backing: the
+	// pre-populated contents must come back, proving the build-time
+	// checkpoint captured the warm store.
+	addr, err := app.ValueAddr(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Space().FlipBit(addr, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := heap.RestoreWord(addr); err != nil {
+		t.Fatal(err)
+	}
+	version, val, err := app.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 0 || !bytes.Equal(val, trace.ValueFor(7, 0, cfg.ValueSize)) {
+		t.Errorf("restored value wrong: version=%d", version)
+	}
+}
+
+func TestUnbackedHeapByDefault(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Keys = 8
+	cfg.Ops = 1
+	app := buildApp(t, cfg)
+	if app.Space().RegionByName("heap").Backed() {
+		t.Error("heap backed without HeapBacked")
+	}
+}

@@ -1,0 +1,168 @@
+// Package chaos is the live-traffic chaos harness: it runs a kvserve node
+// under a concurrent client load while injecting memory errors into the
+// serving address space, probes service-level signals on a cadence, and
+// renders a litmus-style steady-state verdict.
+//
+// The experiment lifecycle follows the chaos-engineering shape popularized
+// by tools like litmus: a *steady* phase establishes the healthy baseline,
+// a *chaos* phase applies the fault schedule while traffic continues, and
+// a *recovery* phase watches the system (ECC correction, Par+R restores,
+// page retirement) bring the service back within its objectives. Each
+// declared SLO — p50/p99 latency, error rate, wrong-value rate, recovery
+// activity — is evaluated per phase over the probe samples bracketing that
+// phase, and the per-SLO Pass/Fail grid plus the overall verdict is
+// serialized into a schema-versioned JSON envelope by `hrmsim chaos`.
+//
+// The harness talks to the node exclusively through the kvserve TCP
+// protocol (internal/kvnode), so the same experiment runs against an
+// in-process self-hosted node or an external `kvserve` process (`hrmsim
+// chaos -attach`). Fault injection lands between protocol commands, never
+// mid-access: a LocalInjector takes the address-space exclusion gate
+// (simmem.AddressSpace.Exclusive) for each flip, and a RemoteInjector uses
+// the node's own `inject` command, which is serialized by the server the
+// same way.
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"hrmsim/internal/obsv"
+)
+
+// Phase names of the experiment lifecycle, in order.
+const (
+	PhaseSteady   = "steady"
+	PhaseChaos    = "chaos"
+	PhaseRecovery = "recovery"
+)
+
+// AllPhases lists the lifecycle phases in execution order.
+var AllPhases = []string{PhaseSteady, PhaseChaos, PhaseRecovery}
+
+// Signal names an SLO can be declared over. Latency percentiles come from
+// the kvload_op_latency_us histogram window; rates are ratios of kvload
+// counter deltas; recovery signals are server-side stat deltas.
+const (
+	SignalP50LatencyUs   = "p50_latency_us"
+	SignalP99LatencyUs   = "p99_latency_us"
+	SignalErrorRate      = "error_rate"       // errors / ops
+	SignalWrongValueRate = "wrong_value_rate" // wrong values / gets
+	SignalTimeoutRate    = "timeout_rate"     // timeouts / ops
+	SignalRecoveries     = "recoveries"       // MC-handler repairs (delta)
+	SignalRetiredPages   = "retired_pages"    // page frames retired (delta)
+)
+
+// Comparison is the direction an SLO bounds its signal.
+type Comparison string
+
+const (
+	// Max passes when observed <= threshold (latency, error rates).
+	Max Comparison = "max"
+	// Min passes when observed >= threshold (recovery activity).
+	Min Comparison = "min"
+)
+
+// SLO is one declared service-level objective: a bound on a signal,
+// evaluated independently in each phase it applies to.
+type SLO struct {
+	// Name labels the objective in the verdict ("p99-latency").
+	Name string `json:"name"`
+	// Signal is one of the Signal* constants.
+	Signal string `json:"signal"`
+	// Comparison is Max (observed <= threshold) or Min (>=).
+	Comparison Comparison `json:"comparison"`
+	Threshold  float64    `json:"threshold"`
+	// Phases restricts evaluation to the named phases; empty means all.
+	Phases []string `json:"phases,omitempty"`
+}
+
+func (s SLO) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("chaos: SLO with empty name")
+	}
+	switch s.Signal {
+	case SignalP50LatencyUs, SignalP99LatencyUs, SignalErrorRate,
+		SignalWrongValueRate, SignalTimeoutRate, SignalRecoveries, SignalRetiredPages:
+	default:
+		return fmt.Errorf("chaos: SLO %s: unknown signal %q", s.Name, s.Signal)
+	}
+	if s.Comparison != Max && s.Comparison != Min {
+		return fmt.Errorf("chaos: SLO %s: comparison must be max or min", s.Name)
+	}
+	for _, p := range s.Phases {
+		if p != PhaseSteady && p != PhaseChaos && p != PhaseRecovery {
+			return fmt.Errorf("chaos: SLO %s: unknown phase %q", s.Name, p)
+		}
+	}
+	return nil
+}
+
+// appliesTo reports whether the SLO is evaluated in the named phase.
+func (s SLO) appliesTo(phase string) bool {
+	if len(s.Phases) == 0 {
+		return true
+	}
+	for _, p := range s.Phases {
+		if p == phase {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultSLOs is the stock objective set used by `hrmsim chaos` when no
+// custom thresholds are given: the service must stay fast, must not error,
+// must never serve a wrong value, and (when a recovery technique is
+// configured) must show recovery activity while under chaos.
+func DefaultSLOs(p50Us, p99Us float64, expectRecovery bool) []SLO {
+	slos := []SLO{
+		{Name: "p50-latency", Signal: SignalP50LatencyUs, Comparison: Max, Threshold: p50Us},
+		{Name: "p99-latency", Signal: SignalP99LatencyUs, Comparison: Max, Threshold: p99Us},
+		{Name: "error-rate", Signal: SignalErrorRate, Comparison: Max, Threshold: 0},
+		{Name: "no-wrong-values", Signal: SignalWrongValueRate, Comparison: Max, Threshold: 0},
+	}
+	if expectRecovery {
+		// Detection happens at read time, so online repairs land in the
+		// chaos window (the verification read right after each
+		// injection); the recovery phase then shows the repaired node
+		// meeting its objectives again.
+		slos = append(slos, SLO{
+			Name: "recovery-active", Signal: SignalRecoveries, Comparison: Min,
+			Threshold: 1, Phases: []string{PhaseChaos},
+		})
+	}
+	return slos
+}
+
+// Percentile computes the q-quantile (0 < q <= 1) of the histogram window
+// between two snapshots of the same histogram, by linear interpolation
+// within the containing bucket. A zero-value start snapshot means "from
+// the beginning". The second return is false when the window is empty or
+// the quantile falls in the +Inf overflow bucket (beyond the histogram's
+// finite bounds).
+func Percentile(start, end obsv.HistogramSnapshot, q float64) (float64, bool) {
+	n := end.Count - start.Count
+	if n <= 0 || len(end.Bounds) == 0 ||
+		(len(start.Counts) != 0 && len(start.Counts) != len(end.Counts)) {
+		return 0, false
+	}
+	target := q * float64(n)
+	if target < 1 {
+		target = 1
+	}
+	cum, lower := 0.0, 0.0
+	for i, bound := range end.Bounds {
+		c := float64(end.Counts[i])
+		if len(start.Counts) != 0 {
+			c -= float64(start.Counts[i])
+		}
+		if c > 0 && cum+c >= target {
+			frac := (target - cum) / c
+			return lower + frac*(bound-lower), true
+		}
+		cum += c
+		lower = bound
+	}
+	return math.Inf(1), false
+}

@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"hrmsim/internal/obsv"
+	"hrmsim/internal/trace"
+)
+
+// client is one kvserve protocol connection with per-op deadlines.
+type client struct {
+	conn    net.Conn
+	sc      *bufio.Scanner
+	w       *bufio.Writer
+	timeout time.Duration
+}
+
+func dialClient(addr string, timeout time.Duration) (*client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	return &client{conn: conn, sc: sc, w: bufio.NewWriter(conn), timeout: timeout}, nil
+}
+
+// roundTrip sends one command line and reads one response line, bounded by
+// the client's op timeout.
+func (c *client) roundTrip(cmd string) (string, error) {
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return "", err
+	}
+	if _, err := c.w.WriteString(cmd + "\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("connection closed by server")
+	}
+	return c.sc.Text(), nil
+}
+
+func (c *client) close() { _ = c.conn.Close() }
+
+// isTimeout reports whether err is a network deadline expiry.
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}
+
+// ServerStats is the parsed `stats` protocol response — the server-side
+// half of a probe sample.
+type ServerStats struct {
+	Ops, Injected, Faults               int64
+	Corrected, Uncorrectable, Recovered int64
+	Retired                             int64
+	VNowMs                              int64
+	Conns                               int64
+}
+
+// fetchStats issues a `stats` command and parses the k=v response.
+func fetchStats(c *client) (ServerStats, error) {
+	resp, err := c.roundTrip("stats")
+	if err != nil {
+		return ServerStats{}, err
+	}
+	return parseStats(resp)
+}
+
+func parseStats(resp string) (ServerStats, error) {
+	fields := strings.Fields(resp)
+	if len(fields) == 0 || fields[0] != "STATS" {
+		return ServerStats{}, fmt.Errorf("chaos: unexpected stats response %q", resp)
+	}
+	var st ServerStats
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return ServerStats{}, fmt.Errorf("chaos: malformed stats field %q", f)
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return ServerStats{}, fmt.Errorf("chaos: stats field %q: %v", f, err)
+		}
+		switch k {
+		case "ops":
+			st.Ops = n
+		case "injected":
+			st.Injected = n
+		case "faults":
+			st.Faults = n
+		case "corrected":
+			st.Corrected = n
+		case "uncorrectable":
+			st.Uncorrectable = n
+		case "recovered":
+			st.Recovered = n
+		case "retired":
+			st.Retired = n
+		case "vnow_ms":
+			st.VNowMs = n
+		case "conns":
+			st.Conns = n
+		}
+	}
+	return st, nil
+}
+
+// counters bundles the kvload_* metric handles shared by every generator
+// worker and the experiment's probe reads.
+type counters struct {
+	ops, gets, sets  *obsv.Counter
+	errors, timeouts *obsv.Counter
+	wrong, stale     *obsv.Counter
+	reconnects       *obsv.Counter
+	latUs            *obsv.Histogram
+	connsOpen        *obsv.Gauge
+}
+
+func newCounters(reg *obsv.Registry) counters {
+	return counters{
+		ops:        reg.Counter("kvload_ops_total"),
+		gets:       reg.Counter("kvload_gets_total"),
+		sets:       reg.Counter("kvload_sets_total"),
+		errors:     reg.Counter("kvload_errors_total"),
+		timeouts:   reg.Counter("kvload_timeouts_total"),
+		wrong:      reg.Counter("kvload_wrong_values_total"),
+		stale:      reg.Counter("kvload_stale_values_total"),
+		reconnects: reg.Counter("kvload_reconnects_total"),
+		// 1µs … ~1s in quarter-decade steps.
+		latUs:     reg.Histogram("kvload_op_latency_us", obsv.ExpBuckets(1, 4, 11)),
+		connsOpen: reg.Gauge("kvload_conns_open"),
+	}
+}
+
+// classifyGet checks a GET response against the deterministic value oracle
+// (trace.ValueFor) and the shadow version ceiling, and bumps the wrong- or
+// stale-value counters accordingly. maxVersion is the highest version the
+// generator has assigned to the key (0 = only the pre-populated value).
+func (ct *counters) classifyGet(key uint64, maxVersion int64, valueSize int, resp string) {
+	switch {
+	case resp == "MISS":
+		// Every key in the working set was pre-populated; a MISS means
+		// the chain walk was corrupted into losing the entry.
+		ct.wrong.Inc()
+	case strings.HasPrefix(resp, "VALUE "):
+		parts := strings.Fields(resp)
+		if len(parts) != 3 {
+			ct.wrong.Inc()
+			return
+		}
+		ver, err := strconv.ParseUint(parts[1], 10, 32)
+		if err != nil || int64(ver) > maxVersion {
+			// A version never written is corruption, not staleness.
+			ct.wrong.Inc()
+			return
+		}
+		want := trace.ValueFor(key, uint32(ver), valueSize)
+		got, err := hex.DecodeString(parts[2])
+		if err != nil || !bytesEqual(got, want) {
+			ct.wrong.Inc()
+			return
+		}
+		if int64(ver) < maxVersion {
+			ct.stale.Inc()
+		}
+	default:
+		// SERVER_ERROR or garbage: the serving path itself failed.
+		ct.errors.Inc()
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,343 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"hrmsim/internal/obsv"
+)
+
+// ExperimentConfig wires one chaos experiment together.
+type ExperimentConfig struct {
+	// Name labels the experiment in the verdict.
+	Name string
+	// Addr is the kvserve protocol address (server probe + load target).
+	Addr string
+	// Steady, Chaos, Recovery are the wall-clock phase durations.
+	Steady, Chaos, Recovery time.Duration
+	// SampleEvery is the probe cadence (default 50ms); a sample is also
+	// forced at every phase boundary.
+	SampleEvery time.Duration
+	// Injections is the fault-schedule length applied across the chaos
+	// phase, evenly paced.
+	Injections int
+	// Injector applies the schedule; required when Injections > 0.
+	Injector Injector
+	// ProbeInjected issues a verification GET for each key-addressable
+	// injection right after it lands, so corruption is read (and
+	// witnessed) deterministically instead of depending on the Zipf
+	// draw within a short window.
+	ProbeInjected bool
+	// SLOs are the objectives; required.
+	SLOs []SLO
+	// Generator drives the load; required (callers construct it so the
+	// profile is explicit).
+	Generator *Generator
+	// Registry receives the chaos_* metrics and is read for the
+	// kvload_* signals; must be the generator's registry.
+	Registry *obsv.Registry
+	// Seed is recorded in the verdict (the generator and injector carry
+	// their own seeds; this is the experiment-level provenance field).
+	Seed int64
+}
+
+func (cfg *ExperimentConfig) validate() error {
+	if cfg.Name == "" {
+		cfg.Name = "chaos"
+	}
+	if cfg.Addr == "" {
+		return fmt.Errorf("chaos: experiment needs an address")
+	}
+	if cfg.Steady <= 0 || cfg.Chaos <= 0 || cfg.Recovery <= 0 {
+		return fmt.Errorf("chaos: all three phase durations must be positive")
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 50 * time.Millisecond
+	}
+	if cfg.Injections > 0 && cfg.Injector == nil {
+		return fmt.Errorf("chaos: %d injections requested without an injector", cfg.Injections)
+	}
+	if len(cfg.SLOs) == 0 {
+		return fmt.Errorf("chaos: experiment needs at least one SLO")
+	}
+	for _, s := range cfg.SLOs {
+		if err := s.validate(); err != nil {
+			return err
+		}
+	}
+	if cfg.Generator == nil {
+		return fmt.Errorf("chaos: experiment needs a load generator")
+	}
+	if cfg.Registry == nil {
+		return fmt.Errorf("chaos: experiment needs a registry")
+	}
+	return nil
+}
+
+// sample is one probe observation: the client-side counters and latency
+// histogram plus the server's own stats, taken together.
+type sample struct {
+	at     time.Time
+	client obsv.Snapshot
+	server ServerStats
+}
+
+// Experiment runs the steady → chaos → recovery lifecycle against a
+// serving node and produces a Verdict.
+type Experiment struct {
+	cfg ExperimentConfig
+
+	injections  *obsv.Counter
+	probeReads  *obsv.Counter
+	samplesC    *obsv.Counter
+	sloEvals    *obsv.Counter
+	sloFailures *obsv.Counter
+	phaseGauge  *obsv.Gauge
+
+	samples []sample
+	// injectionsInPhase counts faults applied, for the phase report.
+	applied int64
+}
+
+// NewExperiment validates the wiring.
+func NewExperiment(cfg ExperimentConfig) (*Experiment, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	reg := cfg.Registry
+	return &Experiment{
+		cfg:         cfg,
+		injections:  reg.Counter("chaos_injections_total"),
+		probeReads:  reg.Counter("chaos_probe_reads_total"),
+		samplesC:    reg.Counter("chaos_probe_samples_total"),
+		sloEvals:    reg.Counter("chaos_slo_evaluations_total"),
+		sloFailures: reg.Counter("chaos_slo_failures_total"),
+		phaseGauge:  reg.Gauge("chaos_phase"),
+	}, nil
+}
+
+// Run executes the experiment and returns its verdict. The generator is
+// started and stopped by Run; ctx cancellation aborts the experiment with
+// an error (a cancelled experiment has no meaningful verdict).
+func (e *Experiment) Run(ctx context.Context) (*Verdict, error) {
+	probe, err := dialClient(e.cfg.Addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: dialing server probe: %w", err)
+	}
+	defer probe.close()
+
+	genCtx, stopGen := context.WithCancel(ctx)
+	genDone := make(chan struct{})
+	go func() {
+		defer close(genDone)
+		e.cfg.Generator.Run(genCtx)
+	}()
+	defer func() {
+		stopGen()
+		<-genDone
+	}()
+
+	type boundary struct {
+		start, end int // sample indices
+		injections int64
+		durationMs int64
+	}
+	phases := []struct {
+		name string
+		dur  time.Duration
+	}{
+		{PhaseSteady, e.cfg.Steady},
+		{PhaseChaos, e.cfg.Chaos},
+		{PhaseRecovery, e.cfg.Recovery},
+	}
+	bounds := make([]boundary, len(phases))
+
+	if err := e.takeSample(probe); err != nil {
+		return nil, err
+	}
+	for i, ph := range phases {
+		e.phaseGauge.Set(float64(i))
+		start := len(e.samples) - 1
+		startInj := e.applied
+		t0 := time.Now()
+		var runErr error
+		if ph.name == PhaseChaos && e.cfg.Injections > 0 {
+			runErr = e.runChaosPhase(ctx, probe, ph.dur)
+		} else {
+			runErr = e.runQuietPhase(ctx, probe, ph.dur)
+		}
+		if runErr != nil {
+			return nil, fmt.Errorf("chaos: %s phase: %w", ph.name, runErr)
+		}
+		if err := e.takeSample(probe); err != nil {
+			return nil, err
+		}
+		bounds[i] = boundary{
+			start:      start,
+			end:        len(e.samples) - 1,
+			injections: e.applied - startInj,
+			durationMs: time.Since(t0).Milliseconds(),
+		}
+	}
+
+	reports := make([]PhaseReport, len(phases))
+	for i, ph := range phases {
+		reports[i] = e.window(ph.name, e.samples[bounds[i].start], e.samples[bounds[i].end])
+		reports[i].Injections = bounds[i].injections
+		reports[i].DurationMs = bounds[i].durationMs
+	}
+	results, pass := evaluate(e.cfg.SLOs, reports)
+	e.sloEvals.Add(int64(len(results)))
+	for _, r := range results {
+		if !r.Pass {
+			e.sloFailures.Inc()
+		}
+	}
+	return &Verdict{
+		SchemaVersion: VerdictSchemaVersion,
+		Experiment:    e.cfg.Name,
+		Seed:          e.cfg.Seed,
+		Phases:        reports,
+		Results:       results,
+		Pass:          pass,
+		Samples:       len(e.samples),
+	}, nil
+}
+
+// runQuietPhase waits out a phase, sampling on the cadence.
+func (e *Experiment) runQuietPhase(ctx context.Context, probe *client, dur time.Duration) error {
+	deadline := time.Now().Add(dur)
+	for {
+		wait := e.cfg.SampleEvery
+		if rem := time.Until(deadline); rem <= 0 {
+			return nil
+		} else if rem < wait {
+			wait = rem
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+		if time.Now().After(deadline) {
+			return nil
+		}
+		if err := e.takeSample(probe); err != nil {
+			return err
+		}
+	}
+}
+
+// runChaosPhase paces the fault schedule evenly across the phase while
+// keeping the sample cadence.
+func (e *Experiment) runChaosPhase(ctx context.Context, probe *client, dur time.Duration) error {
+	interval := dur / time.Duration(e.cfg.Injections)
+	deadline := time.Now().Add(dur)
+	nextSample := time.Now().Add(e.cfg.SampleEvery)
+	for k := 0; k < e.cfg.Injections; k++ {
+		key, err := e.cfg.Injector.Inject(k)
+		if err == ErrScheduleExhausted {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("injection %d: %w", k, err)
+		}
+		e.applied++
+		e.injections.Inc()
+		if e.cfg.ProbeInjected && key >= 0 {
+			e.probeReads.Inc()
+			if err := e.cfg.Generator.ProbeGet(uint64(key)); err != nil {
+				return fmt.Errorf("probe read after injection %d: %w", k, err)
+			}
+		}
+		// Hold the pace until the next injection slot, sampling on
+		// cadence as we go.
+		slotEnd := time.Now().Add(interval)
+		if slotEnd.After(deadline) {
+			slotEnd = deadline
+		}
+		for time.Now().Before(slotEnd) {
+			wait := time.Until(slotEnd)
+			if s := time.Until(nextSample); s < wait {
+				wait = s
+			}
+			if wait > 0 {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(wait):
+				}
+			}
+			if !time.Now().Before(nextSample) {
+				if err := e.takeSample(probe); err != nil {
+					return err
+				}
+				nextSample = time.Now().Add(e.cfg.SampleEvery)
+			}
+		}
+	}
+	// Schedule done (or exhausted): wait out the rest of the phase.
+	if rem := time.Until(deadline); rem > 0 {
+		return e.runQuietPhase(ctx, probe, rem)
+	}
+	return nil
+}
+
+// takeSample captures one probe observation.
+func (e *Experiment) takeSample(probe *client) error {
+	st, err := fetchStats(probe)
+	if err != nil {
+		return fmt.Errorf("chaos: server probe: %w", err)
+	}
+	e.samples = append(e.samples, sample{
+		at:     time.Now(),
+		client: e.cfg.Registry.Snapshot(),
+		server: st,
+	})
+	e.samplesC.Inc()
+	return nil
+}
+
+// window derives the PhaseReport for the span between two samples.
+func (e *Experiment) window(phase string, start, end sample) PhaseReport {
+	cd := func(name string) int64 {
+		return end.client.Counters[name] - start.client.Counters[name]
+	}
+	p := PhaseReport{
+		Phase:          phase,
+		StartVirtualMs: start.server.VNowMs,
+		EndVirtualMs:   end.server.VNowMs,
+		Ops:            cd("kvload_ops_total"),
+		Gets:           cd("kvload_gets_total"),
+		Sets:           cd("kvload_sets_total"),
+		Errors:         cd("kvload_errors_total"),
+		Timeouts:       cd("kvload_timeouts_total"),
+		WrongValues:    cd("kvload_wrong_values_total"),
+		StaleValues:    cd("kvload_stale_values_total"),
+		Corrected:      end.server.Corrected - start.server.Corrected,
+		Uncorrectable:  end.server.Uncorrectable - start.server.Uncorrectable,
+		Recovered:      end.server.Recovered - start.server.Recovered,
+		Retired:        end.server.Retired - start.server.Retired,
+		Signals:        map[string]float64{},
+	}
+	// Recovery signals are always measurable (a zero delta is a real
+	// observation).
+	p.Signals[SignalRecoveries] = float64(p.Recovered)
+	p.Signals[SignalRetiredPages] = float64(p.Retired)
+	if p.Ops > 0 {
+		p.Signals[SignalErrorRate] = float64(p.Errors) / float64(p.Ops)
+		p.Signals[SignalTimeoutRate] = float64(p.Timeouts) / float64(p.Ops)
+	}
+	if p.Gets > 0 {
+		p.Signals[SignalWrongValueRate] = float64(p.WrongValues) / float64(p.Gets)
+	}
+	hs, he := start.client.Histograms["kvload_op_latency_us"], end.client.Histograms["kvload_op_latency_us"]
+	if v, ok := Percentile(hs, he, 0.50); ok {
+		p.Signals[SignalP50LatencyUs] = v
+	}
+	if v, ok := Percentile(hs, he, 0.99); ok {
+		p.Signals[SignalP99LatencyUs] = v
+	}
+	return p
+}

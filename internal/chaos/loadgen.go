@@ -1,0 +1,272 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hrmsim/internal/obsv"
+)
+
+// GenConfig configures the load generator.
+type GenConfig struct {
+	// Addr is the kvserve protocol address.
+	Addr string
+	// Conns is the number of concurrent client connections.
+	Conns int
+	// QPS is the aggregate target rate across all connections; 0 runs
+	// closed-loop (each connection issues its next op immediately).
+	QPS float64
+	// Keys is the working-set size; must match the server's -keys so the
+	// wrong-value oracle covers the whole keyspace.
+	Keys int
+	// ValueSize must match the server's value size (the oracle
+	// recomputes expected bytes from key and version).
+	ValueSize int
+	// ReadFraction is the GET share of the op mix (default 0.9).
+	ReadFraction float64
+	// ZipfS is the Zipf skew exponent (> 1; default 1.1), matching the
+	// skew the campaign traces use.
+	ZipfS float64
+	// Seed derives every per-connection RNG; same seed, same op
+	// sequence per connection.
+	Seed int64
+	// OpTimeout bounds one round trip (default 2s); an op past the
+	// deadline counts as a timeout and the connection is re-dialed.
+	OpTimeout time.Duration
+	// Registry receives the kvload_* metrics (required).
+	Registry *obsv.Registry
+}
+
+func (cfg *GenConfig) fill() error {
+	if cfg.Addr == "" {
+		return fmt.Errorf("chaos: generator needs an address")
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 4
+	}
+	if cfg.Keys <= 1 {
+		return fmt.Errorf("chaos: generator needs a working set (Keys > 1)")
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 64
+	}
+	if cfg.ReadFraction == 0 {
+		cfg.ReadFraction = 0.9
+	}
+	if cfg.ReadFraction < 0 || cfg.ReadFraction > 1 {
+		return fmt.Errorf("chaos: read fraction %v outside [0,1]", cfg.ReadFraction)
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.ZipfS <= 1 {
+		return fmt.Errorf("chaos: zipf exponent must be > 1, got %v", cfg.ZipfS)
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 2 * time.Second
+	}
+	if cfg.Registry == nil {
+		return fmt.Errorf("chaos: generator needs a registry")
+	}
+	return nil
+}
+
+// Generator drives concurrent Zipfian GET/SET traffic at a kvserve node
+// and verifies every GET against the deterministic value oracle — the
+// client-side shadow store that makes silent data corruption visible as a
+// wrong-value count instead of a passed-through lie.
+type Generator struct {
+	cfg GenConfig
+	ct  counters
+
+	// versions[k] is the highest version this generator has assigned to
+	// key k (the server pre-populates version 0). Bumped before the SET
+	// is sent, so a returned version above the ceiling is impossible in
+	// a healthy system.
+	versions []atomic.Int64
+
+	// open backs the kvload_conns_open gauge (gauges have no atomic
+	// increment, so the source of truth lives here).
+	open atomic.Int64
+
+	// probe is a lazily-dialed dedicated connection for ProbeGet, so
+	// verification reads never queue behind worker traffic.
+	probeMu sync.Mutex
+	probe   *client
+}
+
+// NewGenerator validates the config and prepares a generator; no
+// connections are dialed until Run.
+func NewGenerator(cfg GenConfig) (*Generator, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Generator{
+		cfg:      cfg,
+		ct:       newCounters(cfg.Registry),
+		versions: make([]atomic.Int64, cfg.Keys),
+	}, nil
+}
+
+// Run drives traffic until ctx is cancelled. Each connection runs on its
+// own goroutine with an independent seeded RNG; Run returns once every
+// worker has disconnected.
+func (g *Generator) Run(ctx context.Context) {
+	interval := time.Duration(0)
+	if g.cfg.QPS > 0 {
+		// Per-connection pacing interval for the aggregate target.
+		interval = time.Duration(float64(g.cfg.Conns) / g.cfg.QPS * float64(time.Second))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < g.cfg.Conns; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			g.runWorker(ctx, worker, interval)
+		}(i)
+	}
+	wg.Wait()
+	g.probeMu.Lock()
+	if g.probe != nil {
+		g.probe.close()
+		g.probe = nil
+	}
+	g.probeMu.Unlock()
+}
+
+func (g *Generator) runWorker(ctx context.Context, worker int, interval time.Duration) {
+	rng := rand.New(rand.NewSource(g.cfg.Seed + int64(worker)*7919))
+	zipf := rand.NewZipf(rng, g.cfg.ZipfS, 1, uint64(g.cfg.Keys-1))
+
+	var c *client
+	defer func() {
+		if c != nil {
+			c.close()
+			g.ct.connsOpen.Set(float64(g.open.Add(-1)))
+		}
+	}()
+	next := time.Now()
+	for ctx.Err() == nil {
+		if c == nil {
+			var err error
+			c, err = dialClient(g.cfg.Addr, g.cfg.OpTimeout)
+			if err != nil {
+				g.ct.errors.Inc()
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(20 * time.Millisecond):
+				}
+				continue
+			}
+			g.ct.connsOpen.Set(float64(g.open.Add(1)))
+		}
+		if interval > 0 {
+			now := time.Now()
+			if wait := next.Sub(now); wait > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(wait):
+				}
+			} else if wait < -interval {
+				next = now // fell behind a full slot: don't burst to catch up
+			}
+			next = next.Add(interval)
+		}
+		key := zipf.Uint64()
+		if rng.Float64() < g.cfg.ReadFraction {
+			g.doGet(c, key)
+		} else {
+			g.doSet(c, key)
+		}
+		if c.conn == nil { // closed by an op failure
+			c = nil
+		}
+	}
+}
+
+// doGet issues one verified GET; on transport failure the client is
+// marked dead for the caller to re-dial.
+func (g *Generator) doGet(c *client, key uint64) {
+	g.ct.ops.Inc()
+	g.ct.gets.Inc()
+	start := time.Now()
+	resp, err := c.roundTrip(fmt.Sprintf("get %d", key))
+	if err != nil {
+		g.opFailed(c, err)
+		return
+	}
+	g.ct.latUs.Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	g.ct.classifyGet(key, g.versions[key].Load(), g.cfg.ValueSize, resp)
+}
+
+func (g *Generator) doSet(c *client, key uint64) {
+	g.ct.ops.Inc()
+	g.ct.sets.Inc()
+	ver := g.versions[key].Add(1)
+	start := time.Now()
+	resp, err := c.roundTrip(fmt.Sprintf("set %d %d", key, ver))
+	if err != nil {
+		g.opFailed(c, err)
+		return
+	}
+	g.ct.latUs.Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	if resp != "STORED" {
+		g.ct.errors.Inc()
+	}
+}
+
+// opFailed records a transport-level failure and retires the connection
+// (the worker loop re-dials, counting the reconnect).
+func (g *Generator) opFailed(c *client, err error) {
+	g.ct.errors.Inc()
+	if isTimeout(err) {
+		g.ct.timeouts.Inc()
+	}
+	c.close()
+	c.conn = nil
+	g.ct.connsOpen.Set(float64(g.open.Add(-1)))
+	g.ct.reconnects.Inc()
+}
+
+// ProbeGet issues one verified GET on the dedicated probe connection,
+// counted through the same kvload_* counters as worker traffic. The chaos
+// experiment calls this for each injected key, guaranteeing corrupted
+// data is read (and therefore witnessed) even if the Zipf draw would have
+// skipped the key in a short window.
+func (g *Generator) ProbeGet(key uint64) error {
+	if key >= uint64(len(g.versions)) {
+		return fmt.Errorf("chaos: probe key %d outside working set", key)
+	}
+	g.probeMu.Lock()
+	defer g.probeMu.Unlock()
+	if g.probe == nil {
+		p, err := dialClient(g.cfg.Addr, g.cfg.OpTimeout)
+		if err != nil {
+			g.ct.errors.Inc()
+			return err
+		}
+		g.probe = p
+	}
+	g.ct.ops.Inc()
+	g.ct.gets.Inc()
+	start := time.Now()
+	resp, err := g.probe.roundTrip(fmt.Sprintf("get %d", key))
+	if err != nil {
+		g.ct.errors.Inc()
+		if isTimeout(err) {
+			g.ct.timeouts.Inc()
+		}
+		g.probe.close()
+		g.probe = nil
+		return err
+	}
+	g.ct.latUs.Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	g.ct.classifyGet(key, g.versions[key].Load(), g.cfg.ValueSize, resp)
+	return nil
+}

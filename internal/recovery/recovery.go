@@ -18,6 +18,27 @@ import (
 	"hrmsim/internal/simmem"
 )
 
+// Stats is a point-in-time summary of a recovery handler's activity,
+// reported uniformly so a live server (internal/kvnode) or a chaos probe
+// (internal/chaos) can publish any handler's counters without knowing its
+// concrete type.
+type Stats struct {
+	// Recoveries counts successful data repairs (word or page restores).
+	Recoveries int
+	// Failures counts repairs that could not be performed.
+	Failures int
+	// Escalations counts word→page escalations (ParREscalating).
+	Escalations int
+	// Retired counts page-frame retirements.
+	Retired int
+}
+
+// Reporter is implemented by recovery handlers that can summarize their
+// activity.
+type Reporter interface {
+	RecoveryStats() Stats
+}
+
 // ParR is the paper's "Par+R" software correction: when the hardware
 // detects an error it cannot correct (parity can only detect), reload a
 // clean copy of the affected data from persistent storage. Regions must be
@@ -64,6 +85,11 @@ func (p *ParR) HandleMC(as *simmem.AddressSpace, ev simmem.MCEvent) simmem.MCAct
 func (p *ParR) ResetTrial() {
 	p.Recoveries = 0
 	p.Failures = 0
+}
+
+// RecoveryStats implements Reporter.
+func (p *ParR) RecoveryStats() Stats {
+	return Stats{Recoveries: p.Recoveries, Failures: p.Failures}
 }
 
 // ParREscalating first tries a word restore (cheap, fixes soft errors);
@@ -116,6 +142,16 @@ func (p *ParREscalating) ResetTrial() {
 	p.inner.ResetTrial()
 }
 
+// RecoveryStats implements Reporter. Escalated page replacements count as
+// recoveries too: the data was repaired, just at page granularity.
+func (p *ParREscalating) RecoveryStats() Stats {
+	return Stats{
+		Recoveries:  p.inner.Recoveries + p.Escalations,
+		Failures:    p.inner.Failures,
+		Escalations: p.Escalations,
+	}
+}
+
 // Retirer implements OS page retirement (Section II-A): when a page
 // accumulates Threshold corrected errors, its frame is replaced — backed
 // regions reload from persistent storage, others lose the page's contents
@@ -145,6 +181,9 @@ func (r *Retirer) ObserveECC(ev simmem.ECCEvent) {
 
 // ResetTrial implements simmem.TrialResetter.
 func (r *Retirer) ResetTrial() { r.Retired = 0 }
+
+// RecoveryStats implements Reporter.
+func (r *Retirer) RecoveryStats() Stats { return Stats{Retired: r.Retired} }
 
 // Checkpointer periodically flushes a backed region's dirty contents to
 // persistent storage, implementing the paper's assumption that Par+R data
@@ -253,6 +292,12 @@ func (s *PeriodicScrubber) ObserveAccess(ev simmem.AccessEvent) {
 		}
 	}
 	s.Passes++
+}
+
+// RecoveryStats implements Reporter: corrected words written back count
+// as recoveries, frame replacements as retirements.
+func (s *PeriodicScrubber) RecoveryStats() Stats {
+	return Stats{Recoveries: s.Corrected, Retired: s.Retired}
 }
 
 // ResetTrial implements simmem.TrialResetter: the scrub schedule and all

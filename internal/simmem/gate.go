@@ -1,0 +1,34 @@
+package simmem
+
+// Exclusion gate: the synchronization seam for sharing one AddressSpace
+// between a live server and a concurrent fault injector.
+//
+// An AddressSpace is single-goroutine by design — characterization
+// campaigns build one per worker and never contend. A live-traffic
+// deployment (cmd/kvserve serving per-connection goroutines while a chaos
+// injector corrupts memory) breaks that assumption, so the space carries a
+// mutex that callers use to serialize *whole logical operations*: one
+// protocol request, one injection, one scrub pass. Holding the gate for
+// the full operation — not per Load/Store — guarantees an injection lands
+// between operations, never mid-access, so every access still sees a
+// consistent decode/taint state and the fault model stays identical to the
+// campaign engine's (where injections happen between Serve calls).
+//
+// The gate is opt-in: code that owns its AddressSpace exclusively (the
+// entire campaign path) never locks it and pays nothing.
+
+// Acquire takes the operation gate. Callers sharing the space across
+// goroutines must hold it for the duration of every logical operation that
+// touches memory, the clock, counters, or regions.
+func (as *AddressSpace) Acquire() { as.gate.Lock() }
+
+// Release drops the operation gate.
+func (as *AddressSpace) Release() { as.gate.Unlock() }
+
+// Exclusive runs fn while holding the operation gate: the unit of
+// serialization for concurrent servers and injectors.
+func (as *AddressSpace) Exclusive(fn func() error) error {
+	as.gate.Lock()
+	defer as.gate.Unlock()
+	return fn()
+}

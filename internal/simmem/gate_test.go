@@ -1,0 +1,72 @@
+package simmem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestGateSerializesOpsAndInjection shares one address space between
+// "request" goroutines and an "injector" goroutine, each wrapping whole
+// operations in the gate — the live-server usage pattern. Under -race this
+// pins the seam: no access path races with injection as long as both sides
+// hold the gate per operation.
+func TestGateSerializesOpsAndInjection(t *testing.T) {
+	as, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := as.AddRegion(RegionSpec{Name: "heap", Kind: RegionHeap, Size: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetUsed(4096)
+	base := r.Base()
+
+	var wg sync.WaitGroup
+	const workers, opsPer = 4, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				err := as.Exclusive(func() error {
+					addr := base + Addr((w*opsPer+i)%4096&^7)
+					if err := as.StoreU64(addr, uint64(i)); err != nil {
+						return err
+					}
+					_, err := as.LoadU64(addr)
+					return err
+				})
+				if err != nil {
+					t.Errorf("worker %d op %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 100; i++ {
+			_ = as.Exclusive(func() error {
+				addr, ok := as.SampleAddr(rng, nil)
+				if !ok {
+					return nil
+				}
+				return as.FlipBit(addr, rng.Intn(8))
+			})
+		}
+	}()
+	wg.Wait()
+
+	// The gate serializes counter mutation, so the totals must be exact:
+	// one store and one load per op.
+	as.Acquire()
+	c := as.Counters()
+	as.Release()
+	if c.Loads != workers*opsPer || c.Stores != workers*opsPer {
+		t.Errorf("counters = %+v, want %d loads and stores", c, workers*opsPer)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Addr is a simulated virtual address.
@@ -121,6 +122,11 @@ type AddressSpace struct {
 	scratchWord  []byte
 	scratchCheck []byte
 	scratchBusy  bool
+	// gate serializes whole logical operations when the space is shared
+	// by a live server's connection goroutines and a fault injector; see
+	// gate.go. Single-goroutine users (the campaign engine) never touch
+	// it.
+	gate sync.Mutex
 }
 
 // New creates an empty address space.

@@ -1,0 +1,133 @@
+#!/bin/sh
+# End-to-end smoke test of the live-traffic chaos harness against a real
+# kvserve process over real TCP (what the in-process tests cannot cover):
+#
+#   1. start a fresh SEC-DED kvserve,
+#   2. run `hrmsim chaos -attach` against it — live load, real fault
+#      injection through the protocol, SLO probes — and require a PASS
+#      verdict in a well-formed JSON envelope,
+#   3. drive the same server with the standalone kvload generator and
+#      require zero wrong values in its report,
+#   4. shut the server down.
+#
+# Ordering matters: the wrong-value oracle assumes its generator is the
+# only writer since server start, so the chaos run (read-only,
+# -read-fraction 1) goes first against the fresh server, and kvload's
+# own fresh oracle stays valid because the chaos run wrote nothing.
+#
+#   scripts/chaos_smoke.sh             # default: 16 injections, ~4s of load
+set -eu
+cd "$(dirname "$0")/.."
+
+SEED="${SEED:-7}"
+TMP="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/kvserve" ./cmd/kvserve
+go build -o "$TMP/kvload" ./cmd/kvload
+go build -o "$TMP/hrmsim" ./cmd/hrmsim
+
+echo "chaos_smoke: starting kvserve (secded)" >&2
+"$TMP/kvserve" -addr 127.0.0.1:0 -ecc secded -seed "$SEED" \
+    2>"$TMP/kvserve.log" &
+SRV_PID=$!
+
+# The server logs its bound address; wait for the listen line.
+ADDR=""
+i=0
+while [ $i -lt 50 ]; do
+    ADDR="$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$TMP/kvserve.log" | head -1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || { cat "$TMP/kvserve.log" >&2; exit 1; }
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "chaos_smoke: kvserve never reported its address" >&2
+    cat "$TMP/kvserve.log" >&2
+    exit 1
+fi
+echo "chaos_smoke: kvserve on $ADDR" >&2
+
+echo "chaos_smoke: running hrmsim chaos -attach" >&2
+"$TMP/hrmsim" chaos -attach "$ADDR" -read-fraction 1 -conns 8 \
+    -steady 1s -chaos 2s -recovery 1s -injections 16 -seed "$SEED" \
+    -json >"$TMP/chaos.json"
+
+python3 - "$TMP/chaos.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    env = json.load(f)
+
+def die(msg):
+    print(f"chaos_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+if env.get("schema_version") != 1 or env.get("tool") != "hrmsim":
+    die(f"bad envelope header: {env.get('schema_version')}/{env.get('tool')}")
+if env.get("command") != "chaos":
+    die(f"command = {env.get('command')}")
+v = env["result"]
+if v.get("schema_version") != 1:
+    die(f"verdict schema_version = {v.get('schema_version')}")
+phases = [p["phase"] for p in v.get("phases", [])]
+if phases != ["steady", "chaos", "recovery"]:
+    die(f"phases = {phases}")
+if not v.get("results"):
+    die("no SLO results")
+if not v.get("pass"):
+    for r in v["results"]:
+        if not r["pass"]:
+            print(f"chaos_smoke:   {r['name']}/{r['phase']}: "
+                  f"{r.get('reason', 'failed')}", file=sys.stderr)
+    die("SEC-DED verdict is FAIL")
+chaos_phase = v["phases"][1]
+if chaos_phase["injections"] <= 0:
+    die("no injections recorded in the chaos phase")
+counters = env.get("metrics", {}).get("counters", {})
+if counters.get("chaos_injections_total", 0) <= 0:
+    die("chaos_injections_total missing from the metrics snapshot")
+if counters.get("kvload_ops_total", 0) <= 0:
+    die("kvload_ops_total missing from the metrics snapshot")
+print(f"chaos_smoke: chaos verdict PASS "
+      f"({len(v['results'])} objectives, "
+      f"{chaos_phase['injections']} injections, "
+      f"{counters['kvload_ops_total']} ops)")
+PY
+
+echo "chaos_smoke: running kvload against the same server" >&2
+"$TMP/kvload" -addr "$ADDR" -conns 16 -duration 2s -seed "$SEED" \
+    -json >"$TMP/kvload.json"
+
+python3 - "$TMP/kvload.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    env = json.load(f)
+
+def die(msg):
+    print(f"chaos_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+if env.get("schema_version") != 1 or env.get("tool") != "kvload":
+    die(f"bad kvload envelope: {env.get('schema_version')}/{env.get('tool')}")
+r = env["result"]
+if r.get("ops", 0) <= 0:
+    die("kvload drove no traffic")
+if r.get("wrong_values", 0) != 0:
+    die(f"{r['wrong_values']} wrong values served by the SEC-DED node")
+if r.get("errors", 0) != 0:
+    die(f"{r['errors']} op errors against a healthy loopback server")
+print(f"chaos_smoke: kvload PASS ({r['ops']} ops, 0 wrong values)")
+PY
+
+kill "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+echo "chaos_smoke: PASS" >&2
