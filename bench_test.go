@@ -1,6 +1,7 @@
 package hrmsim
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -219,6 +220,91 @@ func benchCampaignLifecycles(b *testing.B, prefix string, builder apps.Builder) 
 			b.ReportMetric(float64(trials*b.N)/b.Elapsed().Seconds(), "trials/s")
 		})
 	}
+}
+
+// BenchmarkSECDEDGap measures the SEC-DED decode tax directly: the same
+// snapshot-lifecycle WebSearch soft-error campaign, unprotected vs
+// SEC-DED on every region, timed in interleaved rounds within one
+// benchmark run. It reports secded_vs_noecc_ratio — SEC-DED campaign
+// wall time over no-ECC campaign wall time (1.0 = protection is free) —
+// the lower-is-better metric scripts/bench_compare.sh caps at 1.15,
+// enforcing the "SEC-DED within 15% of no-ECC" target. The reported
+// value is the ratio of per-side minima across the rounds: a transient
+// load spike on a shared CI box only ever inflates a round's time, so
+// each side's minimum is its least-contaminated observation, and their
+// ratio is robust to spikes landing on either side in any round.
+// Measuring a ratio in one process also transfers across machines far
+// better than absolute trials/s.
+func BenchmarkSECDEDGap(b *testing.B) {
+	noecc, err := NewBuilder(AppWebSearch, SizeMedium, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	secded := benchWebSearchSECDED(b)
+	const trials = 24
+	const rounds = 6
+	// Each timed window runs several whole campaigns regardless of
+	// -benchtime, so even a 1x capture times windows long enough for the
+	// ratio to be stable; many short windows beat few long ones because
+	// the per-side minimum only needs one spike-free window per side.
+	const reps = 2
+	campaign := func(builder apps.Builder, golden []uint64, warmup int) time.Duration {
+		start := time.Now()
+		for i := 0; i < reps*b.N; i++ {
+			if _, err := core.Run(core.CampaignConfig{
+				Builder:     builder,
+				Lifecycle:   core.LifecycleSnapshot,
+				Spec:        faults.SingleBitSoft,
+				Trials:      trials,
+				Seed:        1,
+				Warmup:      warmup,
+				Parallelism: 1,
+				Golden:      golden,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	noeccGolden, err := core.GoldenRun(noecc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	secdedGolden, err := core.GoldenRun(secded)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One untimed campaign per side warms code and data caches, and the
+	// GC fence before each timed window means neither side pays garbage
+	// the other side left behind. Alternating which side goes first each
+	// round keeps slow drifts (turbo decay, thermal throttle) from
+	// systematically taxing whichever side would otherwise always run
+	// second.
+	runNoecc := func() time.Duration { return campaign(noecc, noeccGolden, len(noeccGolden)*9/10) }
+	runSecded := func() time.Duration { return campaign(secded, secdedGolden, len(secdedGolden)*9/10) }
+	runNoecc()
+	runSecded()
+	b.ResetTimer()
+	var minNoecc, minSecded time.Duration
+	for r := 0; r < rounds; r++ {
+		first, second := runNoecc, runSecded
+		firstMin, secondMin := &minNoecc, &minSecded
+		if r%2 == 1 {
+			first, second = second, first
+			firstMin, secondMin = secondMin, firstMin
+		}
+		runtime.GC()
+		t1 := first()
+		runtime.GC()
+		t2 := second()
+		if r == 0 || t1 < *firstMin {
+			*firstMin = t1
+		}
+		if r == 0 || t2 < *secondMin {
+			*secondMin = t2
+		}
+	}
+	b.ReportMetric(float64(minSecded)/float64(minNoecc), "secded_vs_noecc_ratio")
 }
 
 // BenchmarkAdaptiveCampaign pits the classic fixed-N trial plan against

@@ -20,6 +20,8 @@
 //	benchgate ... -bench BenchmarkCampaignLifecycle/fresh
 //	benchgate ... -bench BenchmarkAdaptiveCampaign \
 //	              -metric trials-to-target-ci -direction lower
+//	benchgate ... -bench BenchmarkSECDEDGap \
+//	              -metric secded_vs_noecc_ratio -direction lower -max 1.15
 //
 // Exit status: 0 when every benchmark common to both captures is
 // within threshold, 1 on any regression or unusable input.
@@ -132,6 +134,7 @@ func run() error {
 	prefix := flag.String("bench", "BenchmarkCampaignLifecycle", "benchmark name prefix to compare")
 	metric := flag.String("metric", "trials/s", "custom benchmark metric to compare")
 	direction := flag.String("direction", "higher", "which way is better for the metric: higher (throughput) or lower (cost, e.g. trials-to-target-ci)")
+	maxVal := flag.Float64("max", 0, "absolute cap on the current metric value (0 = no cap): fails when any matching benchmark exceeds it regardless of the baseline, for fixed targets like secded_vs_noecc_ratio <= 1.15")
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
 		return fmt.Errorf("both -baseline and -current are required")
@@ -175,6 +178,22 @@ func run() error {
 			fmt.Printf("  %s: %.1f -> %.1f %s (%.1f%% worse)\n", r.Name, r.Baseline, r.Current, *metric, r.Drop*100)
 		}
 		return fmt.Errorf("%s regression beyond %.0f%%", *metric, *threshold*100)
+	}
+	// The absolute cap is independent of the ratchet: it binds every
+	// matching benchmark in the current capture, baseline or not.
+	if *maxVal > 0 {
+		var over []string
+		for name, v := range current {
+			if strings.HasPrefix(name, *prefix) && v > *maxVal {
+				over = append(over, fmt.Sprintf("  %s: %.3f %s > cap %.3f", name, v, *metric, *maxVal))
+			}
+		}
+		if len(over) > 0 {
+			sort.Strings(over)
+			fmt.Printf("\nbenchgate: %d benchmark(s) over the absolute %s cap:\n%s\n",
+				len(over), *metric, strings.Join(over, "\n"))
+			return fmt.Errorf("%s exceeds the absolute cap %.3f", *metric, *maxVal)
+		}
 	}
 	fmt.Printf("\nbenchgate: %d benchmark(s) within %.0f%% of %s\n", len(compared), *threshold*100, *baselinePath)
 	return nil

@@ -58,6 +58,7 @@ func cmdChaos(args []string) error {
 
 	seed := fs.Int64("seed", 1, "experiment seed (node population, load mix, injection placement)")
 	jsonOut := fs.Bool("json", false, "emit the verdict as a JSON envelope")
+	strict := fs.Bool("strict", false, "exit non-zero when the verdict is FAIL (output is still emitted)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -156,9 +157,15 @@ func cmdChaos(args []string) error {
 	}
 	if *jsonOut {
 		snap := reg.Snapshot()
-		return emitJSON("chaos", false, verdict, &snap, nil)
+		if err := emitJSON("chaos", false, verdict, &snap, nil); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(verdict.Render())
 	}
-	fmt.Print(verdict.Render())
+	if *strict && !verdict.Pass {
+		return fmt.Errorf("chaos: verdict FAIL (-strict)")
+	}
 	return nil
 }
 

@@ -168,6 +168,13 @@ type App struct {
 	stack  *simmem.Stack
 	chunks int // chunks per iteration
 
+	// Two access streams, one accessor each: the edge loop alternates
+	// between the stack-frame accumulator and heap graph data on every
+	// edge, so a single one-entry region cache would thrash on the
+	// alternation (see simmem.Accessor).
+	frameAcc *simmem.Accessor
+	dataAcc  *simmem.Accessor
+
 	// Layout offsets (region-relative).
 	offsetsOff   int
 	followersOff int
@@ -271,6 +278,8 @@ func (b *Builder) Build() (apps.App, error) {
 		scoreAOff:    offsetsBytes + followersBytes + outdegBytes,
 		scoreBOff:    offsetsBytes + followersBytes + outdegBytes + scoresBytes,
 	}
+	app.frameAcc = as.NewAccessor()
+	app.dataAcc = as.NewAccessor()
 
 	buf := make([]byte, used)
 	cursor := 0
@@ -358,57 +367,57 @@ func (a *App) Serve(i int) (resp apps.Response, err error) {
 		last = a.cfg.Nodes
 	}
 	for u := first; u < last; u++ {
-		if err := a.as.StoreU64(fb+frNode, uint64(u)); err != nil {
+		if err := a.frameAcc.StoreU64(fb+frNode, uint64(u)); err != nil {
 			return apps.Response{}, err
 		}
 		// Row bounds from the CSR offsets array.
-		rowStart, err := a.as.LoadU32(a.heap.Base() + simmem.Addr(a.offsetsOff+u*4))
+		rowStart, err := a.dataAcc.LoadU32(a.heap.Base() + simmem.Addr(a.offsetsOff+u*4))
 		if err != nil {
 			return apps.Response{}, err
 		}
-		rowEnd, err := a.as.LoadU32(a.heap.Base() + simmem.Addr(a.offsetsOff+(u+1)*4))
+		rowEnd, err := a.dataAcc.LoadU32(a.heap.Base() + simmem.Addr(a.offsetsOff+(u+1)*4))
 		if err != nil {
 			return apps.Response{}, err
 		}
-		if err := a.as.StoreU64(fb+frEdge, uint64(rowStart)); err != nil {
+		if err := a.frameAcc.StoreU64(fb+frEdge, uint64(rowStart)); err != nil {
 			return apps.Response{}, err
 		}
-		if err := a.as.StoreU64(fb+frEdgeEnd, uint64(rowEnd)); err != nil {
+		if err := a.frameAcc.StoreU64(fb+frEdgeEnd, uint64(rowEnd)); err != nil {
 			return apps.Response{}, err
 		}
-		if err := a.as.StoreF64(fb+frAcc, 0); err != nil {
+		if err := a.frameAcc.StoreF64(fb+frAcc, 0); err != nil {
 			return apps.Response{}, err
 		}
 		for {
 			if err := budget.Spend(1); err != nil {
 				return apps.Response{}, err
 			}
-			e, err := a.as.LoadU64(fb + frEdge)
+			e, err := a.frameAcc.LoadU64(fb + frEdge)
 			if err != nil {
 				return apps.Response{}, err
 			}
-			eEnd, err := a.as.LoadU64(fb + frEdgeEnd)
+			eEnd, err := a.frameAcc.LoadU64(fb + frEdgeEnd)
 			if err != nil {
 				return apps.Response{}, err
 			}
 			if e >= eEnd {
 				break
 			}
-			v, err := a.as.LoadU32(a.heap.Base() + simmem.Addr(e))
+			v, err := a.dataAcc.LoadU32(a.heap.Base() + simmem.Addr(e))
 			if err != nil {
 				return apps.Response{}, err
 			}
 			// Follower influence and out-degree; a corrupted follower
 			// ID indexes wherever it points (wrong data or a fault).
-			inf, err := a.as.LoadF64(a.heap.Base() + simmem.Addr(srcOff+int(v)*8))
+			inf, err := a.dataAcc.LoadF64(a.heap.Base() + simmem.Addr(srcOff+int(v)*8))
 			if err != nil {
 				return apps.Response{}, err
 			}
-			deg, err := a.as.LoadU32(a.heap.Base() + simmem.Addr(a.outdegOff+int(v)*4))
+			deg, err := a.dataAcc.LoadU32(a.heap.Base() + simmem.Addr(a.outdegOff+int(v)*4))
 			if err != nil {
 				return apps.Response{}, err
 			}
-			acc, err := a.as.LoadF64(fb + frAcc)
+			acc, err := a.frameAcc.LoadF64(fb + frAcc)
 			if err != nil {
 				return apps.Response{}, err
 			}
@@ -421,18 +430,18 @@ func (a *App) Serve(i int) (resp apps.Response, err error) {
 					contrib = (1 + a.cfg.Damping*inf) / float64(deg)
 				}
 			}
-			if err := a.as.StoreF64(fb+frAcc, acc+contrib); err != nil {
+			if err := a.frameAcc.StoreF64(fb+frAcc, acc+contrib); err != nil {
 				return apps.Response{}, err
 			}
-			if err := a.as.StoreU64(fb+frEdge, e+4); err != nil {
+			if err := a.frameAcc.StoreU64(fb+frEdge, e+4); err != nil {
 				return apps.Response{}, err
 			}
 		}
-		acc, err := a.as.LoadF64(fb + frAcc)
+		acc, err := a.frameAcc.LoadF64(fb + frAcc)
 		if err != nil {
 			return apps.Response{}, err
 		}
-		node, err := a.as.LoadU64(fb + frNode)
+		node, err := a.frameAcc.LoadU64(fb + frNode)
 		if err != nil {
 			return apps.Response{}, err
 		}
@@ -443,7 +452,7 @@ func (a *App) Serve(i int) (resp apps.Response, err error) {
 		if a.cfg.Algorithm == PageRank {
 			score = (1-a.cfg.Damping)/float64(a.cfg.Nodes) + a.cfg.Damping*acc
 		}
-		if err := a.as.StoreF64(a.heap.Base()+simmem.Addr(dstOff+int(node)*8), score); err != nil {
+		if err := a.dataAcc.StoreF64(a.heap.Base()+simmem.Addr(dstOff+int(node)*8), score); err != nil {
 			return apps.Response{}, err
 		}
 	}
@@ -466,7 +475,7 @@ func (a *App) rankTop(budget *apps.Budget) (apps.Response, error) {
 		if err := budget.Spend(1); err != nil {
 			return apps.Response{}, err
 		}
-		s, err := a.as.LoadF64(a.heap.Base() + simmem.Addr(srcOff+u*8))
+		s, err := a.dataAcc.LoadF64(a.heap.Base() + simmem.Addr(srcOff+u*8))
 		if err != nil {
 			return apps.Response{}, err
 		}

@@ -122,6 +122,13 @@ type App struct {
 	ops     []trace.KVOp
 	buckets simmem.Addr // bucket array base
 
+	// Two access streams, one accessor each: chain walks alternate
+	// between the stack-frame cursor and heap entries on every hop, so
+	// a single one-entry region cache would thrash on the alternation
+	// (see simmem.Accessor).
+	frameAcc *simmem.Accessor
+	dataAcc  *simmem.Accessor
+
 	// Snapshot state (apps.SnapshotApp): memory capture plus the
 	// host-side mutable state — allocator bookkeeping (SET-miss inserts
 	// allocate) and stack depth.
@@ -181,6 +188,8 @@ func (b *Builder) Build() (apps.App, error) {
 		stack: simmem.NewStack(stackRegion),
 		ops:   b.ops,
 	}
+	app.frameAcc = as.NewAccessor()
+	app.dataAcc = as.NewAccessor()
 	// Bucket array first, zeroed (0 = empty chain).
 	buckets, err := app.arena.Alloc(cfg.Buckets * 8)
 	if err != nil {
@@ -224,7 +233,7 @@ func (a *App) insert(key uint64, version uint32) error {
 		return err
 	}
 	slot := a.buckets + simmem.Addr(hashKey(key, a.cfg.Buckets)*8)
-	head, err := a.as.LoadU64(slot)
+	head, err := a.dataAcc.LoadU64(slot)
 	if err != nil {
 		return err
 	}
@@ -234,10 +243,10 @@ func (a *App) insert(key uint64, version uint32) error {
 	putU32(buf[12:], uint32(a.cfg.ValueSize))
 	putU64(buf[16:], head)
 	copy(buf[entryHeaderBytes:], trace.ValueFor(key, version, a.cfg.ValueSize))
-	if err := a.as.Store(addr, buf); err != nil {
+	if err := a.dataAcc.Store(addr, buf); err != nil {
 		return err
 	}
-	return a.as.StoreU64(slot, uint64(addr))
+	return a.dataAcc.StoreU64(slot, uint64(addr))
 }
 
 // BuildSnapshot implements apps.SnapshotBuilder.
@@ -316,21 +325,21 @@ func (a *App) Serve(i int) (resp apps.Response, err error) {
 
 func (a *App) serveOp(frame simmem.Frame, op trace.KVOp, budget *apps.Budget) (apps.Response, error) {
 	fb := frame.Base
-	if err := a.as.StoreU64(fb+frKey, op.Key); err != nil {
+	if err := a.frameAcc.StoreU64(fb+frKey, op.Key); err != nil {
 		return apps.Response{}, err
 	}
 	// Find the entry by walking the chain, round-tripping the cursor
 	// through the stack frame.
-	key, err := a.as.LoadU64(fb + frKey)
+	key, err := a.frameAcc.LoadU64(fb + frKey)
 	if err != nil {
 		return apps.Response{}, err
 	}
 	slot := a.buckets + simmem.Addr(hashKey(key, a.cfg.Buckets)*8)
-	head, err := a.as.LoadU64(slot)
+	head, err := a.dataAcc.LoadU64(slot)
 	if err != nil {
 		return apps.Response{}, err
 	}
-	if err := a.as.StoreU64(fb+frCursor, head); err != nil {
+	if err := a.frameAcc.StoreU64(fb+frCursor, head); err != nil {
 		return apps.Response{}, err
 	}
 	var entry simmem.Addr
@@ -338,14 +347,14 @@ func (a *App) serveOp(frame simmem.Frame, op trace.KVOp, budget *apps.Budget) (a
 		if err := budget.Spend(1); err != nil {
 			return apps.Response{}, err
 		}
-		cur, err := a.as.LoadU64(fb + frCursor)
+		cur, err := a.frameAcc.LoadU64(fb + frCursor)
 		if err != nil {
 			return apps.Response{}, err
 		}
 		if cur == 0 {
 			break // miss
 		}
-		ekey, err := a.as.LoadU64(simmem.Addr(cur))
+		ekey, err := a.dataAcc.LoadU64(simmem.Addr(cur))
 		if err != nil {
 			return apps.Response{}, err
 		}
@@ -353,11 +362,11 @@ func (a *App) serveOp(frame simmem.Frame, op trace.KVOp, budget *apps.Budget) (a
 			entry = simmem.Addr(cur)
 			break
 		}
-		next, err := a.as.LoadU64(simmem.Addr(cur) + 16)
+		next, err := a.dataAcc.LoadU64(simmem.Addr(cur) + 16)
 		if err != nil {
 			return apps.Response{}, err
 		}
-		if err := a.as.StoreU64(fb+frCursor, next); err != nil {
+		if err := a.frameAcc.StoreU64(fb+frCursor, next); err != nil {
 			return apps.Response{}, err
 		}
 	}
@@ -371,11 +380,11 @@ func (a *App) serveOp(frame simmem.Frame, op trace.KVOp, budget *apps.Budget) (a
 			d.AddU64(0xdeadbeef)
 			return d.Response(), nil
 		}
-		version, err := a.as.LoadU32(entry + 8)
+		version, err := a.dataAcc.LoadU32(entry + 8)
 		if err != nil {
 			return apps.Response{}, err
 		}
-		vlen, err := a.as.LoadU32(entry + 12)
+		vlen, err := a.dataAcc.LoadU32(entry + 12)
 		if err != nil {
 			return apps.Response{}, err
 		}
@@ -385,7 +394,7 @@ func (a *App) serveOp(frame simmem.Frame, op trace.KVOp, budget *apps.Budget) (a
 			return apps.Response{}, err
 		}
 		val := make([]byte, vlen)
-		if err := a.as.Load(entry+entryHeaderBytes, val); err != nil {
+		if err := a.dataAcc.Load(entry+entryHeaderBytes, val); err != nil {
 			return apps.Response{}, err
 		}
 		d.AddU32(version)
@@ -399,10 +408,10 @@ func (a *App) serveOp(frame simmem.Frame, op trace.KVOp, budget *apps.Budget) (a
 			return apps.Response{}, err
 		}
 	} else {
-		if err := a.as.StoreU32(entry+8, op.Version); err != nil {
+		if err := a.dataAcc.StoreU32(entry+8, op.Version); err != nil {
 			return apps.Response{}, err
 		}
-		if err := a.as.Store(entry+entryHeaderBytes, trace.ValueFor(key, op.Version, a.cfg.ValueSize)); err != nil {
+		if err := a.dataAcc.Store(entry+entryHeaderBytes, trace.ValueFor(key, op.Version, a.cfg.ValueSize)); err != nil {
 			return apps.Response{}, err
 		}
 	}
@@ -424,11 +433,11 @@ func (a *App) Get(key uint64) (uint32, []byte, error) {
 		return 0, nil, err
 	}
 	defer func() { _ = a.stack.Pop(frame) }()
-	if err := a.as.StoreU64(frame.Base+frCursor, 0); err != nil {
+	if err := a.frameAcc.StoreU64(frame.Base+frCursor, 0); err != nil {
 		return 0, nil, err
 	}
 	slot := a.buckets + simmem.Addr(hashKey(key, a.cfg.Buckets)*8)
-	cur, err := a.as.LoadU64(slot)
+	cur, err := a.dataAcc.LoadU64(slot)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -436,16 +445,16 @@ func (a *App) Get(key uint64) (uint32, []byte, error) {
 		if err := budget.Spend(1); err != nil {
 			return 0, nil, err
 		}
-		ekey, err := a.as.LoadU64(simmem.Addr(cur))
+		ekey, err := a.dataAcc.LoadU64(simmem.Addr(cur))
 		if err != nil {
 			return 0, nil, err
 		}
 		if ekey == key {
-			version, err := a.as.LoadU32(simmem.Addr(cur) + 8)
+			version, err := a.dataAcc.LoadU32(simmem.Addr(cur) + 8)
 			if err != nil {
 				return 0, nil, err
 			}
-			vlen, err := a.as.LoadU32(simmem.Addr(cur) + 12)
+			vlen, err := a.dataAcc.LoadU32(simmem.Addr(cur) + 12)
 			if err != nil {
 				return 0, nil, err
 			}
@@ -453,12 +462,12 @@ func (a *App) Get(key uint64) (uint32, []byte, error) {
 				return 0, nil, err
 			}
 			val := make([]byte, vlen)
-			if err := a.as.Load(simmem.Addr(cur)+entryHeaderBytes, val); err != nil {
+			if err := a.dataAcc.Load(simmem.Addr(cur)+entryHeaderBytes, val); err != nil {
 				return 0, nil, err
 			}
 			return version, val, nil
 		}
-		cur, err = a.as.LoadU64(simmem.Addr(cur) + 16)
+		cur, err = a.dataAcc.LoadU64(simmem.Addr(cur) + 16)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -472,7 +481,7 @@ func (a *App) Get(key uint64) (uint32, []byte, error) {
 func (a *App) Set(key uint64, version uint32) error {
 	budget := apps.NewBudget(a.cfg.OpBudget)
 	slot := a.buckets + simmem.Addr(hashKey(key, a.cfg.Buckets)*8)
-	cur, err := a.as.LoadU64(slot)
+	cur, err := a.dataAcc.LoadU64(slot)
 	if err != nil {
 		return err
 	}
@@ -480,18 +489,18 @@ func (a *App) Set(key uint64, version uint32) error {
 		if err := budget.Spend(1); err != nil {
 			return err
 		}
-		ekey, err := a.as.LoadU64(simmem.Addr(cur))
+		ekey, err := a.dataAcc.LoadU64(simmem.Addr(cur))
 		if err != nil {
 			return err
 		}
 		if ekey == key {
-			if err := a.as.StoreU32(simmem.Addr(cur)+8, version); err != nil {
+			if err := a.dataAcc.StoreU32(simmem.Addr(cur)+8, version); err != nil {
 				return err
 			}
-			return a.as.Store(simmem.Addr(cur)+entryHeaderBytes,
+			return a.dataAcc.Store(simmem.Addr(cur)+entryHeaderBytes,
 				trace.ValueFor(key, version, a.cfg.ValueSize))
 		}
-		cur, err = a.as.LoadU64(simmem.Addr(cur) + 16)
+		cur, err = a.dataAcc.LoadU64(simmem.Addr(cur) + 16)
 		if err != nil {
 			return err
 		}

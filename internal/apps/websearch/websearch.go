@@ -147,6 +147,14 @@ type App struct {
 	stack   *simmem.Stack
 	queries []trace.Query
 
+	// Two access streams, one accessor each: the query loop touches its
+	// stack frame and an index/heap address on every iteration, so a
+	// single region cache would thrash on the alternation. Each stream
+	// stays within one region for long runs, so each accessor's
+	// one-entry cache hits almost always.
+	frameAcc *simmem.Accessor
+	dataAcc  *simmem.Accessor
+
 	// Region-relative layout offsets (host-side metadata, analogous to
 	// the program's immutable globals).
 	numTerms    int
@@ -248,6 +256,8 @@ func (b *Builder) Build() (apps.App, error) {
 		snippetsOff: 0,
 		cacheOff:    snippetsBytes,
 	}
+	app.frameAcc = as.NewAccessor()
+	app.dataAcc = as.NewAccessor()
 
 	// Write the index via WriteRaw (the region is a read-only mapping;
 	// this models the initial page-in from the index files on disk).
@@ -424,13 +434,13 @@ func (a *App) serveQuery(frame simmem.Frame, q trace.Query, budget *apps.Budget)
 		if j < len(q.Terms) {
 			term = uint64(q.Terms[j])
 		}
-		if err := a.as.StoreU64(fb+simmem.Addr(frTerms+8*j), term); err != nil {
+		if err := a.frameAcc.StoreU64(fb+simmem.Addr(frTerms+8*j), term); err != nil {
 			return apps.Response{}, nil, err
 		}
-		if err := a.as.StoreU64(fb+simmem.Addr(frTopIDs+8*j), noDoc); err != nil {
+		if err := a.frameAcc.StoreU64(fb+simmem.Addr(frTopIDs+8*j), noDoc); err != nil {
 			return apps.Response{}, nil, err
 		}
-		if err := a.as.StoreF64(fb+simmem.Addr(frTopScores+8*j), -1e300); err != nil {
+		if err := a.frameAcc.StoreF64(fb+simmem.Addr(frTopScores+8*j), -1e300); err != nil {
 			return apps.Response{}, nil, err
 		}
 	}
@@ -439,7 +449,7 @@ func (a *App) serveQuery(frame simmem.Frame, q trace.Query, budget *apps.Budget)
 	tag := queryHash(q)
 	slot := int(tag % uint64(a.cfg.CacheSlots))
 	slotAddr := a.heap.Base() + simmem.Addr(a.cacheOff+slot*cacheEntryBytes)
-	storedTag, err := a.as.LoadU64(slotAddr)
+	storedTag, err := a.dataAcc.LoadU64(slotAddr)
 	if err != nil {
 		return apps.Response{}, nil, err
 	}
@@ -455,7 +465,7 @@ func (a *App) serveQuery(frame simmem.Frame, q trace.Query, budget *apps.Budget)
 	for j := 0; j < nTerms; j++ {
 		// Read the term back from the stack local (round-tripping
 		// locals through memory is what exposes the stack region).
-		term, err := a.as.LoadU64(fb + simmem.Addr(frTerms+8*j))
+		term, err := a.frameAcc.LoadU64(fb + simmem.Addr(frTerms+8*j))
 		if err != nil {
 			return apps.Response{}, nil, err
 		}
@@ -463,11 +473,11 @@ func (a *App) serveQuery(frame simmem.Frame, q trace.Query, budget *apps.Budget)
 			return apps.Response{}, nil, apps.Assertf("term %d out of range", term)
 		}
 		entryAddr := a.private.Base() + simmem.Addr(int(term)*termEntryBytes)
-		start, err := a.as.LoadU32(entryAddr)
+		start, err := a.dataAcc.LoadU32(entryAddr)
 		if err != nil {
 			return apps.Response{}, nil, err
 		}
-		count, err := a.as.LoadU32(entryAddr + 4)
+		count, err := a.dataAcc.LoadU32(entryAddr + 4)
 		if err != nil {
 			return apps.Response{}, nil, err
 		}
@@ -475,21 +485,21 @@ func (a *App) serveQuery(frame simmem.Frame, q trace.Query, budget *apps.Budget)
 		// on start/count — like the native code, a corrupted term
 		// entry walks wherever it points, and the region guard gap or
 		// the op budget catches it.
-		if err := a.as.StoreU64(fb+simmem.Addr(frCursor), uint64(start)); err != nil {
+		if err := a.frameAcc.StoreU64(fb+simmem.Addr(frCursor), uint64(start)); err != nil {
 			return apps.Response{}, nil, err
 		}
-		if err := a.as.StoreU64(fb+simmem.Addr(frEnd), uint64(start)+uint64(count)*postingBytes); err != nil {
+		if err := a.frameAcc.StoreU64(fb+simmem.Addr(frEnd), uint64(start)+uint64(count)*postingBytes); err != nil {
 			return apps.Response{}, nil, err
 		}
 		for {
 			if err := budget.Spend(1); err != nil {
 				return apps.Response{}, nil, err
 			}
-			cursor, err := a.as.LoadU64(fb + simmem.Addr(frCursor))
+			cursor, err := a.frameAcc.LoadU64(fb + simmem.Addr(frCursor))
 			if err != nil {
 				return apps.Response{}, nil, err
 			}
-			end, err := a.as.LoadU64(fb + simmem.Addr(frEnd))
+			end, err := a.frameAcc.LoadU64(fb + simmem.Addr(frEnd))
 			if err != nil {
 				return apps.Response{}, nil, err
 			}
@@ -497,11 +507,11 @@ func (a *App) serveQuery(frame simmem.Frame, q trace.Query, budget *apps.Budget)
 				break
 			}
 			pAddr := a.private.Base() + simmem.Addr(cursor)
-			docID, err := a.as.LoadU32(pAddr)
+			docID, err := a.dataAcc.LoadU32(pAddr)
 			if err != nil {
 				return apps.Response{}, nil, err
 			}
-			wbits, err := a.as.LoadU32(pAddr + 4)
+			wbits, err := a.dataAcc.LoadU32(pAddr + 4)
 			if err != nil {
 				return apps.Response{}, nil, err
 			}
@@ -509,7 +519,7 @@ func (a *App) serveQuery(frame simmem.Frame, q trace.Query, budget *apps.Budget)
 			if err := a.insertTop(fb, uint64(docID), score, budget); err != nil {
 				return apps.Response{}, nil, err
 			}
-			if err := a.as.StoreU64(fb+simmem.Addr(frCursor), cursor+postingBytes); err != nil {
+			if err := a.frameAcc.StoreU64(fb+simmem.Addr(frCursor), cursor+postingBytes); err != nil {
 				return apps.Response{}, nil, err
 			}
 		}
@@ -522,11 +532,11 @@ func (a *App) serveQuery(frame simmem.Frame, q trace.Query, budget *apps.Budget)
 	var cacheBuf [cacheEntryBytes]byte
 	putU64(cacheBuf[0:], tag)
 	for j := 0; j < topK; j++ {
-		id, err := a.as.LoadU64(fb + simmem.Addr(frTopIDs+8*j))
+		id, err := a.frameAcc.LoadU64(fb + simmem.Addr(frTopIDs+8*j))
 		if err != nil {
 			return apps.Response{}, nil, err
 		}
-		base, err := a.as.LoadF64(fb + simmem.Addr(frTopScores+8*j))
+		base, err := a.frameAcc.LoadF64(fb + simmem.Addr(frTopScores+8*j))
 		if err != nil {
 			return apps.Response{}, nil, err
 		}
@@ -537,14 +547,14 @@ func (a *App) serveQuery(frame simmem.Frame, q trace.Query, budget *apps.Budget)
 			continue
 		}
 		popAddr := a.private.Base() + simmem.Addr(a.docTableOff+int(id)*docEntryBytes)
-		popBits, err := a.as.LoadU32(popAddr)
+		popBits, err := a.dataAcc.LoadU32(popAddr)
 		if err != nil {
 			return apps.Response{}, nil, err
 		}
 		final := base + float64(f32from(popBits))
 		snippet := make([]byte, a.cfg.SnippetLen)
 		snipAddr := a.heap.Base() + simmem.Addr(a.snippetsOff+int(id)*a.cfg.SnippetLen)
-		if err := a.as.Load(snipAddr, snippet); err != nil {
+		if err := a.dataAcc.Load(snipAddr, snippet); err != nil {
 			return apps.Response{}, nil, err
 		}
 		d.AddU64(id)
@@ -554,7 +564,7 @@ func (a *App) serveQuery(frame simmem.Frame, q trace.Query, budget *apps.Budget)
 		putU32(cacheBuf[12+8*j:], f32bits(float32(final)))
 		results = append(results, DocScore{ID: uint32(id), Score: float32(final)})
 	}
-	if err := a.as.Store(slotAddr, cacheBuf[:]); err != nil {
+	if err := a.dataAcc.Store(slotAddr, cacheBuf[:]); err != nil {
 		return apps.Response{}, nil, err
 	}
 	return d.Response(), results, nil
@@ -568,11 +578,11 @@ func (a *App) respondFromCache(slotAddr simmem.Addr, budget *apps.Budget) (apps.
 		if err := budget.Spend(1); err != nil {
 			return apps.Response{}, nil, err
 		}
-		id, err := a.as.LoadU32(slotAddr + simmem.Addr(8+8*j))
+		id, err := a.dataAcc.LoadU32(slotAddr + simmem.Addr(8+8*j))
 		if err != nil {
 			return apps.Response{}, nil, err
 		}
-		scoreBits, err := a.as.LoadU32(slotAddr + simmem.Addr(12+8*j))
+		scoreBits, err := a.dataAcc.LoadU32(slotAddr + simmem.Addr(12+8*j))
 		if err != nil {
 			return apps.Response{}, nil, err
 		}
@@ -587,7 +597,7 @@ func (a *App) respondFromCache(slotAddr simmem.Addr, budget *apps.Budget) (apps.
 		}
 		snippet := make([]byte, a.cfg.SnippetLen)
 		snipAddr := a.heap.Base() + simmem.Addr(a.snippetsOff+int(id)*a.cfg.SnippetLen)
-		if err := a.as.Load(snipAddr, snippet); err != nil {
+		if err := a.dataAcc.Load(snipAddr, snippet); err != nil {
 			return apps.Response{}, nil, err
 		}
 		d.AddU64(uint64(id))
@@ -607,43 +617,43 @@ func (a *App) insertTop(fb simmem.Addr, id uint64, score float64, budget *apps.B
 		if err := budget.Spend(1); err != nil {
 			return err
 		}
-		cur, err := a.as.LoadF64(fb + simmem.Addr(frTopScores+8*j))
+		cur, err := a.frameAcc.LoadF64(fb + simmem.Addr(frTopScores+8*j))
 		if err != nil {
 			return err
 		}
-		curID, err := a.as.LoadU64(fb + simmem.Addr(frTopIDs+8*j))
+		curID, err := a.frameAcc.LoadU64(fb + simmem.Addr(frTopIDs+8*j))
 		if err != nil {
 			return err
 		}
 		if curID == id {
 			// Already ranked (multi-term hit): keep the higher score.
 			if score > cur {
-				return a.as.StoreF64(fb+simmem.Addr(frTopScores+8*j), score)
+				return a.frameAcc.StoreF64(fb+simmem.Addr(frTopScores+8*j), score)
 			}
 			return nil
 		}
 		if score > cur {
 			// Shift the tail down and insert.
 			for k := topK - 1; k > j; k-- {
-				pid, err := a.as.LoadU64(fb + simmem.Addr(frTopIDs+8*(k-1)))
+				pid, err := a.frameAcc.LoadU64(fb + simmem.Addr(frTopIDs+8*(k-1)))
 				if err != nil {
 					return err
 				}
-				ps, err := a.as.LoadF64(fb + simmem.Addr(frTopScores+8*(k-1)))
+				ps, err := a.frameAcc.LoadF64(fb + simmem.Addr(frTopScores+8*(k-1)))
 				if err != nil {
 					return err
 				}
-				if err := a.as.StoreU64(fb+simmem.Addr(frTopIDs+8*k), pid); err != nil {
+				if err := a.frameAcc.StoreU64(fb+simmem.Addr(frTopIDs+8*k), pid); err != nil {
 					return err
 				}
-				if err := a.as.StoreF64(fb+simmem.Addr(frTopScores+8*k), ps); err != nil {
+				if err := a.frameAcc.StoreF64(fb+simmem.Addr(frTopScores+8*k), ps); err != nil {
 					return err
 				}
 			}
-			if err := a.as.StoreU64(fb+simmem.Addr(frTopIDs+8*j), id); err != nil {
+			if err := a.frameAcc.StoreU64(fb+simmem.Addr(frTopIDs+8*j), id); err != nil {
 				return err
 			}
-			return a.as.StoreF64(fb+simmem.Addr(frTopScores+8*j), score)
+			return a.frameAcc.StoreF64(fb+simmem.Addr(frTopScores+8*j), score)
 		}
 	}
 	return nil

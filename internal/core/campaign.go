@@ -387,7 +387,10 @@ type campaignMetrics struct {
 	journal    *obsv.Counter
 	resumeSkip *obsv.Counter
 	fastLoads  *obsv.Counter
+	fastWords  *obsv.Counter
+	folds      *obsv.Counter
 	tainted    *obsv.Gauge
+	taintedW   *obsv.Gauge
 	outcomes   map[Outcome]*obsv.Counter
 	wallMs     *obsv.Histogram
 	virtMin    *obsv.Histogram
@@ -408,7 +411,10 @@ func newCampaignMetrics(reg *obsv.Registry) *campaignMetrics {
 		journal:    reg.Counter("campaign_journal_records_total"),
 		resumeSkip: reg.Counter("campaign_resume_skipped_total"),
 		fastLoads:  reg.Counter("simmem_fastpath_loads_total"),
+		fastWords:  reg.Counter("simmem_fastpath_words_total"),
+		folds:      reg.Counter("campaign_metrics_folds_total"),
 		tainted:    reg.Gauge("simmem_tainted_pages"),
+		taintedW:   reg.Gauge("simmem_tainted_words"),
 		outcomes:   make(map[Outcome]*obsv.Counter, len(Outcomes())),
 		// Trial wall-clock cost: 0.25 ms .. ~8 s.
 		wallMs: reg.Histogram("campaign_trial_wall_ms", obsv.ExpBuckets(0.25, 2, 16)),
@@ -423,42 +429,149 @@ func newCampaignMetrics(reg *obsv.Registry) *campaignMetrics {
 	return m
 }
 
-// record adds one completed trial. Safe for concurrent use: every update
-// is a single atomic operation on a pre-resolved handle.
-func (m *campaignMetrics) record(tr TrialResult, wall time.Duration) {
+// workerMetrics is one worker's unsynchronized shard of campaignMetrics.
+// At parallelism ≥ 8 even single-atomic-op updates contend on the shared
+// cache lines, so the trial hot path records into plain fields and
+// LocalHistograms and folds into the shared registry at trial
+// boundaries. Folding follows the MergeSnapshots aggregation policy:
+// counters sum, histogram buckets add bucket-wise, gauges take the last
+// written value. A nil shard (instrumentation off) swallows everything.
+type workerMetrics struct {
+	m *campaignMetrics // shared fold target
+
+	trials    int64
+	requests  int64
+	incorrect int64
+	restores  int64
+	fastLoads int64
+	fastWords int64
+	// Outcome values are small consecutive ints (1..5); an array beats a
+	// map on the per-trial path.
+	outcomes [8]int64
+
+	// Last-observed gauge levels, published on fold (last-writer-wins
+	// across workers, matching the previous direct-Set semantics).
+	taintedPages float64
+	taintedWords float64
+	gaugeSeen    bool
+
+	wallMs     *obsv.LocalHistogram
+	virtMin    *obsv.LocalHistogram
+	dirtyPages *obsv.LocalHistogram
+
+	pending int  // trials recorded since the last fold
+	dirty   bool // anything recorded since the last fold
+}
+
+// foldEvery bounds how stale the shared registry may run behind a
+// worker's shard: at most this many trials of counts are unpublished at
+// any instant (live /metrics observers see slightly-delayed, never
+// wrong, totals).
+const foldEvery = 16
+
+// newWorker returns a fresh shard folding into m, or nil when
+// instrumentation is off.
+func (m *campaignMetrics) newWorker() *workerMetrics {
 	if m == nil {
+		return nil
+	}
+	return &workerMetrics{
+		m:          m,
+		wallMs:     m.wallMs.NewLocal(),
+		virtMin:    m.virtMin.NewLocal(),
+		dirtyPages: m.dirtyPages.NewLocal(),
+	}
+}
+
+// record adds one completed trial to the shard.
+func (w *workerMetrics) record(tr TrialResult, wall time.Duration) {
+	if w == nil {
 		return
 	}
-	m.trials.Inc()
-	m.requests.Add(int64(tr.Requests))
-	m.incorrect.Add(int64(tr.Incorrect))
-	m.wallMs.Observe(float64(wall) / float64(time.Millisecond))
-	m.virtMin.Observe((tr.EndedAt - tr.InjectedAt).Minutes())
-	if c, ok := m.outcomes[tr.Outcome]; ok {
-		c.Inc()
+	w.trials++
+	w.requests += int64(tr.Requests)
+	w.incorrect += int64(tr.Incorrect)
+	w.wallMs.Observe(float64(wall) / float64(time.Millisecond))
+	w.virtMin.Observe((tr.EndedAt - tr.InjectedAt).Minutes())
+	if o := int(tr.Outcome); o >= 0 && o < len(w.outcomes) {
+		w.outcomes[o]++
 	}
+	w.pending++
+	w.dirty = true
 }
 
 // recordSimmem adds one trial's simulated-memory fast-path statistics:
-// the post-injection loads served by the clean-page fast path, and the
-// tainted-page count when the trial ended (a last-writer-wins gauge
-// across parallel workers — trials inject at most a handful of faults,
-// so the value is a sanity signal, not an aggregate).
-func (m *campaignMetrics) recordSimmem(fastLoads uint64, taintedPages int) {
-	if m == nil {
+// the post-injection loads and words served by the clean-word fast path,
+// and the tainted page/word counts when the trial ended (sanity-signal
+// gauges — trials inject at most a handful of faults).
+func (w *workerMetrics) recordSimmem(fastLoads, fastWords uint64, taintedPages, taintedWords int) {
+	if w == nil {
 		return
 	}
-	m.fastLoads.Add(int64(fastLoads))
-	m.tainted.Set(float64(taintedPages))
+	w.fastLoads += int64(fastLoads)
+	w.fastWords += int64(fastWords)
+	w.taintedPages = float64(taintedPages)
+	w.taintedWords = float64(taintedWords)
+	w.gaugeSeen = true
+	w.dirty = true
 }
 
 // recordRestore adds one snapshot restore and its rollback size.
-func (m *campaignMetrics) recordRestore(dirtyPages int) {
-	if m == nil {
+func (w *workerMetrics) recordRestore(dirtyPages int) {
+	if w == nil {
 		return
 	}
-	m.restores.Inc()
-	m.dirtyPages.Observe(float64(dirtyPages))
+	w.restores++
+	w.dirtyPages.Observe(float64(dirtyPages))
+	w.dirty = true
+}
+
+// maybeFold folds once foldEvery trials have accumulated.
+func (w *workerMetrics) maybeFold() {
+	if w == nil || w.pending < foldEvery {
+		return
+	}
+	w.fold()
+}
+
+// fold publishes the shard into the shared registry and resets it.
+// Folding a clean shard is free; every worker folds unconditionally on
+// exit, so post-campaign registry reads are exact.
+func (w *workerMetrics) fold() {
+	if w == nil || !w.dirty {
+		return
+	}
+	addCount := func(c *obsv.Counter, n *int64) {
+		if *n != 0 {
+			c.Add(*n)
+			*n = 0
+		}
+	}
+	addCount(w.m.trials, &w.trials)
+	addCount(w.m.requests, &w.requests)
+	addCount(w.m.incorrect, &w.incorrect)
+	addCount(w.m.restores, &w.restores)
+	addCount(w.m.fastLoads, &w.fastLoads)
+	addCount(w.m.fastWords, &w.fastWords)
+	for o := range w.outcomes {
+		if w.outcomes[o] == 0 {
+			continue
+		}
+		if c, ok := w.m.outcomes[Outcome(o)]; ok {
+			c.Add(w.outcomes[o])
+		}
+		w.outcomes[o] = 0
+	}
+	w.wallMs.FoldInto()
+	w.virtMin.FoldInto()
+	w.dirtyPages.FoldInto()
+	if w.gaugeSeen {
+		w.m.tainted.Set(w.taintedPages)
+		w.m.taintedW.Set(w.taintedWords)
+		w.gaugeSeen = false
+	}
+	w.m.folds.Inc()
+	w.pending, w.dirty = 0, false
 }
 
 // recordAbort counts one aborted trial under its reason label. Abort is
@@ -564,22 +677,22 @@ func newSnapshotSession(sb apps.SnapshotBuilder, golden []uint64, warmup int) (*
 // restored instance. The per-trial rng is derived exactly as in the
 // fresh-build path, and restore rolls the instance back to the
 // post-warmup capture, so the trial is bit-identical to a fresh build.
-func (s *snapshotSession) runTrial(cfg CampaignConfig, golden []uint64, m *campaignMetrics, i int) (TrialResult, error) {
+func (s *snapshotSession) runTrial(cfg CampaignConfig, golden []uint64, wm *workerMetrics, i int) (TrialResult, error) {
 	rng := rand.New(rand.NewSource(trialSeed(cfg.Seed, i)))
 	dirty, err := s.app.Reset()
 	if err != nil {
 		return TrialResult{}, fmt.Errorf("restoring snapshot: %w", err)
 	}
-	m.recordRestore(dirty)
+	wm.recordRestore(dirty)
 	tt := cfg.Tracer.Trial(i)
 	traceTrialStartAt(tt, s.startVT)
 	traceRestore(tt, s.app.Space())
-	return injectAndServe(cfg, golden, s.app, rng, tt, m)
+	return injectAndServe(cfg, golden, s.app, rng, tt, wm)
 }
 
 // runTrial performs one pass of the Fig. 2 loop on a freshly built
 // instance.
-func runTrial(cfg CampaignConfig, golden []uint64, m *campaignMetrics, i int) (TrialResult, error) {
+func runTrial(cfg CampaignConfig, golden []uint64, wm *workerMetrics, i int) (TrialResult, error) {
 	rng := rand.New(rand.NewSource(trialSeed(cfg.Seed, i)))
 	app, err := cfg.Builder.Build()
 	if err != nil {
@@ -599,16 +712,17 @@ func runTrial(cfg CampaignConfig, golden []uint64, m *campaignMetrics, i int) (T
 			return TrialResult{}, fmt.Errorf("warmup request %d mismatched golden output", q)
 		}
 	}
-	return injectAndServe(cfg, golden, app, rng, tt, m)
+	return injectAndServe(cfg, golden, app, rng, tt, wm)
 }
 
 // injectAndServe runs steps 2–5 of the Fig. 2 loop — inject, run the
 // post-warmup client workload, classify — on an already warmed-up
 // instance. It is shared verbatim by the fresh-build and snapshot
 // lifecycles, which is what keeps the two bit-identical.
-func injectAndServe(cfg CampaignConfig, golden []uint64, app apps.App, rng *rand.Rand, tt *evtrace.TrialTracer, m *campaignMetrics) (TrialResult, error) {
+func injectAndServe(cfg CampaignConfig, golden []uint64, app apps.App, rng *rand.Rand, tt *evtrace.TrialTracer, wm *workerMetrics) (TrialResult, error) {
 	as := app.Space()
 	startFast := as.FastPathLoads()
+	startWords := as.FastPathWords()
 
 	// Inject (Algorithm 1(a)).
 	inj, err := inject.Random(as, rng, cfg.Spec, cfg.Filter)
@@ -682,7 +796,8 @@ func injectAndServe(cfg CampaignConfig, golden []uint64, app apps.App, rng *rand
 	// The run ends at the crash instant or after the final request —
 	// either way, the virtual clock has stopped advancing.
 	tr.EndedAt = as.Clock().Now()
-	m.recordSimmem(as.FastPathLoads()-startFast, as.TaintedPages())
+	tp, tw := as.TaintStats()
+	wm.recordSimmem(as.FastPathLoads()-startFast, as.FastPathWords()-startWords, tp, tw)
 	traceTrialEnd(tt, tr)
 	return tr, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -88,18 +89,28 @@ const (
 
 // accessTracker watches the injected byte addresses and records the first
 // post-injection access kind, which separates masked-by-overwrite from
-// masked-by-logic.
+// masked-by-logic. It observes every access of the trial, so the miss
+// path must be O(1): the handful of injected addresses are kept as a
+// sorted slice bounded by [min, max], and the overwhelming majority of
+// accesses are rejected by the two bound comparisons alone.
 type accessTracker struct {
-	targets map[simmem.Addr]bool
-	first   firstAccessKind
+	targets  []simmem.Addr // sorted ascending
+	min, max simmem.Addr   // inclusive bounds of targets; min > max when empty
+	first    firstAccessKind
 }
 
 var _ simmem.AccessObserver = (*accessTracker)(nil)
 
 func newAccessTracker(addrs []simmem.Addr) *accessTracker {
-	t := &accessTracker{targets: make(map[simmem.Addr]bool, len(addrs))}
-	for _, a := range addrs {
-		t.targets[a] = true
+	t := &accessTracker{
+		targets: append([]simmem.Addr(nil), addrs...),
+		min:     1,
+		max:     0,
+	}
+	sort.Slice(t.targets, func(i, j int) bool { return t.targets[i] < t.targets[j] })
+	if n := len(t.targets); n > 0 {
+		t.min = t.targets[0]
+		t.max = t.targets[n-1]
 	}
 	return t
 }
@@ -109,14 +120,17 @@ func (t *accessTracker) ObserveAccess(ev simmem.AccessEvent) {
 	if t.first != firstNone {
 		return
 	}
-	for a := range t.targets {
-		if a >= ev.Addr && a < ev.Addr+simmem.Addr(ev.Len) {
-			if ev.Kind == simmem.Store {
-				t.first = firstStore
-			} else {
-				t.first = firstLoad
-			}
-			return
+	end := ev.Addr + simmem.Addr(ev.Len)
+	if end <= t.min || ev.Addr > t.max {
+		return
+	}
+	// First target >= ev.Addr; a hit iff it falls before the access end.
+	i := sort.Search(len(t.targets), func(i int) bool { return t.targets[i] >= ev.Addr })
+	if i < len(t.targets) && t.targets[i] < end {
+		if ev.Kind == simmem.Store {
+			t.first = firstStore
+		} else {
+			t.first = firstLoad
 		}
 	}
 }

@@ -140,17 +140,23 @@ func (s *supervisor) run(ctx context.Context) (*CampaignResult, error) {
 			defer wg.Done()
 			// Each worker keeps one snapshot-capable instance alive
 			// across all the trials it drains; the build + warmup cost
-			// is paid once per worker instead of once per trial.
+			// is paid once per worker instead of once per trial. Its
+			// metrics shard folds into the shared registry at trial
+			// boundaries and — via this defer, which runs before
+			// wg.Done — unconditionally on exit, so registry reads
+			// after Wait see exact totals.
+			wm := s.m.newWorker()
+			defer func() { wm.fold() }()
 			var sess *snapshotSession
 			for i := range idxCh {
 				start := time.Now()
 				var tr TrialResult
-				tr, sess = s.runOne(sess, i)
+				tr, sess, wm = s.runOne(sess, wm, i)
 				results[i] = tr
 				have[i] = true
 				s.journalTrial(tr)
 				s.observePlanner(tr)
-				s.finished(tr, time.Since(start))
+				s.finished(tr, time.Since(start), wm)
 			}
 		}()
 	}
@@ -233,15 +239,15 @@ dispatch:
 // runOne runs trial i with bounded retry of infrastructure failures.
 // It never returns an error: a trial that keeps failing is recorded as
 // aborted (AbortReasonWorkerError) and the campaign moves on.
-func (s *supervisor) runOne(sess *snapshotSession, i int) (TrialResult, *snapshotSession) {
+func (s *supervisor) runOne(sess *snapshotSession, wm *workerMetrics, i int) (TrialResult, *snapshotSession, *workerMetrics) {
 	backoff := s.backoff
 	for attempt := 0; ; attempt++ {
 		var tr TrialResult
 		var err error
-		tr, err, sess = s.attempt(sess, i)
+		tr, err, sess, wm = s.attempt(sess, wm, i)
 		if err == nil {
 			tr.Index = i
-			return tr, sess
+			return tr, sess, wm
 		}
 		if attempt >= s.maxRetries {
 			detail := fmt.Sprintf("%v (after %d attempts)", err, attempt+1)
@@ -252,7 +258,7 @@ func (s *supervisor) runOne(sess *snapshotSession, i int) (TrialResult, *snapsho
 				Disposition: DispositionAborted,
 				AbortReason: AbortReasonWorkerError,
 				AbortDetail: detail,
-			}, sess
+			}, sess, wm
 		}
 		// Transient failure (a build or restore hiccup): rebuild the
 		// worker's instance from scratch and try the same trial again.
@@ -267,12 +273,19 @@ func (s *supervisor) runOne(sess *snapshotSession, i int) (TrialResult, *snapsho
 
 // attempt runs one attempt of trial i, under the wall-clock watchdog
 // when configured. On deadline the trial goroutine is abandoned (it
-// holds only its own app instance) and the worker's session is
-// discarded, since the wedged goroutine may still be mutating it.
-func (s *supervisor) attempt(sess *snapshotSession, i int) (TrialResult, error, *snapshotSession) {
+// holds only its own app instance) and the worker's session AND metrics
+// shard are both discarded, since the wedged goroutine may still be
+// mutating them.
+func (s *supervisor) attempt(sess *snapshotSession, wm *workerMetrics, i int) (TrialResult, error, *snapshotSession, *workerMetrics) {
 	if s.cfg.TrialTimeout <= 0 {
-		return s.execute(sess, i)
+		tr, err, out := s.execute(sess, wm, i)
+		return tr, err, out, wm
 	}
+	// Publish the shard before handing it to a goroutine we may abandon:
+	// if the deadline fires, the worker switches to a fresh shard, and
+	// only the abandoned trial's partial counts are dropped with it (by
+	// design — an aborted trial never enters the outcome statistics).
+	wm.fold()
 	type trialDone struct {
 		tr   TrialResult
 		err  error
@@ -280,14 +293,14 @@ func (s *supervisor) attempt(sess *snapshotSession, i int) (TrialResult, error, 
 	}
 	ch := make(chan trialDone, 1)
 	go func() {
-		tr, err, out := s.execute(sess, i)
+		tr, err, out := s.execute(sess, wm, i)
 		ch <- trialDone{tr, err, out}
 	}()
 	timer := time.NewTimer(s.cfg.TrialTimeout)
 	defer timer.Stop()
 	select {
 	case d := <-ch:
-		return d.tr, d.err, d.sess
+		return d.tr, d.err, d.sess, wm
 	case <-timer.C:
 		detail := fmt.Sprintf("trial exceeded the %v wall-clock deadline", s.cfg.TrialTimeout)
 		s.m.recordAbort(AbortReasonDeadline)
@@ -297,13 +310,13 @@ func (s *supervisor) attempt(sess *snapshotSession, i int) (TrialResult, error, 
 			Disposition: DispositionAborted,
 			AbortReason: AbortReasonDeadline,
 			AbortDetail: detail,
-		}, nil, nil
+		}, nil, nil, s.m.newWorker()
 	}
 }
 
 // execute runs one attempt of trial i on the chosen lifecycle and
 // converts the op-budget watchdog's abort panic into an aborted result.
-func (s *supervisor) execute(sess *snapshotSession, i int) (tr TrialResult, err error, out *snapshotSession) {
+func (s *supervisor) execute(sess *snapshotSession, wm *workerMetrics, i int) (tr TrialResult, err error, out *snapshotSession) {
 	defer func() {
 		if r := recover(); r != nil {
 			ab, ok := r.(*trialAbort)
@@ -332,10 +345,10 @@ func (s *supervisor) execute(sess *snapshotSession, i int) (tr TrialResult, err 
 				return TrialResult{}, err, nil
 			}
 		}
-		tr, err = sess.runTrial(s.cfg, s.golden, s.m, i)
+		tr, err = sess.runTrial(s.cfg, s.golden, wm, i)
 		return tr, err, sess
 	}
-	tr, err = runTrial(s.cfg, s.golden, s.m, i)
+	tr, err = runTrial(s.cfg, s.golden, wm, i)
 	return tr, err, nil
 }
 
@@ -395,10 +408,14 @@ func (s *supervisor) notePlan(decs []PlannerDecision, total int, final bool) {
 
 // finished records metrics, progress, and heartbeat accounting for one
 // finished trial (completed or aborted).
-func (s *supervisor) finished(tr TrialResult, wall time.Duration) {
+func (s *supervisor) finished(tr TrialResult, wall time.Duration, wm *workerMetrics) {
 	if tr.Disposition == DispositionCompleted {
-		s.m.record(tr, wall)
+		wm.record(tr, wall)
 	}
+	// Periodic fold regardless of hooks: the registry may be served live
+	// (kvserve /metrics), so staleness must stay bounded even when the
+	// supervisor has no progress or status observers of its own.
+	wm.maybeFold()
 	if s.cfg.Progress == nil && s.cfg.StatusSink == nil {
 		return
 	}
@@ -431,8 +448,12 @@ func (s *supervisor) finished(tr TrialResult, wall time.Duration) {
 		s.cfg.Progress(info)
 	}
 	// Heartbeat, throttled off the hot path: at most one record per
-	// statusInterval, no matter how fast trials finish.
+	// statusInterval, no matter how fast trials finish. Fold this
+	// worker's shard first so the metric snapshot embedded in the
+	// status record is fresh (other workers' shards fold at their own
+	// trial boundaries — at most foldEvery trials behind each).
 	if s.cfg.StatusSink != nil && time.Since(s.lastStatus) >= s.statusInterval {
+		wm.fold()
 		s.emitStatusLocked(true, false)
 	}
 	s.progressMu.Unlock()

@@ -1,0 +1,53 @@
+// Per-worker metric shards. Even single-atomic-op metrics contend when
+// eight campaign workers hammer the same cache lines millions of times
+// a second, so hot loops keep a plain, unsynchronized LocalHistogram
+// (and plain int64 counters of their own) and fold into the shared
+// registry at trial boundaries. Folding follows the MergeSnapshots
+// aggregation policy: counters sum, histogram buckets add bucket-wise,
+// gauges take the last written value.
+
+package obsv
+
+import "sort"
+
+// LocalHistogram is a single-goroutine shard of a Histogram. Observe is
+// plain arithmetic — no atomics, no cache-line traffic — and FoldInto
+// publishes the accumulated samples into the parent with one atomic op
+// per non-empty bucket. Samples are invisible to registry snapshots
+// until folded.
+type LocalHistogram struct {
+	h      *Histogram
+	counts []int64
+	count  int64
+	sum    float64
+}
+
+// NewLocal returns an empty local shard of the histogram.
+func (h *Histogram) NewLocal() *LocalHistogram {
+	return &LocalHistogram{h: h, counts: make([]int64, len(h.counts))}
+}
+
+// Observe records one sample locally.
+func (l *LocalHistogram) Observe(x float64) {
+	l.counts[sort.SearchFloat64s(l.h.bounds, x)]++
+	l.count++
+	l.sum += x
+}
+
+// FoldInto adds the local samples into the parent histogram and resets
+// the shard. Folding an empty shard is free.
+func (l *LocalHistogram) FoldInto() {
+	if l.count == 0 {
+		return
+	}
+	for i, n := range l.counts {
+		if n != 0 {
+			l.h.counts[i].Add(n)
+			l.counts[i] = 0
+		}
+	}
+	l.h.count.Add(l.count)
+	l.h.addSum(l.sum)
+	l.count = 0
+	l.sum = 0
+}

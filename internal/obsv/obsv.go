@@ -89,6 +89,11 @@ func (h *Histogram) Observe(x float64) {
 	i := sort.SearchFloat64s(h.bounds, x)
 	h.counts[i].Add(1)
 	h.count.Add(1)
+	h.addSum(x)
+}
+
+// addSum atomically adds x to the running sample sum.
+func (h *Histogram) addSum(x float64) {
 	for {
 		old := h.sumBits.Load()
 		upd := math.Float64bits(math.Float64frombits(old) + x)

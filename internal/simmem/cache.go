@@ -99,8 +99,9 @@ func (as *AddressSpace) ensureLine(addr Addr) (*cacheLine, error) {
 	}
 	ln.valid = false
 	ln.dirty = false
-	// Fill from memory.
-	r, err := as.locate(base, CacheLineBytes)
+	// Fill from memory. Fills resolve through their own accessor so a
+	// line fill never evicts the application accessor's cached region.
+	r, err := as.fillAcc.locate(base, CacheLineBytes)
 	if err != nil {
 		return nil, err
 	}

@@ -275,6 +275,74 @@ func compareEqSpaces(t *testing.T, fastS, slowS *eqSpace) {
 	}
 }
 
+// driveCrossPageSpan corrupts one word adjacent to a page boundary and
+// streams span reads sliding across that boundary on both spaces: the
+// exact shape where the single-page fast path, the multi-page bulk path,
+// and the per-word walk over a partially-tainted page all meet. Bytes,
+// errors, and taint state must match at every step.
+func driveCrossPageSpan(t *testing.T, fastS, slowS *eqSpace, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	pair := [2]*eqSpace{fastS, slowS}
+	regions := fastS.as.Regions()
+	r := regions[int(seed&1)] // private (backed) or heap
+	const ps = 256            // page size used by newEqSpace
+
+	// Deterministic content across the first two pages.
+	data := make([]byte, 2*ps)
+	rng.Read(data)
+	for _, s := range pair {
+		if err := s.as.Store(r.Base(), data); err != nil {
+			t.Fatalf("Store: %v", err)
+		}
+	}
+	// Corrupt one word straddling neither page: the last word of page 0.
+	addr := r.Base() + simmem.Addr(ps-8+rng.Intn(8))
+	bit := rng.Intn(8)
+	for _, s := range pair {
+		if err := s.as.FlipBit(addr, bit); err != nil {
+			t.Fatalf("FlipBit: %v", err)
+		}
+	}
+	// Stream spans sliding across the page-0/page-1 boundary, plus spans
+	// fully inside the clean page 1.
+	for off := ps - 64; off <= ps+64; off += 16 {
+		n := 48
+		bufs := [2][]byte{make([]byte, n), make([]byte, n)}
+		var errs [2]string
+		for i, s := range pair {
+			errs[i] = errString(s.as.Load(r.Base()+simmem.Addr(off), bufs[i]))
+		}
+		if errs[0] != errs[1] {
+			t.Fatalf("span @%d: err fast=%q slow=%q", off, errs[0], errs[1])
+		}
+		if !bytes.Equal(bufs[0], bufs[1]) {
+			t.Fatalf("span @%d: fast=%x slow=%x", off, bufs[0], bufs[1])
+		}
+	}
+	fp, fw := fastS.as.TaintStats()
+	sp, sw := slowS.as.TaintStats()
+	if fp != sp || fw != sw {
+		t.Fatalf("taint diverged after span stream: fast=%d/%d slow=%d/%d", fp, fw, sp, sw)
+	}
+}
+
+// TestPartialTaintSpanAcrossPages runs the cross-page span scenario
+// deterministically over the full codec matrix.
+func TestPartialTaintSpanAcrossPages(t *testing.T) {
+	for _, tc := range eqCodecs() {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 4; seed++ {
+				fastS := newEqSpace(t, tc.codec(), 0, true)
+				slowS := newEqSpace(t, tc.codec(), 0, false)
+				driveCrossPageSpan(t, fastS, slowS, seed)
+				compareEqSpaces(t, fastS, slowS)
+			}
+		})
+	}
+}
+
 func TestAccessPathEquivalence(t *testing.T) {
 	for _, tc := range eqCodecs() {
 		for _, cached := range []struct {
@@ -294,10 +362,20 @@ func TestAccessPathEquivalence(t *testing.T) {
 }
 
 // FuzzAccessPathEquivalence fuzzes the operation stream (via the rng
-// seed) across the codec and cache matrix.
+// seed) across the codec and cache matrix. Every execution opens with the
+// cross-page span prologue — one corrupted word next to a page boundary,
+// then streamed span reads across it — before the random op stream, so
+// the partially-tainted-page walk is exercised on every input, not only
+// when the rng happens to produce it.
 func FuzzAccessPathEquivalence(f *testing.F) {
 	for seed := int64(0); seed < 8; seed++ {
 		f.Add(seed, uint8(seed%6), seed%2 == 0)
+	}
+	// Dedicated corpus seeds for the cross-page prologue over each codec,
+	// with and without the cache in front.
+	for c := int64(0); c < 6; c++ {
+		f.Add(int64(0x9a9e)+c, uint8(c), false)
+		f.Add(int64(0x9a9e)+c, uint8(c), true)
 	}
 	codecs := eqCodecs()
 	f.Fuzz(func(t *testing.T, seed int64, codecIdx uint8, cached bool) {
@@ -308,6 +386,7 @@ func FuzzAccessPathEquivalence(f *testing.F) {
 		}
 		fastS := newEqSpace(t, tc.codec(), lines, true)
 		slowS := newEqSpace(t, tc.codec(), lines, false)
+		driveCrossPageSpan(t, fastS, slowS, seed)
 		driveEquivalence(t, fastS, slowS, seed, 400)
 	})
 }

@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-func pageTainted(r *Region, pi int) bool { return r.pages[pi].tainted }
+func pageTainted(r *Region, pi int) bool { return r.pages[pi].anyTaint }
 
 func TestTaintTransitions(t *testing.T) {
 	as, r := newProtectedAS(t, replicaCodec{}, nil)
@@ -323,8 +323,7 @@ func TestScratchReentrancy(t *testing.T) {
 	}
 	// Corrupt one word; parity detects but cannot correct, so the load
 	// raises a machine check and the handler restores from backing —
-	// which itself walks WriteRaw and verifyPageClean through the
-	// scratch-acquire path.
+	// which itself walks WriteRaw through the scratch-acquire path.
 	if err := as.FlipBit(r.Base()+8, 5); err != nil {
 		t.Fatalf("FlipBit: %v", err)
 	}
@@ -348,4 +347,160 @@ func TestScratchReentrancy(t *testing.T) {
 	if c.Uncorrectable != 1 || c.Recovered != 1 {
 		t.Errorf("counters = %+v, want 1 uncorrectable / 1 recovered", c)
 	}
+}
+
+// TestWordTaintBitmap pins the per-codeword bitmap mechanics: set and
+// clear round-trip exactly, the page summary bit tracks the bitmap, and
+// page-wide operations touch every word.
+func TestWordTaintBitmap(t *testing.T) {
+	as, r := newProtectedAS(t, replicaCodec{}, nil)
+	p := r.pages[0]
+	if p.anyTaint {
+		t.Fatal("fresh page has its summary bit set")
+	}
+	r.taintWord(0, 3)
+	if !p.wordTainted(3) || p.wordTainted(2) || p.wordTainted(4) {
+		t.Error("taintWord(3) did not set exactly word 3")
+	}
+	if !p.anyTaint {
+		t.Error("summary bit not raised by taintWord")
+	}
+	lastW := r.wordsPerPage - 1
+	r.taintWord(0, lastW)
+	if pg, w := as.TaintStats(); pg != 1 || w != 2 {
+		t.Fatalf("TaintStats = %d pages / %d words, want 1/2", pg, w)
+	}
+	// Clearing one word keeps the summary up while the other holds.
+	r.clearWordTaint(0, 3)
+	if p.wordTainted(3) {
+		t.Error("clearWordTaint(3) left word 3 tainted")
+	}
+	if !p.anyTaint {
+		t.Error("summary bit dropped with a word still tainted")
+	}
+	r.clearWordTaint(0, lastW)
+	if p.anyTaint {
+		t.Error("summary bit held after the last word was cleared")
+	}
+	// Page-wide set and clear.
+	r.taintPage(1)
+	p1 := r.pages[1]
+	for wi := 0; wi < r.wordsPerPage; wi++ {
+		if !p1.wordTainted(wi) {
+			t.Fatalf("taintPage left word %d clean", wi)
+		}
+	}
+	r.clearPageTaint(1)
+	if p1.anyTaint {
+		t.Error("clearPageTaint left the summary bit set")
+	}
+	if pg, w := as.TaintStats(); pg != 0 || w != 0 {
+		t.Errorf("TaintStats after full clear = %d/%d, want 0/0", pg, w)
+	}
+}
+
+// TestVerifyWordClean pins the bitmap's ground-truth audit: a corrupted
+// codeword fails verification, its neighbors pass, stuck-at state blocks
+// verification even when the stored bytes decode clean, and a write-back
+// scrub restores verifiability.
+func TestVerifyWordClean(t *testing.T) {
+	as, r := newProtectedAS(t, replicaCodec{}, nil)
+	g := r.granule
+	const wi = 2
+	if !r.verifyWordClean(0, wi) {
+		t.Fatal("fresh word does not verify clean")
+	}
+	if err := as.FlipBit(r.Base()+Addr(wi*g), 0); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	if r.verifyWordClean(0, wi) {
+		t.Error("corrupted word verified clean")
+	}
+	if !r.verifyWordClean(0, wi+1) || !r.verifyWordClean(0, wi-1) {
+		t.Error("corruption in word 2 broke verification of its neighbors")
+	}
+	// A bit stuck at its current stored value changes no bytes — the word
+	// still decodes clean — but the invariant requires no stuck-at state.
+	if err := as.StickBit(r.Base()+Addr(5*g), 1, 0); err != nil {
+		t.Fatalf("StickBit: %v", err)
+	}
+	if r.verifyWordClean(0, 5) {
+		t.Error("word with stuck-at state verified clean")
+	}
+	if _, _, err := r.ScrubPage(0, true); err != nil {
+		t.Fatalf("ScrubPage: %v", err)
+	}
+	if !r.verifyWordClean(0, wi) {
+		t.Error("write-back scrub did not restore verifiability")
+	}
+}
+
+// TestWordTaintSnapshotRestore pins the word-granular round-trip through
+// Snapshot/Restore: the restored bitmap reproduces the captured state
+// bit-for-bit, not just the page summary.
+func TestWordTaintSnapshotRestore(t *testing.T) {
+	as, r := newProtectedAS(t, replicaCodec{}, nil)
+	g := r.granule
+	const wi = 3
+	if err := as.FlipBit(r.Base()+Addr(wi*g), 1); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	if pg, w := as.TaintStats(); pg != 1 || w != 1 {
+		t.Fatalf("TaintStats = %d/%d after one flip, want 1/1", pg, w)
+	}
+	snap := as.Snapshot()
+	if _, _, err := r.ScrubPage(0, true); err != nil {
+		t.Fatalf("ScrubPage: %v", err)
+	}
+	if pg, w := as.TaintStats(); pg != 0 || w != 0 {
+		t.Fatalf("TaintStats = %d/%d after scrub, want 0/0", pg, w)
+	}
+	if _, err := snap.Restore(); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if pg, w := as.TaintStats(); pg != 1 || w != 1 {
+		t.Fatalf("TaintStats = %d/%d after restore, want 1/1", pg, w)
+	}
+	p := r.pages[0]
+	for k := 0; k < r.wordsPerPage; k++ {
+		if p.wordTainted(k) != (k == wi) {
+			t.Errorf("restored bitmap: word %d tainted=%v, want %v", k, p.wordTainted(k), k == wi)
+		}
+	}
+}
+
+// TestAccessorSpanZeroAlloc pins the span-access API at zero allocations
+// per op in steady state — on clean pages, on a partially-tainted page
+// (one word carries harmless stuck-at state, forcing the per-word walk),
+// and for the typed helpers.
+func TestAccessorSpanZeroAlloc(t *testing.T) {
+	as, r := newProtectedAS(t, replicaCodec{}, nil)
+	acc := as.NewAccessor()
+	base := r.Base()
+	buf := make([]byte, 48)
+	// Stick byte 0's bit 0 at its current value: the word is tainted (the
+	// bitmap cannot prove it clean) but senses and decodes unchanged, so
+	// slow-path walks stay error- and event-free.
+	if err := as.StickBit(base, 0, 0); err != nil {
+		t.Fatalf("StickBit: %v", err)
+	}
+	pin := func(name string, fn func() error) {
+		t.Helper()
+		if n := testing.AllocsPerRun(200, func() {
+			if err := fn(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}); n != 0 {
+			t.Errorf("%s allocates %v per op, want 0", name, n)
+		}
+	}
+	pin("Load(span across tainted word)", func() error { return acc.Load(base, buf) })
+	pin("Store(span across tainted word)", func() error { return acc.Store(base+1, buf[:23]) })
+	pin("Load(clean page)", func() error { return acc.Load(base+512, buf) })
+	pin("Store(clean page)", func() error { return acc.Store(base+512, buf) })
+	pin("LoadU64", func() error { _, err := acc.LoadU64(base + 256); return err })
+	pin("StoreU64", func() error { return acc.StoreU64(base+256, 0xfeedbeef) })
+	pin("LoadF64", func() error { _, err := acc.LoadF64(base + 264); return err })
+	pin("LoadU32", func() error { _, err := acc.LoadU32(base + 272); return err })
+	pin("LoadU8", func() error { _, err := acc.LoadU8(base + 276); return err })
 }

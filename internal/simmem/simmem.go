@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"sync"
 )
@@ -94,6 +95,7 @@ type Counters struct {
 // trial goroutine.
 type AddressSpace struct {
 	pageSize       int
+	pageShift      int // log2(pageSize); page size is a validated power of two
 	clock          *Clock
 	scrubOnCorrect bool
 	regions        []*Region
@@ -102,17 +104,22 @@ type AddressSpace struct {
 	counters       Counters
 	cache          *cache    // nil unless EnableCache was called
 	snap           *Snapshot // active capture (snapshot.go), nil until Snapshot
-	// fastPath gates the clean-page fast path (on unless
+	// fastPath gates the clean-word fast path (on unless
 	// Config.DisableFastPath); fastLoads counts load operations (Load
 	// calls and cache-line fills) it served without decoding a word or
-	// sensing a byte. The counter is monotonic across snapshot restores:
-	// it is observability, not simulated state.
+	// sensing a byte, and fastWords counts the individual granules bulk-
+	// copied that way (partially-fast loads advance fastWords but not
+	// fastLoads). Both counters are monotonic across snapshot restores:
+	// they are observability, not simulated state.
 	fastPath  bool
 	fastLoads uint64
-	// lastRegion is a one-entry cache in front of findRegion; the three
-	// applications generate long runs of same-region accesses. Regions
-	// are append-only, so a cached pointer never goes stale.
-	lastRegion *Region
+	fastWords uint64
+	// acc is the default accessor behind the AddressSpace-level
+	// Load/Store API; fillAcc serves cache-line fills so fill lookups
+	// never thrash an application accessor's one-entry region cache.
+	// Additional independent accessors come from NewAccessor.
+	acc     Accessor
+	fillAcc Accessor
 	// Reusable scratch for the word/check (and raw-write widening)
 	// buffers of the decode/encode paths. scratchBusy guards against
 	// reentrancy: an MC handler or observer that re-enters the memory
@@ -140,12 +147,16 @@ func New(cfg Config) (*AddressSpace, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = &Clock{}
 	}
-	return &AddressSpace{
+	as := &AddressSpace{
 		pageSize:       cfg.PageSize,
+		pageShift:      bits.TrailingZeros(uint(cfg.PageSize)),
 		clock:          cfg.Clock,
 		scrubOnCorrect: cfg.ScrubOnCorrect,
 		fastPath:       !cfg.DisableFastPath,
-	}, nil
+	}
+	as.acc.as = as
+	as.fillAcc.as = as
+	return as, nil
 }
 
 // SetFastPath enables or disables the clean-page fast path and returns
@@ -160,24 +171,46 @@ func (as *AddressSpace) SetFastPath(on bool) bool {
 }
 
 // FastPathLoads returns the number of load operations (Load calls and
-// cache-line fills) served entirely from untainted pages — a bulk copy
-// with no per-byte sensing and no codeword decoding. The counter is
-// monotonic: snapshot restores do not roll it back.
+// cache-line fills) served entirely from untainted granules — bulk
+// copies with no per-byte sensing and no codeword decoding. The counter
+// is monotonic: snapshot restores do not roll it back.
 func (as *AddressSpace) FastPathLoads() uint64 { return as.fastLoads }
 
-// TaintedPages returns the number of pages currently marked tainted
-// (pages whose sensed contents are not known to decode clean, forcing
-// accesses through the full decode path).
+// FastPathWords returns the number of individual granules (codewords in
+// protected regions) the fast path served as bulk copies, including the
+// clean granules of partially-tainted loads. Monotonic, like
+// FastPathLoads.
+func (as *AddressSpace) FastPathWords() uint64 { return as.fastWords }
+
+// TaintedPages returns the number of pages with at least one tainted
+// granule (granules whose sensed contents are not known to decode
+// clean, forcing accesses through the full decode path).
 func (as *AddressSpace) TaintedPages() int {
-	n := 0
+	p, _ := as.TaintStats()
+	return p
+}
+
+// TaintedWords returns the number of tainted granules across all
+// regions.
+func (as *AddressSpace) TaintedWords() int {
+	_, w := as.TaintStats()
+	return w
+}
+
+// TaintStats returns the tainted page and granule counts in one pass.
+func (as *AddressSpace) TaintStats() (pages, words int) {
 	for _, r := range as.regions {
 		for _, p := range r.pages {
-			if p.tainted {
-				n++
+			if !p.anyTaint {
+				continue
+			}
+			pages++
+			for _, b := range p.taint {
+				words += bits.OnesCount64(b)
 			}
 		}
 	}
-	return n
+	return pages, words
 }
 
 // Clock returns the address space's virtual clock.
@@ -300,6 +333,26 @@ func (as *AddressSpace) AddRegion(spec RegionSpec) (*Region, error) {
 		mc:       spec.MC,
 		pages:    make([]*page, npages),
 	}
+	// Unprotected regions have no codeword structure, so taint tracks
+	// fixed 64-byte chunks (or the whole page when pages are smaller) —
+	// fine-grained enough that one stuck bit does not slow the rest of
+	// the page, coarse enough that bitmaps stay tiny.
+	r.granule = 64
+	if r.granule > as.pageSize {
+		r.granule = as.pageSize
+	}
+	if spec.Codec != nil {
+		r.granule = spec.Codec.WordBytes()
+	}
+	r.granShift = -1
+	if r.granule&(r.granule-1) == 0 {
+		r.granShift = bits.TrailingZeros(uint(r.granule))
+	}
+	if spec.Codec != nil {
+		r.checkBytes = spec.Codec.CheckBytes()
+	}
+	r.wordsPerPage = as.pageSize / r.granule
+	r.taintLen = (r.wordsPerPage + 63) / 64
 	checkPerPage := 0
 	if spec.Codec != nil {
 		checkPerPage = as.pageSize / spec.Codec.WordBytes() * spec.Codec.CheckBytes()
@@ -328,14 +381,67 @@ type page struct {
 	stuckClr  []byte
 	corrected uint64 // corrected-error events observed on this frame
 	replaced  int    // times the frame was replaced (retirement)
-	// tainted records that the page may hold a visible error. The
-	// invariant (DESIGN.md "Clean-word fast path"): on an untainted page
-	// there is no stuck-at state and every codeword decodes
-	// VerdictClean, so sensing is a plain copy of data and decoding is a
-	// no-op — which is exactly what the fast path does. Every corruption
-	// channel sets it; only operations that re-establish the invariant
-	// verifiably clear it.
-	tainted bool
+	// taint is a per-granule (codeword, or Region.granule bytes when
+	// unprotected) bitmap recording which words may hold a visible
+	// error. The invariant (DESIGN.md "Clean-word fast path"): an
+	// untainted granule has no stuck-at state over its bytes and (in
+	// protected regions) decodes VerdictClean, so sensing it is a plain
+	// copy of data and decoding it is a no-op — which is exactly what
+	// the fast path does. Every corruption channel sets the covering
+	// bits; only operations that re-establish the invariant verifiably
+	// clear them. The slice is allocated lazily on first taint (clean
+	// frames — the overwhelming majority — pay one nil pointer).
+	// anyTaint is the page-level summary: true iff any bit is set, so
+	// the all-clean fast test stays one flag load per page.
+	taint    []uint64
+	anyTaint bool
+}
+
+// wordTainted reports whether granule wi of the page is tainted.
+func (p *page) wordTainted(wi int) bool {
+	return p.anyTaint && p.taint[wi>>6]&(1<<(wi&63)) != 0
+}
+
+// cleanWords reports whether granules w0..w1 (inclusive) are all clean.
+func (p *page) cleanWords(w0, w1 int) bool {
+	if !p.anyTaint {
+		return true
+	}
+	first, last := w0>>6, w1>>6
+	lead := ^uint64(0) << (w0 & 63)
+	trail := ^uint64(0) >> (63 - (w1 & 63))
+	if first == last {
+		return p.taint[first]&lead&trail == 0
+	}
+	if p.taint[first]&lead != 0 || p.taint[last]&trail != 0 {
+		return false
+	}
+	for i := first + 1; i < last; i++ {
+		if p.taint[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// stuckInRange reports whether any stuck-at mask covers stored bytes
+// [lo, hi) of the page.
+func (p *page) stuckInRange(lo, hi int) bool {
+	if p.stuckSet != nil {
+		for _, b := range p.stuckSet[lo:hi] {
+			if b != 0 {
+				return true
+			}
+		}
+	}
+	if p.stuckClr != nil {
+		for _, b := range p.stuckClr[lo:hi] {
+			if b != 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // senseByte returns the value the memory device would return for byte i of
@@ -367,6 +473,16 @@ type Region struct {
 	pages    []*page
 	backing  []byte
 	used     int
+	// Taint-bitmap geometry: granule is the taint tracking unit in
+	// bytes — the codec word size in protected regions (taint must align
+	// with what a decode covers), a fixed sub-page chunk otherwise. It
+	// always divides the page size. wordsPerPage and taintLen (uint64
+	// words per page bitmap) are derived once at mapping time.
+	granule      int
+	granShift    int // log2(granule) when it is a power of two, else -1
+	checkBytes   int // codec.CheckBytes(), cached off the hot path (0 if nil)
+	wordsPerPage int
+	taintLen     int
 	// Dirty-page tracking for the snapshot layer (snapshot.go): nil
 	// until a snapshot arms it, then a per-page dirtied flag plus the
 	// list of dirtied page indices (what Restore walks).
@@ -444,29 +560,92 @@ func (r *Region) CorrectedOnPage(i int) uint64 { return r.pages[i].corrected }
 // Replacements returns how many times page i's frame has been replaced.
 func (r *Region) Replacements(i int) int { return r.pages[i].replaced }
 
-// taintPage marks page pi as possibly holding a visible error, and
-// dirties it so an armed snapshot rolls the flag back with the data.
-func (r *Region) taintPage(pi int) {
-	r.markDirty(pi)
-	r.pages[pi].tainted = true
+// wordIndex returns the taint-granule index within its page of region
+// offset off.
+func (r *Region) wordIndex(off int) int {
+	return (off % r.as.pageSize) / r.granule
 }
 
-// clearTaint marks page pi verifiably clean again. Callers must have
-// re-established the taint invariant (no stuck-at state, every word
-// decodes clean) first. The flag change dirties the page so an armed
-// snapshot restores the captured taint state exactly.
-func (r *Region) clearTaint(pi int) {
-	if !r.pages[pi].tainted {
+// taintWord marks granule wi of page pi as possibly holding a visible
+// error, and dirties the page so an armed snapshot rolls the bitmap
+// back with the data.
+func (r *Region) taintWord(pi, wi int) {
+	r.markDirty(pi)
+	p := r.pages[pi]
+	if p.taint == nil {
+		p.taint = make([]uint64, r.taintLen)
+	}
+	p.taint[wi>>6] |= 1 << (wi & 63)
+	p.anyTaint = true
+}
+
+// taintPage marks every granule of page pi tainted — the conservative
+// whole-page channel (frame replacement's swap window).
+func (r *Region) taintPage(pi int) {
+	r.markDirty(pi)
+	p := r.pages[pi]
+	if p.taint == nil {
+		p.taint = make([]uint64, r.taintLen)
+	}
+	full := r.wordsPerPage >> 6
+	for i := 0; i < full; i++ {
+		p.taint[i] = ^uint64(0)
+	}
+	if rem := r.wordsPerPage & 63; rem != 0 {
+		p.taint[full] = 1<<rem - 1
+	}
+	p.anyTaint = true
+}
+
+// clearWordTaint marks granule wi of page pi verifiably clean again.
+// Callers must have re-established the taint invariant for the granule
+// (no stuck-at state over its bytes, decodes clean) first. The bitmap
+// change dirties the page so an armed snapshot restores the captured
+// taint state exactly; clearing an already-clean granule is a no-op
+// with no tracking cost.
+func (r *Region) clearWordTaint(pi, wi int) {
+	p := r.pages[pi]
+	if !p.anyTaint || p.taint[wi>>6]&(1<<(wi&63)) == 0 {
 		return
 	}
 	r.markDirty(pi)
-	r.pages[pi].tainted = false
+	p.taint[wi>>6] &^= 1 << (wi & 63)
+	p.anyTaint = false
+	for _, b := range p.taint {
+		if b != 0 {
+			p.anyTaint = true
+			break
+		}
+	}
 }
 
-// cleanPages reports whether pages p0..p1 (inclusive) are all untainted.
+// clearPageTaint marks every granule of page pi verifiably clean.
+func (r *Region) clearPageTaint(pi int) {
+	p := r.pages[pi]
+	if !p.anyTaint {
+		return
+	}
+	r.markDirty(pi)
+	clear(p.taint)
+	p.anyTaint = false
+}
+
+// spanWords counts the granules overlapped by the n-byte span at region
+// offset off (n must be positive). It is the fast-path accounting unit:
+// the number of codewords a decode-everything path would have visited.
+func (r *Region) spanWords(off, n int) uint64 {
+	if s := r.granShift; s >= 0 {
+		return uint64((off+n-1)>>s - off>>s + 1)
+	}
+	g := r.granule
+	return uint64((off+n-1)/g - off/g + 1)
+}
+
+// cleanPages reports whether pages p0..p1 (inclusive) are all fully
+// untainted (their summary bits are clear).
 func (r *Region) cleanPages(p0, p1 int) bool {
 	for pi := p0; pi <= p1; pi++ {
-		if r.pages[pi].tainted {
+		if r.pages[pi].anyTaint {
 			return false
 		}
 	}
@@ -485,31 +664,29 @@ func (r *Region) copyStored(buf []byte, off int) {
 	}
 }
 
-// verifyPageClean reports whether page pi provably satisfies the taint
-// invariant: no stuck-at state, and (in protected regions) every
-// codeword decodes VerdictClean. It decodes into scratch copies so a
-// correctable pattern is not corrected as a side effect.
-func (r *Region) verifyPageClean(pi int) bool {
+// verifyWordClean reports whether granule wi of page pi provably
+// satisfies the taint invariant: no stuck-at state over its bytes, and
+// (in protected regions) the codeword decodes VerdictClean. It decodes
+// into scratch copies so a correctable pattern is not corrected as a
+// side effect. Equivalence tests use it to audit the bitmap against
+// ground truth; the access paths trust the bitmap instead of paying
+// for verification.
+func (r *Region) verifyWordClean(pi, wi int) bool {
 	p := r.pages[pi]
-	if p.hasStuck() {
+	g := r.granule
+	if p.stuckInRange(wi*g, (wi+1)*g) {
 		return false
 	}
 	if r.codec == nil {
 		return true
 	}
 	as := r.as
-	w := r.codec.WordBytes()
 	c := r.codec.CheckBytes()
-	word, check, owned := as.acquireScratch(w, c)
+	word, check, owned := as.acquireScratch(g, c)
 	defer as.releaseScratch(owned)
-	for wo := 0; wo < as.pageSize; wo += w {
-		copy(word, p.data[wo:wo+w])
-		copy(check, p.check[wo/w*c:(wo/w+1)*c])
-		if r.codec.Decode(word, check) != VerdictClean {
-			return false
-		}
-	}
-	return true
+	copy(word, p.data[wi*g:(wi+1)*g])
+	copy(check, p.check[wi*c:(wi+1)*c])
+	return r.codec.Decode(word, check) == VerdictClean
 }
 
 // acquireScratch hands out the address space's reusable word/check
@@ -537,15 +714,10 @@ func (as *AddressSpace) releaseScratch(owned bool) {
 	}
 }
 
-// findRegion locates the region containing addr: a one-entry cache for
-// the sequential access runs the applications generate, then a binary
-// search over the region bases (regions are mapped in ascending address
-// order and never removed, so the slice is always sorted and a cached
-// pointer never goes stale).
-func (as *AddressSpace) findRegion(addr Addr) *Region {
-	if r := as.lastRegion; r != nil && r.Contains(addr) {
-		return r
-	}
+// lookupRegion is the uncached region lookup: a binary search over the
+// region bases (regions are mapped in ascending address order and never
+// removed, so the slice is always sorted).
+func (as *AddressSpace) lookupRegion(addr Addr) *Region {
 	regions := as.regions
 	lo, hi := 0, len(regions)
 	for lo < hi {
@@ -557,87 +729,108 @@ func (as *AddressSpace) findRegion(addr Addr) *Region {
 		}
 	}
 	if lo < len(regions) && regions[lo].Contains(addr) {
-		as.lastRegion = regions[lo]
 		return regions[lo]
 	}
 	return nil
 }
 
-// locate resolves an access of n bytes at addr to a region, returning a
-// fault if the range is unmapped or runs off the end of its region.
-func (as *AddressSpace) locate(addr Addr, n int) (*Region, error) {
-	if n < 0 {
-		return nil, fmt.Errorf("simmem: negative access length %d", n)
-	}
-	r := as.findRegion(addr)
-	if r == nil {
-		return nil, &Fault{Kind: FaultUnmapped, Addr: addr}
-	}
-	if addr+Addr(n) > r.base+Addr(r.size) {
-		return nil, &Fault{Kind: FaultOutOfRange, Addr: addr}
-	}
-	return r, nil
+// findRegion locates the region containing addr through the default
+// accessor's one-entry cache (see Accessor in accessor.go).
+func (as *AddressSpace) findRegion(addr Addr) *Region {
+	return as.acc.findRegion(addr)
 }
 
-// Load reads len(buf) bytes at addr through the full memory path: stuck-at
-// faults are sensed, protected regions decode every covered codeword
-// (possibly correcting, possibly raising a machine check), and access
-// observers are notified.
+// locate resolves an access of n bytes at addr through the default
+// accessor.
+func (as *AddressSpace) locate(addr Addr, n int) (*Region, error) {
+	return as.acc.locate(addr, n)
+}
+
+// Load reads len(buf) bytes at addr through the full memory path (via
+// the default accessor): stuck-at faults are sensed, protected regions
+// decode every covered codeword (possibly correcting, possibly raising
+// a machine check), and access observers are notified.
 func (as *AddressSpace) Load(addr Addr, buf []byte) error {
-	r, err := as.locate(addr, len(buf))
-	if err != nil {
-		return err
-	}
-	if as.cache != nil {
-		if err := as.cachedLoad(addr, buf); err != nil {
-			return err
-		}
-	} else if r.codec == nil {
-		if r.senseInto(buf, int(addr-r.base)) {
-			as.fastLoads++
-		}
-	} else if fast, err := as.loadDecoded(r, int(addr-r.base), buf); err != nil {
-		return err
-	} else if fast {
-		as.fastLoads++
-	}
-	as.counters.Loads++
-	as.notifyAccess(AccessEvent{Addr: addr, Len: len(buf), Kind: Load, Time: as.clock.Now(), Region: r})
-	return nil
+	return as.acc.Load(addr, buf)
 }
 
 // senseInto copies len(buf) bytes starting at region offset off into
-// buf, applying stuck-at masks. When every covered page is untainted
-// (so no stuck-at state exists) it degenerates to a bulk copy of the
-// stored bytes and reports true.
+// buf, applying stuck-at masks. On the fast path every untainted
+// granule (which by the invariant carries no stuck-at state) is a bulk
+// copy of the stored bytes; only tainted granules sense per byte. It
+// reports true when the whole span was served by bulk copies.
 func (r *Region) senseInto(buf []byte, off int) bool {
 	if len(buf) == 0 {
 		return true
 	}
-	ps := r.as.pageSize
-	if r.as.fastPath && r.cleanPages(off/ps, (off+len(buf)-1)/ps) {
-		r.copyStored(buf, off)
+	as := r.as
+	ps := as.pageSize
+	if !as.fastPath {
+		for i := range buf {
+			o := off + i
+			buf[i] = r.pages[o/ps].senseByte(o % ps)
+		}
+		return false
+	}
+	// Single-page untainted span: the overwhelmingly common case. One
+	// summary-bit probe, one copy, shift-based arithmetic throughout.
+	if pi := off >> as.pageShift; off+len(buf) <= (pi+1)<<as.pageShift && !r.pages[pi].anyTaint {
+		copy(buf, r.pages[pi].data[off&(ps-1):off&(ps-1)+len(buf)])
+		as.fastWords += r.spanWords(off, len(buf))
 		return true
 	}
-	for i := range buf {
-		o := off + i
-		p := r.pages[o/ps]
-		buf[i] = p.senseByte(o % ps)
+	g := r.granule
+	if r.cleanPages(off/ps, (off+len(buf)-1)/ps) {
+		r.copyStored(buf, off)
+		as.fastWords += r.spanWords(off, len(buf))
+		return true
 	}
-	return false
+	allClean := true
+	for n := 0; n < len(buf); {
+		o := off + n
+		p := r.pages[o/ps]
+		inPage := o % ps
+		wi := inPage / g
+		take := (wi+1)*g - inPage // to the end of this granule
+		if take > len(buf)-n {
+			take = len(buf) - n
+		}
+		if !p.wordTainted(wi) {
+			copy(buf[n:n+take], p.data[inPage:inPage+take])
+			as.fastWords++
+		} else {
+			allClean = false
+			for i := 0; i < take; i++ {
+				buf[n+i] = p.senseByte(inPage + i)
+			}
+		}
+		n += take
+	}
+	return allClean
 }
 
 // loadDecoded performs a protected load of len(buf) bytes at region offset
-// off, decoding every covered codeword. When every covered page is
-// untainted the decode is skipped entirely — the taint invariant
-// guarantees each word would decode VerdictClean and come back
-// unmodified, so the load is a bulk copy of the stored bytes (reported
-// as true, with no counters, events, or scrubbing side effects, exactly
-// as the full path would behave).
+// off. On the fast path untainted codewords skip the decode entirely —
+// the taint invariant guarantees each would decode VerdictClean and come
+// back unmodified, so their bytes are bulk-copied from storage (with no
+// counters, events, or scrubbing side effects, exactly as the full path
+// would behave on them); only tainted codewords go through sensing and
+// decode. It reports true when every covered word was served clean.
 func (as *AddressSpace) loadDecoded(r *Region, off int, buf []byte) (bool, error) {
-	w := r.codec.WordBytes()
-	c := r.codec.CheckBytes()
+	w := r.granule
+	c := r.checkBytes
 	ps := as.pageSize
+	// Single-page untainted span: the overwhelmingly common case. One
+	// summary-bit probe, one copy, shift-based arithmetic throughout.
+	// Codewords never straddle pages, so the page holding the requested
+	// bytes also holds the word-aligned expansion of the span.
+	if as.fastPath && len(buf) > 0 {
+		if pi := off >> as.pageShift; off+len(buf) <= (pi+1)<<as.pageShift && !r.pages[pi].anyTaint {
+			copy(buf, r.pages[pi].data[off&(ps-1):off&(ps-1)+len(buf)])
+			as.fastWords += r.spanWords(off, len(buf))
+			return true, nil
+		}
+	}
 	first := off / w * w
 	last := (off + len(buf) + w - 1) / w * w
 	if first == last {
@@ -645,14 +838,31 @@ func (as *AddressSpace) loadDecoded(r *Region, off int, buf []byte) (bool, error
 	}
 	if as.fastPath && r.cleanPages(first/ps, (last-1)/ps) {
 		r.copyStored(buf, off)
+		as.fastWords += uint64((last - first) / w)
 		return true, nil
 	}
 	word, check, owned := as.acquireScratch(w, c)
 	defer as.releaseScratch(owned)
+	allClean := as.fastPath
 	for wo := first; wo < last; wo += w {
 		p := r.pages[wo/ps]
 		inPage := wo % ps
 		wordIdx := inPage / w
+		if as.fastPath && !p.wordTainted(wordIdx) {
+			// Clean codeword on a partially-tainted span: copy the
+			// stored bytes that overlap the request.
+			as.fastWords++
+			lo, hi := wo, wo+w
+			if lo < off {
+				lo = off
+			}
+			if hi > off+len(buf) {
+				hi = off + len(buf)
+			}
+			copy(buf[lo-off:hi-off], p.data[inPage+lo-wo:inPage+hi-wo])
+			continue
+		}
+		allClean = false
 		// Sense the stored word and its check bytes.
 		for i := 0; i < w; i++ {
 			word[i] = p.senseByte(inPage + i)
@@ -685,7 +895,7 @@ func (as *AddressSpace) loadDecoded(r *Region, off int, buf []byte) (bool, error
 			}
 		}
 	}
-	return false, nil
+	return allClean, nil
 }
 
 // handleUncorrectable runs the software response for an uncorrectable
@@ -718,31 +928,13 @@ func (as *AddressSpace) handleUncorrectable(r *Region, wo int, word, check []byt
 	return v, nil
 }
 
-// Store writes data at addr through the full memory path. Stores to
-// read-only regions fault. In protected regions, partial codewords are
-// read-modify-written: the untouched bytes are decoded first (which can
-// itself raise a machine check), then the whole word is re-encoded.
+// Store writes data at addr through the full memory path (via the
+// default accessor). Stores to read-only regions fault. In protected
+// regions, partial codewords are read-modify-written: the untouched
+// bytes are decoded first (which can itself raise a machine check),
+// then the whole word is re-encoded.
 func (as *AddressSpace) Store(addr Addr, data []byte) error {
-	r, err := as.locate(addr, len(data))
-	if err != nil {
-		return err
-	}
-	if r.readOnly {
-		return &Fault{Kind: FaultReadOnly, Addr: addr}
-	}
-	off := int(addr - r.base)
-	if as.cache != nil {
-		if err := as.cachedStore(addr, data); err != nil {
-			return err
-		}
-	} else if r.codec == nil {
-		r.writeBytes(off, data)
-	} else if err := as.storeEncoded(r, off, data); err != nil {
-		return err
-	}
-	as.counters.Stores++
-	as.notifyAccess(AccessEvent{Addr: addr, Len: len(data), Kind: Store, Time: as.clock.Now(), Region: r})
-	return nil
+	return as.acc.Store(addr, data)
 }
 
 // writeBytes writes raw bytes at region offset off (no encoding).
@@ -762,21 +954,45 @@ func (r *Region) writeBytes(off int, data []byte) {
 // storeEncoded writes data at region offset off in a protected region,
 // re-encoding every touched codeword.
 func (as *AddressSpace) storeEncoded(r *Region, off int, data []byte) error {
-	w := r.codec.WordBytes()
-	c := r.codec.CheckBytes()
+	w := r.granule
+	c := r.checkBytes
 	ps := as.pageSize
+	// Word-aligned single-page store: every touched codeword is fully
+	// overwritten, so no read-modify-write decode happens on any path —
+	// write the caller's bytes into storage and re-encode each codeword
+	// in place, skipping the scratch buffers and the byte-merge loop.
+	if off%w == 0 && len(data)%w == 0 && len(data) > 0 {
+		if pi := off >> as.pageShift; off+len(data) <= (pi+1)<<as.pageShift {
+			p := r.pages[pi]
+			r.markDirty(pi)
+			inPage := off & (ps - 1)
+			for k, wi := 0, inPage/w; k < len(data); k, wi = k+w, wi+1 {
+				d := p.data[inPage+k : inPage+k+w]
+				copy(d, data[k:k+w])
+				r.codec.Encode(d, p.check[wi*c:wi*c+c])
+				// Overwritten words rejoin the taint invariant immediately
+				// unless stuck-at state covers them (masking-by-overwrite,
+				// identical to the general path below).
+				if p.anyTaint && !p.stuckInRange(inPage+k, inPage+k+w) {
+					r.clearWordTaint(pi, wi)
+				}
+			}
+			return nil
+		}
+	}
 	first := off / w * w
 	last := (off + len(data) + w - 1) / w * w
 	word, check, owned := as.acquireScratch(w, c)
 	defer as.releaseScratch(owned)
 	for wo := first; wo < last; wo += w {
-		r.markDirty(wo / ps)
-		p := r.pages[wo/ps]
+		pi := wo / ps
+		r.markDirty(pi)
+		p := r.pages[pi]
 		inPage := wo % ps
 		wordIdx := inPage / w
 		partial := wo < off || wo+w > off+len(data)
 		if partial {
-			if as.fastPath && !p.tainted {
+			if as.fastPath && !p.wordTainted(wordIdx) {
 				// The taint invariant says this word would sense as its
 				// stored bytes and decode VerdictClean unchanged, so the
 				// read-modify-write decode is a no-op: take the stored
@@ -815,6 +1031,15 @@ func (as *AddressSpace) storeEncoded(r *Region, off int, data []byte) error {
 		r.codec.Encode(word, check)
 		copy(p.data[inPage:inPage+w], word)
 		copy(p.check[wordIdx*c:(wordIdx+1)*c], check)
+		// The word just went through a full re-encode of decoded (or
+		// provably clean) data, so it satisfies the taint invariant again
+		// unless stuck-at state covers it — the paper's masking-by-
+		// overwrite, applied to the fast path: overwritten words rejoin
+		// it immediately. (Identical on both paths: taint transitions
+		// never depend on fastPath.)
+		if p.anyTaint && !p.stuckInRange(inPage, inPage+w) {
+			r.clearWordTaint(pi, wordIdx)
+		}
 	}
 	return nil
 }
@@ -956,11 +1181,12 @@ func (as *AddressSpace) WriteRaw(addr Addr, data []byte) error {
 	}
 	// Widen to whole codewords so re-encoding is well defined; the
 	// untouched bytes keep their stored (possibly erroneous) values.
-	// Every touched word goes back through Encode, so the write cannot
-	// violate the taint invariant on an untainted page; it is equally
-	// unable to prove a tainted page clean (other words keep whatever
-	// errors they had), so the taint flag is left as-is. A future raw
-	// write path that skips the re-encode must taint the page instead.
+	// Every touched word goes back through a full Encode, so afterwards
+	// it provably satisfies the taint invariant — decodes clean — unless
+	// stuck-at state covers it, and its taint bit is cleared
+	// accordingly. Untouched words keep whatever errors (and taint
+	// bits) they had. A future raw write path that skips the re-encode
+	// must taint the covered words instead.
 	w := r.codec.WordBytes()
 	c := r.codec.CheckBytes()
 	first := off / w * w
@@ -974,12 +1200,16 @@ func (as *AddressSpace) WriteRaw(addr Addr, data []byte) error {
 	for wo := first; wo < last; wo += w {
 		word := wide[wo-first : wo-first+w]
 		r.codec.Encode(word, check)
-		r.markDirty(wo / ps)
-		p := r.pages[wo/ps]
+		pi := wo / ps
+		r.markDirty(pi)
+		p := r.pages[pi]
 		inPage := wo % ps
 		wordIdx := inPage / w
 		copy(p.data[inPage:inPage+w], word)
 		copy(p.check[wordIdx*c:(wordIdx+1)*c], check)
+		if p.anyTaint && !p.stuckInRange(inPage, inPage+w) {
+			r.clearWordTaint(pi, wordIdx)
+		}
 	}
 	return nil
 }
@@ -999,9 +1229,20 @@ func (as *AddressSpace) FlipBit(addr Addr, bit int) error {
 		return err
 	}
 	off := int(addr - r.base)
-	r.taintPage(off / as.pageSize)
-	p := r.pages[off/as.pageSize]
-	p.data[off%as.pageSize] ^= 1 << bit
+	pi := off / as.pageSize
+	if r.codec != nil {
+		// The flip can surface on the next decode of its codeword; the
+		// rest of the page is untouched.
+		r.taintWord(pi, r.wordIndex(off))
+	} else {
+		// An unprotected region has nothing to decode: sensed bytes equal
+		// stored bytes (no stuck-at state is involved in a soft flip), so
+		// the invariant still holds and the fast bulk copy returns the
+		// flipped byte exactly as per-byte sensing would. Only the data
+		// mutation needs recording for snapshot rollback.
+		r.markDirty(pi)
+	}
+	r.pages[pi].data[off%as.pageSize] ^= 1 << bit
 	return nil
 }
 
@@ -1022,10 +1263,10 @@ func (as *AddressSpace) FlipCheckBit(addr Addr, bit int) error {
 	}
 	w := r.codec.WordBytes()
 	off := int(addr-r.base) / w * w
-	r.taintPage(off / as.pageSize)
-	p := r.pages[off/as.pageSize]
+	pi := off / as.pageSize
 	wordIdx := (off % as.pageSize) / w
-	p.check[wordIdx*c+bit/8] ^= 1 << (bit % 8)
+	r.taintWord(pi, wordIdx)
+	r.pages[pi].check[wordIdx*c+bit/8] ^= 1 << (bit % 8)
 	return nil
 }
 
@@ -1045,8 +1286,12 @@ func (as *AddressSpace) StickBit(addr Addr, bit, value int) error {
 		return err
 	}
 	off := int(addr - r.base)
-	r.taintPage(off / as.pageSize)
-	p := r.pages[off/as.pageSize]
+	pi := off / as.pageSize
+	// A stuck cell makes sensing diverge from storage, so the covering
+	// granule leaves the fast path (in any region kind) until frame
+	// replacement discards the fault.
+	r.taintWord(pi, r.wordIndex(off))
+	p := r.pages[pi]
 	i := off % as.pageSize
 	mask := byte(1) << bit
 	if value == 1 {
@@ -1111,7 +1356,7 @@ func (r *Region) ReplaceFrame(pageIdx int) error {
 	// semantically wrong backing copy into valid codewords; taint tracks
 	// decode visibility, not ground truth, which the outcome classifier
 	// checks against raw bytes.
-	r.clearTaint(pageIdx)
+	r.clearPageTaint(pageIdx)
 	return nil
 }
 
@@ -1158,18 +1403,12 @@ func (r *Region) RestoreWord(addr Addr) error {
 		w = r.codec.WordBytes()
 	}
 	off := int(addr-r.base) / w * w
-	if err := r.as.WriteRaw(r.base+Addr(off), r.backing[off:off+w]); err != nil {
-		return err
-	}
-	// The repaired word is clean, but a single-word restore cannot by
-	// itself prove the rest of the page is; re-derive the taint state by
-	// verification so a page whose only error was just repaired returns
-	// to the fast path.
-	pi := off / r.as.pageSize
-	if r.pages[pi].tainted && r.verifyPageClean(pi) {
-		r.clearTaint(pi)
-	}
-	return nil
+	// WriteRaw re-encodes the restored word and clears its taint bit
+	// when no stuck-at state covers it; the rest of the page's taint
+	// state is per-word and unaffected, so no whole-page verification
+	// is needed — a page whose only error was just repaired returns to
+	// the fully-fast path immediately.
+	return r.as.WriteRaw(r.base+Addr(off), r.backing[off:off+w])
 }
 
 // BackingBytes returns the clean persistent copy of the byte range
@@ -1201,11 +1440,19 @@ func (r *Region) ScrubPage(i int, writeBack bool) (corrected, uncorrectable int,
 	}
 	if r.codec == nil {
 		// Without a code there is nothing to decode, but absent
-		// stuck-at state an unprotected page trivially satisfies the
+		// stuck-at state an unprotected granule trivially satisfies the
 		// taint invariant (sensing is a plain copy), so the scan
-		// re-admits it to the fast path.
-		if !r.pages[i].hasStuck() {
-			r.clearTaint(i)
+		// re-admits every stuck-free granule to the fast path.
+		p := r.pages[i]
+		if !p.hasStuck() {
+			r.clearPageTaint(i)
+		} else if p.anyTaint {
+			g := r.granule
+			for wi := 0; wi < r.wordsPerPage; wi++ {
+				if p.wordTainted(wi) && !p.stuckInRange(wi*g, (wi+1)*g) {
+					r.clearWordTaint(i, wi)
+				}
+			}
 		}
 		return 0, 0, nil
 	}
@@ -1222,6 +1469,14 @@ func (r *Region) ScrubPage(i int, writeBack bool) (corrected, uncorrectable int,
 		wordIdx := wo / w
 		copy(check, p.check[wordIdx*c:(wordIdx+1)*c])
 		switch r.codec.Decode(word, check) {
+		case VerdictClean:
+			// The scrub just proved this word's taint invariant — as
+			// long as no stuck-at state covers it (a stuck cell that
+			// happens to match storage today can diverge after the next
+			// store).
+			if p.wordTainted(wordIdx) && !p.stuckInRange(wo, wo+w) {
+				r.clearWordTaint(i, wordIdx)
+			}
 		case VerdictCorrected:
 			corrected++
 			r.markDirty(i)
@@ -1229,18 +1484,17 @@ func (r *Region) ScrubPage(i int, writeBack bool) (corrected, uncorrectable int,
 			if writeBack {
 				copy(p.data[wo:wo+w], word)
 				copy(p.check[wordIdx*c:(wordIdx+1)*c], check)
+				// The written-back word now stores what it decodes to,
+				// so it rejoins the fast path unless stuck-at state
+				// keeps sensing divergent. Corrections left un-written
+				// keep their erroneous stored bytes and stay tainted.
+				if !p.stuckInRange(wo, wo+w) {
+					r.clearWordTaint(i, wordIdx)
+				}
 			}
 		case VerdictUncorrectable:
 			uncorrectable++
 		}
-	}
-	// The scrub just proved the taint invariant when the page has no
-	// stuck-at state, no word was uncorrectable, and every corrected
-	// word was written back (a clean sweep needs no write-back at all):
-	// the page returns to the fast path. Corrections left un-written
-	// keep their erroneous stored bytes, so the page stays tainted.
-	if uncorrectable == 0 && !p.hasStuck() && (writeBack || corrected == 0) {
-		r.clearTaint(i)
 	}
 	return corrected, uncorrectable, nil
 }

@@ -9,9 +9,9 @@
 // indistinguishable — bit for bit, on every subsequent Load/Store/inject
 // path — from one freshly built into the captured state. That covers
 // page data and check storage, stuck-at masks, per-frame corrected /
-// replaced counters and taint flags (taint selects between the fast and
-// slow access paths, which are bit-identical, but the flag still rolls
-// back so per-page state never drifts from the data under it), backing
+// replaced counters and taint bitmaps (taint selects between the fast
+// and slow access paths, which are bit-identical, but the bitmap still
+// rolls back so per-word state never drifts from the data under it), backing
 // stores, allocator high-water marks, the cache model (residency changes
 // error visibility, so lines are restored verbatim, never flushed), the
 // virtual clock, the aggregate counters, and the observer registration
@@ -41,7 +41,8 @@ type pageState struct {
 	stuckClr  []byte
 	corrected uint64
 	replaced  int
-	tainted   bool
+	taint     []uint64 // copy; nil when no granule was tainted at capture
+	anyTaint  bool
 }
 
 // regionState is one region's captured state.
@@ -104,7 +105,13 @@ func (as *AddressSpace) Snapshot() *Snapshot {
 			st.replaced = p.replaced
 			st.stuckSet = cloneBytes(p.stuckSet)
 			st.stuckClr = cloneBytes(p.stuckClr)
-			st.tainted = p.tainted
+			st.anyTaint = p.anyTaint
+			// An all-clear bitmap captures as nil: restore only needs
+			// the set bits (anyTaint false forces a clear either way).
+			st.taint = nil
+			if p.anyTaint {
+				st.taint = append([]uint64(nil), p.taint...)
+			}
 		}
 		rs.backing = cloneBytes(r.backing)
 		// (Re)arm dirty tracking from a clean slate.
@@ -144,8 +151,21 @@ func (s *Snapshot) Restore() (int, error) {
 			p.stuckSet = cloneBytes(st.stuckSet)
 			p.stuckClr = cloneBytes(st.stuckClr)
 			// Taint transitions always dirty the page, so restoring the
-			// dirty set restores the taint state exactly.
-			p.tainted = st.tainted
+			// dirty set restores the taint state exactly. The live
+			// bitmap is reused in place (cleared or overwritten) so the
+			// per-trial restore loop stays allocation-free once a page
+			// has ever been tainted.
+			p.anyTaint = st.anyTaint
+			if st.taint == nil {
+				if p.taint != nil {
+					clear(p.taint)
+				}
+			} else {
+				if p.taint == nil {
+					p.taint = make([]uint64, len(st.taint))
+				}
+				copy(p.taint, st.taint)
+			}
 			if r.backing != nil {
 				copy(r.backing[pi*ps:(pi+1)*ps], rs.backing[pi*ps:(pi+1)*ps])
 			}

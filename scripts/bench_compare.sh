@@ -7,7 +7,15 @@
 # second, lower-is-better ratchet checks that reaching the target CI
 # still costs no more trials than the committed capture — that metric
 # is deterministic (plan boundaries depend only on seeded trial
-# outcomes), so it holds exactly across machines.
+# outcomes), so it holds exactly across machines. When the baseline
+# carries the secded_vs_noecc_ratio metric (BenchmarkSECDEDGap), a
+# third gate both ratchets the ratio and caps it at GAP_MAX (default
+# 1.15): SEC-DED campaigns must stay within 15% of no-ECC. The ratio
+# times both sides in one run, so it transfers across machines far
+# better than absolute trials/s — but it still swings ~±10% with the
+# host's memory-subsystem state, so CI enforces the 1.15 target in the
+# advisory step and blocks only at GAP_MAX=1.35 (a reopened gap on
+# the order of the old per-page-taint engine's 1.4×).
 #
 #   scripts/bench_compare.sh                   # 10% ratchet vs latest BENCH_*.json
 #   THRESHOLD=0.5 scripts/bench_compare.sh     # relaxed gate (cross-machine CI)
@@ -25,6 +33,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 THRESHOLD="${THRESHOLD:-0.10}"
+GAP_MAX="${GAP_MAX:-1.15}"
 
 if [ -z "${BASELINE:-}" ]; then
     # Latest committed capture that actually holds trials/s benchmark
@@ -45,7 +54,7 @@ if [ -z "${CURRENT:-}" ]; then
     CURRENT="${CAPTURE_OUT:-$(mktemp /tmp/bench_current.XXXXXX.json)}"
     echo "bench_compare: capturing current throughput -> $CURRENT" >&2
     go test -json -run '^$' \
-        -bench 'BenchmarkCampaignLifecycle|BenchmarkAdaptiveCampaign' \
+        -bench 'BenchmarkCampaignLifecycle|BenchmarkAdaptiveCampaign|BenchmarkSECDEDGap' \
         -benchtime 1x . >"$CURRENT"
 else
     echo "bench_compare: reusing capture $CURRENT" >&2
@@ -63,4 +72,15 @@ if grep -q 'trials-to-target-ci' "$BASELINE"; then
         -metric trials-to-target-ci -direction lower
 else
     echo "bench_compare: baseline has no trials-to-target-ci events; skipping the adaptive ratchet" >&2
+fi
+
+# SEC-DED gap gate: ratchet plus absolute cap, only when the baseline
+# already captures the ratio (older baselines predate BenchmarkSECDEDGap).
+if grep -q 'secded_vs_noecc_ratio' "$BASELINE"; then
+    echo "bench_compare: SEC-DED gap gate vs $BASELINE (cap $GAP_MAX)" >&2
+    go run ./cmd/benchgate -baseline "$BASELINE" -current "$CURRENT" \
+        -threshold "$THRESHOLD" -bench BenchmarkSECDEDGap \
+        -metric secded_vs_noecc_ratio -direction lower -max "$GAP_MAX"
+else
+    echo "bench_compare: baseline has no secded_vs_noecc_ratio events; skipping the gap gate" >&2
 fi

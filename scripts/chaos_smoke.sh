@@ -3,9 +3,10 @@
 # kvserve process over real TCP (what the in-process tests cannot cover):
 #
 #   1. start a fresh SEC-DED kvserve,
-#   2. run `hrmsim chaos -attach` against it — live load, real fault
-#      injection through the protocol, SLO probes — and require a PASS
-#      verdict in a well-formed JSON envelope,
+#   2. run `hrmsim chaos -attach -strict` against it — live load, real
+#      fault injection through the protocol, SLO probes — and require a
+#      PASS verdict (enforced twice: -strict makes the command itself
+#      exit non-zero on FAIL, and the envelope check below re-verifies),
 #   3. drive the same server with the standalone kvload generator and
 #      require zero wrong values in its report,
 #   4. shut the server down.
@@ -54,10 +55,14 @@ if [ -z "$ADDR" ]; then
 fi
 echo "chaos_smoke: kvserve on $ADDR" >&2
 
-echo "chaos_smoke: running hrmsim chaos -attach" >&2
+echo "chaos_smoke: running hrmsim chaos -attach -strict" >&2
 "$TMP/hrmsim" chaos -attach "$ADDR" -read-fraction 1 -conns 8 \
     -steady 1s -chaos 2s -recovery 1s -injections 16 -seed "$SEED" \
-    -json >"$TMP/chaos.json"
+    -json -strict >"$TMP/chaos.json" || {
+    echo "chaos_smoke: hrmsim chaos -strict exited non-zero" >&2
+    cat "$TMP/chaos.json" >&2
+    exit 1
+}
 
 python3 - "$TMP/chaos.json" <<'PY'
 import json, sys
